@@ -1,0 +1,20 @@
+"""Microbenchmark: the vectorised chunk-work kernel on a real layer.
+
+This is the simulators' hot loop (mask im2col-matmul); the benchmark
+guards against regressions that would make figure regeneration slow.
+"""
+
+from conftest import run_once
+
+from repro.nets.models import alexnet
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import LARGE_CONFIG
+from repro.sim.kernels import compute_chunk_work
+
+
+def bench_chunk_kernel_alexnet_layer2(benchmark):
+    spec = alexnet().layer("Layer2")
+    data = synthesize_layer(spec, seed=0)
+    work = run_once(benchmark, compute_chunk_work, data, LARGE_CONFIG, need_counts=True)
+    assert work.counts is not None
+    assert work.counts.shape[0] == 9 * 2  # 3x3 kernel, 192 -> 2 channel chunks

@@ -1,0 +1,37 @@
+"""DESIGN.md ablation 1: the chunk-size trade-off on AlexNet Layer 2.
+
+Smaller chunks mean more barriers (and per-chunk minimum-cycle floors)
+plus more per-chunk pointers; larger chunks amortise overheads but
+coarsen GB-H's balancing granularity and grow the join circuits
+(Table 4's prefix sum scales ~n log n with the mask width).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import chunk_size_sweep
+from repro.eval.reporting import render_chunk_sweep
+from repro.sim.area import cluster_area_power
+from repro.sim.config import LARGE_CONFIG
+from dataclasses import replace
+
+
+def bench_chunk_size_sweep(benchmark, record):
+    sweep = run_once(benchmark, chunk_size_sweep, fast=True)
+    lines = [render_chunk_sweep(sweep), "", "join-circuit area (mm^2) per chunk size:"]
+    for chunk in sorted(sweep):
+        area = cluster_area_power(replace(LARGE_CONFIG, chunk_size=chunk))
+        join = (
+            area.component("Prefix-sum").area_mm2
+            + area.component("Priority Encoder").area_mm2
+        )
+        lines.append(f"  chunk {chunk:4d}: {join:.3f}")
+    record("chunk_size_sweep", "\n".join(lines))
+    # Barriers shrink as chunks grow (channel padding keeps it from
+    # being an exact halving: 192 channels make 3 chunks of 64 but only
+    # 2 padded chunks of 128).
+    chunks = sorted(sweep)
+    for a, b in zip(chunks, chunks[1:]):
+        assert sweep[a]["barriers"] > sweep[b]["barriers"]
+    # The paper's 128 sits within 10% of the best cycle count in the sweep.
+    best = min(row["cycles"] for row in sweep.values())
+    assert sweep[128]["cycles"] <= best * 1.10

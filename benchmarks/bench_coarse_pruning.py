@@ -1,0 +1,20 @@
+"""Table 1's accuracy column quantified: fine vs coarse pruning.
+
+Cambricon-S-style coarse pruning clamps whole blocks across a filter
+group; at equal density it retains strictly less weight energy than
+Deep-Compression-style fine pruning -- the structural accuracy cost
+behind Table 1's "maintain accuracy: No".
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import coarse_pruning_table
+from repro.eval.reporting import render_coarse_pruning
+
+
+def bench_coarse_pruning(benchmark, record):
+    table = run_once(benchmark, coarse_pruning_table)
+    record("coarse_pruning", render_coarse_pruning(table))
+    for block, row in table.items():
+        assert row["fine_retained_energy"] > row["coarse_retained_energy"]
+        assert abs(row["fine_density"] - row["coarse_density"]) < 0.06

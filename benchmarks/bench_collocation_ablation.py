@@ -1,0 +1,25 @@
+"""Section 5.1 ablation: collocation vs the static too-few-filters check.
+
+GoogLeNet's 5x5-reduce layers (16/48 filters on 16-unit clusters) show
+the paper's pathology -- collocation idles half the units -- and the
+static check the paper proposes recovers no-GB-like behaviour.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import collocation_ablation
+
+
+def bench_collocation_ablation(benchmark, record):
+    result = run_once(benchmark, collocation_ablation, fast=True)
+    lines = ["Collocation ablation (speedup over Dense)"]
+    for layer, row in result.items():
+        lines.append(
+            f"{layer:15s} no_gb={row['no_gb']:.2f}x "
+            f"gb_h(paper)={row['gb_h_paper']:.2f}x "
+            f"gb_h(static check)={row['gb_h_static_check']:.2f}x"
+        )
+    record("collocation_ablation", "\n".join(lines))
+    row = result["Inc3a_5x5red"]
+    assert row["gb_h_paper"] < row["no_gb"]          # the pathology
+    assert row["gb_h_static_check"] >= row["gb_h_paper"]  # the fix

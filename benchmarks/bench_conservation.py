@@ -1,0 +1,36 @@
+"""Cross-simulator conservation laws on every Table 3 layer.
+
+The architectures differ in when and where they multiply, never in what:
+for a fixed workload the useful MACs are data-determined. This bench runs
+the invariant checker (useful-MAC conservation, breakdown identities,
+SCNN coverage, density bounds) over all 30 benchmark layers.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import _fast_cfg
+from repro.nets.models import all_networks
+from repro.sim.config import config_for
+from repro.sim.validate import validate_layer
+
+
+def bench_conservation_all_layers(benchmark, record):
+    def run():
+        reports = []
+        for network in all_networks():
+            cfg = _fast_cfg(config_for(network), fast=True)
+            for spec in network.layers:
+                reports.append(validate_layer(spec, cfg))
+        return reports
+
+    reports = run_once(benchmark, run)
+    lines = ["Cross-simulator conservation checks (fast mode)"]
+    failures = []
+    for report in reports:
+        status = "ok" if report.ok else f"FAIL {report.failures()}"
+        lines.append(f"  {report.layer_name:16s} {len(report.checks):2d} checks  {status}")
+        if not report.ok:
+            failures.append(report.layer_name)
+    record("conservation", "\n".join(lines))
+    assert not failures, failures
+    assert len(reports) == 30

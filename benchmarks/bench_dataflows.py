@@ -1,0 +1,22 @@
+"""Section 3.3's reuse observation: filter- vs input-stationary traffic.
+
+At generous buffer budgets the two dataflows move the same bytes ("may
+seem equivalent in capturing reuse"); the tie-breaker for SparTen is that
+only the static operand (filters) can be load-balanced offline.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import dataflow_figure
+from repro.eval.reporting import render_dataflows
+
+
+def bench_dataflows(benchmark, record):
+    fig = run_once(benchmark, dataflow_figure)
+    record("dataflows", render_dataflows(fig))
+    budgets = sorted(fig)
+    assert fig[budgets[-1]]["winner"] == "tie"  # converges when buffered
+    # Traffic is monotone non-increasing in the budget for both dataflows.
+    for key in ("filter_stationary_bytes", "input_stationary_bytes"):
+        series = [fig[b][key] for b in budgets]
+        assert all(a >= b for a, b in zip(series, series[1:]))

@@ -1,0 +1,24 @@
+"""Speedup vs density: §5.1's 'improvements track density' globalised.
+
+Two-sided schemes scale ~1/d^2, one-sided ~1/d; SCNN tracks two-sided
+but pays its overheads, dropping below Dense at full density.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import density_sensitivity_figure
+from repro.eval.reporting import render_density_sensitivity
+
+
+def bench_density_sensitivity(benchmark, record):
+    fig = run_once(benchmark, density_sensitivity_figure, fast=True)
+    record("density_sensitivity", render_density_sensitivity(fig))
+    densities = sorted(fig)
+    # Monotone: sparser is faster, for every scheme.
+    for scheme in ("one_sided", "sparten", "scnn"):
+        series = [fig[d][scheme] for d in densities]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+    # Quadratic vs linear: at d=0.2 SparTen's win over one-sided exceeds 2x.
+    assert fig[0.2]["sparten"] > 2.0 * fig[0.2]["one_sided"]
+    # SCNN's overheads show at full density.
+    assert fig[1.0]["scnn"] < 1.0

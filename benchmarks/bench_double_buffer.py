@@ -1,0 +1,27 @@
+"""Section 3.2's latency-hiding claim, checked event by event.
+
+Double buffering (depth 2) hides on-chip-class fetch latency under the
+chunk computes; DRAM-class latency additionally needs the CPU's request
+buffering (deeper prefetch). Bandwidth shortfalls are never hidden --
+that is the FPGA roofline's domain.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import double_buffer_figure
+from repro.eval.reporting import render_double_buffer
+
+
+def bench_double_buffer(benchmark, record):
+    fig = run_once(benchmark, double_buffer_figure, fast=True)
+    record("double_buffer", render_double_buffer(fig))
+    # Double buffering alone handles short latencies...
+    assert fig[(0, 2)]["hiding_efficiency"] > 0.99
+    # ...deep request buffering handles DRAM-class latency...
+    assert fig[(100, 16)]["hiding_efficiency"] > 0.9
+    # ...and depth always helps at fixed latency.
+    for latency in (20, 100, 400):
+        assert (
+            fig[(latency, 16)]["hiding_efficiency"]
+            >= fig[(latency, 2)]["hiding_efficiency"]
+        )

@@ -1,0 +1,21 @@
+"""Figure 7: AlexNet speedup over Dense for all eight schemes.
+
+Paper shape: SparTen > GB-S > no-GB > One-sided > Dense; SCNN below
+One-sided but above its one-sided/dense sanity variants; SCNN collapses
+on the stride-4 Layer0, which its geometric mean excludes.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import speedup_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import alexnet
+
+
+def bench_fig07_alexnet_speedup(benchmark, record):
+    fig = run_once(benchmark, speedup_figure, alexnet(), fast=True)
+    record("fig07_alexnet_speedup", render_speedups(fig, "Figure 7: AlexNet speedup"))
+    geo = fig["geomean"]
+    assert geo["sparten"] > geo["sparten_gb_s"] > geo["sparten_no_gb"] > geo["one_sided"]
+    assert geo["scnn"] < geo["one_sided"]
+    assert fig["layers"]["scnn"]["Layer0"] < 0.2  # non-unit-stride collapse

@@ -1,0 +1,22 @@
+"""Figure 8: GoogLeNet speedup over Dense (small configuration).
+
+Paper shape: same ordering as AlexNet except the 5x5-reduce layers
+(16/48 filters, non-multiples of 2 x units) where collocation idles half
+the units and no-GB beats the GB variants.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import speedup_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import googlenet
+
+
+def bench_fig08_googlenet_speedup(benchmark, record):
+    fig = run_once(benchmark, speedup_figure, googlenet(), fast=True)
+    record("fig08_googlenet_speedup", render_speedups(fig, "Figure 8: GoogLeNet speedup"))
+    geo = fig["geomean"]
+    layers = fig["layers"]
+    assert geo["sparten"] > geo["one_sided"] > 1.0
+    # The known pathology: no-GB beats GB on Inc3a_5x5red.
+    assert layers["sparten_no_gb"]["Inc3a_5x5red"] > layers["sparten"]["Inc3a_5x5red"]

@@ -1,0 +1,20 @@
+"""Figure 9: VGGNet speedup over Dense (mean excludes Layer0).
+
+Paper shape: the usual ordering, plus Layer0's shallow 3-channel depth
+hurting SparTen (chunks nearly empty, permute floor exposed).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import speedup_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import vggnet
+
+
+def bench_fig09_vggnet_speedup(benchmark, record):
+    fig = run_once(benchmark, speedup_figure, vggnet(), fast=True)
+    record("fig09_vggnet_speedup", render_speedups(fig, "Figure 9: VGGNet speedup"))
+    geo = fig["geomean"]
+    assert geo["sparten"] > geo["sparten_gb_s"] > geo["sparten_no_gb"] > geo["one_sided"]
+    # Layer0's shallow channel depth hurts SparTen (paper Section 5.1).
+    assert fig["layers"]["sparten"]["Layer0"] < 1.0

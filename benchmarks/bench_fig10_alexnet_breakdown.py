@@ -1,0 +1,32 @@
+"""Figure 10: AlexNet execution-time breakdown (Layer0 omitted, as in the
+paper, because of SCNN's non-unit-stride issue).
+
+Paper shape: Dense dominated by zero computation; One-sided halves it;
+SparTen variants eliminate it; no-GB's main overhead is intra-cluster
+imbalance, reduced by GB-S and nearly eliminated by GB-H; SCNN shows
+large intra- and inter-PE losses.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import breakdown_figure
+from repro.eval.reporting import render_breakdown
+from repro.nets.models import alexnet
+
+
+def bench_fig10_alexnet_breakdown(benchmark, record):
+    fig = run_once(benchmark, breakdown_figure, alexnet(), fast=True)
+    table = {k: v for k, v in fig["breakdown"].items() if k != "Layer0"}
+    record(
+        "fig10_alexnet_breakdown",
+        render_breakdown({"breakdown": table}, "Figure 10: AlexNet breakdown"),
+    )
+    for layer, per_scheme in table.items():
+        assert per_scheme["dense"]["zero"] > per_scheme["dense"]["nonzero"]
+        assert per_scheme["sparten"]["zero"] == 0.0
+        assert per_scheme["one_sided"]["zero"] < per_scheme["dense"]["zero"]
+        # GB reduces no-GB's intra-cluster loss.
+        assert (
+            per_scheme["sparten"]["intra_loss"]
+            < per_scheme["sparten_no_gb"]["intra_loss"]
+        )

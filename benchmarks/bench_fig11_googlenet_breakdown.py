@@ -1,0 +1,25 @@
+"""Figure 11: GoogLeNet execution-time breakdown.
+
+Paper shape: as Figure 10, plus intra-cluster loss in the 5x5-reduce
+layers (filter counts interact badly with collocation) and inter-cluster
+loss in the small Inception 5a layers (insufficient work for 16 clusters).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import breakdown_figure
+from repro.eval.reporting import render_breakdown
+from repro.nets.models import googlenet
+
+
+def bench_fig11_googlenet_breakdown(benchmark, record):
+    fig = run_once(benchmark, breakdown_figure, googlenet(), fast=True)
+    record(
+        "fig11_googlenet_breakdown",
+        render_breakdown(fig, "Figure 11: GoogLeNet breakdown"),
+    )
+    table = fig["breakdown"]
+    # Collocation pathology: 5x5red layers show intra-cluster loss for GB.
+    assert table["Inc3a_5x5red"]["sparten"]["intra_loss"] > 0
+    # Small 7x7 Inception 5a layers idle some clusters.
+    assert table["Inc5a_5x5"]["sparten"]["inter_loss"] > 0

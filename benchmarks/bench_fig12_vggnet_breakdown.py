@@ -1,0 +1,23 @@
+"""Figure 12: VGGNet execution-time breakdown.
+
+Paper shape: as Figure 10; Layer0 suffers high intra-cluster loss from
+its shallow 3-channel depth.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import breakdown_figure
+from repro.eval.reporting import render_breakdown
+from repro.nets.models import vggnet
+
+
+def bench_fig12_vggnet_breakdown(benchmark, record):
+    fig = run_once(benchmark, breakdown_figure, vggnet(), fast=True)
+    record("fig12_vggnet_breakdown", render_breakdown(fig, "Figure 12: VGGNet breakdown"))
+    table = fig["breakdown"]
+    # Layer0: shallow channel depth -> high intra-cluster loss for SparTen.
+    l0 = table["Layer0"]["sparten"]
+    assert l0["intra_loss"] > l0["nonzero"] * 0.3
+    for layer in ("Layer7", "Layer10"):
+        assert table[layer]["sparten"]["zero"] == 0.0
+        assert table[layer]["dense"]["zero"] > table[layer]["dense"]["nonzero"]

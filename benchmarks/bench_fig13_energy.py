@@ -1,0 +1,43 @@
+"""Figure 13: compute and memory energy, zero/non-zero split, per network.
+
+Paper shape: Dense's compute energy dominated by the zero component
+(removed progressively by One-sided and SparTen); Dense-naive shows the
+buffering premium; SparTen ~2x Dense compute energy but ~1.5x below
+One-sided; memory energy ~1.4x below Dense and ~1.3x below One-sided;
+Dense and Dense-naive have identical memory energy.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import energy_figure
+from repro.eval.reporting import render_energy
+
+
+def bench_fig13_energy(benchmark, record):
+    fig = run_once(benchmark, energy_figure, fast=True)
+    record("fig13_energy", render_energy(fig))
+    for network, schemes in fig.items():
+        dense = schemes["dense"]
+        naive = schemes["dense_naive"]
+        sparten = schemes["sparten"]
+        one = schemes["one_sided"]
+        # Compute: the zero *fraction* shrinks Dense -> One-sided ->
+        # SparTen (0). Absolute zero energy can grow for One-sided
+        # because each sparse op costs more than a dense op.
+        dense_zero_frac = dense["compute_zero"] / (
+            dense["compute_zero"] + dense["compute_nonzero"]
+        )
+        one_zero_frac = one["compute_zero"] / (
+            one["compute_zero"] + one["compute_nonzero"]
+        )
+        assert dense_zero_frac > one_zero_frac > 0
+        assert sparten["compute_zero"] == 0.0
+        # Dense-naive pays buffering; memory identical to Dense.
+        assert naive["compute_nonzero"] > dense["compute_nonzero"]
+        assert naive["memory_nonzero"] == dense["memory_nonzero"]
+        # SparTen's memory energy sits below Dense's and One-sided's.
+        sp_mem = sparten["memory_nonzero"] + sparten["memory_zero"]
+        d_mem = dense["memory_nonzero"] + dense["memory_zero"]
+        o_mem = one["memory_nonzero"] + one["memory_zero"]
+        assert sp_mem < d_mem
+        assert sp_mem < o_mem

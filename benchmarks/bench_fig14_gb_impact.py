@@ -1,0 +1,18 @@
+"""Figure 14: per-chunk filter density before/after GB-H pairing.
+
+Paper shape: AlexNet Layer 2's 384 filters span a wide density range
+(<10% to >40%); the 192 GB-H pairs vary far less.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import gb_impact_figure
+from repro.eval.reporting import render_gb_impact
+
+
+def bench_fig14_gb_impact(benchmark, record):
+    data = run_once(benchmark, gb_impact_figure)
+    record("fig14_gb_impact", render_gb_impact(data))
+    assert data.filter_densities.size == 384
+    assert data.pair_densities.size == 192
+    assert data.pair_spread < 0.7 * data.filter_spread

@@ -1,0 +1,21 @@
+"""Figure 15: AlexNet FPGA speedups (One-sided, no-GB, SparTen vs Dense).
+
+Paper shape: same ordering as simulation with slightly compressed
+absolute speedups (the single-cluster FPGA becomes memory-bound where
+compute shrinks quadratically but traffic only linearly).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fpga_figure, speedup_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import alexnet
+
+
+def bench_fig15_alexnet_fpga(benchmark, record):
+    fig = run_once(benchmark, fpga_figure, alexnet(), fast=True)
+    record("fig15_alexnet_fpga", render_speedups(fig, "Figure 15: AlexNet FPGA speedup"))
+    geo = fig["geomean"]
+    assert geo["sparten"] > geo["sparten_no_gb"] > geo["one_sided"] > 1.0
+    sim = speedup_figure(alexnet(), schemes=("sparten",), fast=True)
+    assert geo["sparten"] < sim["geomean"]["sparten"] * 1.05

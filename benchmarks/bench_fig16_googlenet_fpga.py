@@ -1,0 +1,14 @@
+"""Figure 16: GoogLeNet FPGA speedups."""
+
+from conftest import run_once
+
+from repro.eval.experiments import fpga_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import googlenet
+
+
+def bench_fig16_googlenet_fpga(benchmark, record):
+    fig = run_once(benchmark, fpga_figure, googlenet(), fast=True)
+    record("fig16_googlenet_fpga", render_speedups(fig, "Figure 16: GoogLeNet FPGA speedup"))
+    geo = fig["geomean"]
+    assert geo["sparten"] > geo["one_sided"] > 1.0

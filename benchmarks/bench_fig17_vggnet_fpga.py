@@ -1,0 +1,14 @@
+"""Figure 17: VGGNet FPGA speedups."""
+
+from conftest import run_once
+
+from repro.eval.experiments import fpga_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import vggnet
+
+
+def bench_fig17_vggnet_fpga(benchmark, record):
+    fig = run_once(benchmark, fpga_figure, vggnet(), fast=True)
+    record("fig17_vggnet_fpga", render_speedups(fig, "Figure 17: VGGNet FPGA speedup"))
+    geo = fig["geomean"]
+    assert geo["sparten"] > geo["sparten_no_gb"] > geo["one_sided"] > 1.0

@@ -1,0 +1,23 @@
+"""Section 7 generality: SparTen on ResNet (strided), MLP, and LSTM
+workloads, where SCNN's Cartesian product does not apply.
+
+The paper leaves these to future work; the reproduction runs them. The
+assertions encode the applicability matrix: SparTen (and One-sided) run
+everywhere; SCNN is n/a on non-unit strides and fully-connected layers.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import generality_figure
+from repro.eval.reporting import render_generality
+
+
+def bench_generality(benchmark, record):
+    rows = run_once(benchmark, generality_figure, fast=True)
+    record("generality", render_generality(rows))
+    for name, row in rows.items():
+        assert row["sparten"] > row["one_sided"] > 0.9
+        if "_s2" in name or "fc" in name or "lstm" in name.lower():
+            assert row["scnn"] is None  # SCNN cannot run these
+    # Deep Compression's very sparse MLP layers gain the most.
+    assert rows["LeNet-300-100/fc1"]["sparten"] > 8.0

@@ -1,0 +1,23 @@
+"""The headline means (abstract / Section 5): SparTen vs Dense 4.7x,
+vs One-sided 1.8x, vs SCNN 3x in simulation; 4.3x / 1.9x on the FPGA.
+
+The reproduction checks the *band*, not the digit: who wins and by
+roughly what factor.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import headline_means
+from repro.eval.reporting import render_headline
+
+
+def bench_headline_means(benchmark, record):
+    means = run_once(benchmark, headline_means, fast=True)
+    record("headline_means", render_headline(means))
+    assert 3.0 < means["sim_vs_dense"] < 9.0        # paper: 4.7x
+    assert 1.3 < means["sim_vs_one_sided"] < 3.2    # paper: 1.8x
+    assert 1.5 < means["sim_vs_scnn"] < 4.5         # paper: 3.0x
+    assert 2.5 < means["fpga_vs_dense"] < 8.0       # paper: 4.3x
+    assert 1.3 < means["fpga_vs_one_sided"] < 3.2   # paper: 1.9x
+    # FPGA speedups sit at or below simulation's.
+    assert means["fpga_vs_dense"] < means["sim_vs_dense"] * 1.05

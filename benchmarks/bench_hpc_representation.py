@@ -1,0 +1,22 @@
+"""Section 3.1's two-sided storage claim on structured operands.
+
+HPC structures (graph Laplacians, banded systems, scale-free adjacency)
+sit below the 1/log2(n) crossover where pointers win; CNN tensors sit
+above it where the bit mask wins -- the representation choice SparTen
+makes is workload-correct, not universal.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import hpc_representation_figure
+from repro.eval.reporting import render_hpc_representation
+
+
+def bench_hpc_representation(benchmark, record):
+    rows = run_once(benchmark, hpc_representation_figure)
+    record("hpc_representation", render_hpc_representation(rows))
+    for name, row in rows.items():
+        if name.startswith("cnn"):
+            assert row["winner"] == "bitmask"
+        else:
+            assert row["winner"] == "pointer"

@@ -1,0 +1,41 @@
+"""Machine-scaling study: SparTen's parallelism limits (DESIGN.md §4).
+
+Sweeps the machine geometry on AlexNet Layer 3 (small 13x13 maps) and
+VGG Layer 7 (large maps): the small layer hits the inter-cluster cliff
+as clusters outgrow its output positions -- the Inception-5a effect of
+Figure 11 at machine scale -- while the large layer keeps scaling.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import network_by_name
+from repro.sim.sweeps import machine_scaling_sweep, render_scaling
+
+
+def bench_machine_scaling(benchmark, record):
+    small = network_by_name("alexnet").layer("Layer3")
+    large = network_by_name("vggnet").layer("Layer7")
+
+    def run():
+        return (
+            machine_scaling_sweep(small),
+            machine_scaling_sweep(large),
+        )
+
+    small_sweep, large_sweep = run_once(benchmark, run)
+    record(
+        "machine_scaling",
+        render_scaling(small_sweep, "AlexNet Layer3")
+        + "\n\n"
+        + render_scaling(large_sweep, "VGG Layer7"),
+    )
+    # The small layer's inter-cluster loss grows with machine size...
+    assert (
+        small_sweep[(64, 32)]["inter_fraction"]
+        > small_sweep[(4, 8)]["inter_fraction"]
+    )
+    # ...while the large layer keeps the machine comparatively busy.
+    assert (
+        large_sweep[(64, 32)]["inter_fraction"]
+        < small_sweep[(64, 32)]["inter_fraction"]
+    )

@@ -1,0 +1,24 @@
+"""Section 3.3 ablation: permutation-network bisection provisioning.
+
+The paper claims 1/8 of full provisioning (width 4 for 32 units) is
+"more than adequate" -- GB-H's routing demand is one batch per chunk of
+multiply-adds, so the thinned network hides under compute.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import permute_bandwidth_sweep
+
+
+def bench_permute_bandwidth(benchmark, record):
+    sweep = run_once(benchmark, permute_bandwidth_sweep, fast=True)
+    lines = ["Permute bisection-width sweep (AlexNet Layer2, GB-H)"]
+    for width, slowdown in sorted(sweep["slowdown_vs_full"].items()):
+        lines.append(f"width {width:2d}: {slowdown:.4f}x of full provisioning")
+    record("permute_bandwidth", "\n".join(lines))
+    # The paper's operating point (width 4 = 1/8) costs almost nothing.
+    assert sweep["slowdown_vs_full"][4] < 1.05
+    # Monotone: wider never slower.
+    widths = sorted(sweep["cycles"])
+    cycles = [sweep["cycles"][w] for w in widths]
+    assert all(a >= b - 1e-9 for a, b in zip(cycles, cycles[1:]))

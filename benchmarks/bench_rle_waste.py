@@ -1,0 +1,27 @@
+"""Section 3.1's RLE critique: redundant pointers mean redundant compute.
+
+EIE-style run-length pointer fields trade width for redundant zero
+entries; at CNN densities the bit mask needs neither the width nor the
+waste, while at extreme HPC sparsity wide-run RLE stores smaller (the
+trade the paper describes).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import rle_compute_waste_figure
+from repro.eval.reporting import render_rle_waste
+
+
+def bench_rle_waste(benchmark, record):
+    fig = run_once(benchmark, rle_compute_waste_figure)
+    record("rle_waste", render_rle_waste(fig))
+    # At CNN density, 4-bit runs waste almost nothing but store bigger
+    # than the bit mask.
+    cnn = fig[0.35]
+    assert cnn[4]["wasted_compute_fraction"] < 0.02
+    assert cnn[4]["bits_vs_bitmask"] > 1.0
+    # Narrower runs waste more compute at every density.
+    for density, rows in fig.items():
+        bits = sorted(rows)
+        waste = [rows[b]["wasted_compute_fraction"] for b in bits]
+        assert all(a >= b - 1e-12 for a, b in zip(waste, waste[1:]))

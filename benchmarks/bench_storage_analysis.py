@@ -1,0 +1,48 @@
+"""Section 3.1 ablation: bit-mask vs pointer storage across densities.
+
+The paper's analysis: pointers win only below f = 1/log2(n); at CNN
+densities (1/3 to 1/2 non-zero) the bit mask is smaller. Also sweeps the
+chunk size against measured sizes.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.eval.experiments import storage_analysis
+from repro.tensor.analysis import measure_sizes
+
+
+def bench_storage_crossover(benchmark, record):
+    result = run_once(benchmark, storage_analysis, n=1 << 20)
+    lines = [
+        "Section 3.1: representation size (n = 2^20, 8-bit values)",
+        f"crossover density 1/log2(n) = {result['crossover']:.4f}",
+        f"{'density':>8s} {'bitmask(Kb)':>12s} {'pointer(Kb)':>12s}",
+    ]
+    for i in range(0, len(result["densities"]), 10):
+        f = result["densities"][i]
+        lines.append(
+            f"{f:8.3f} {result['bitmask_bits'][i] / 1024:12.1f} "
+            f"{result['pointer_bits'][i] / 1024:12.1f}"
+        )
+    record("storage_analysis", "\n".join(lines))
+    cnn = np.abs(result["densities"] - 0.35).argmin()
+    assert result["bitmask_bits"][cnn] < result["pointer_bits"][cnn]
+
+
+def bench_storage_measured(benchmark, record):
+    """Measured (not analytic) sizes on a synthetic pruned-filter vector."""
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal(1 << 16)
+    dense[rng.random(dense.size) >= 0.35] = 0.0
+
+    sizes = run_once(benchmark, measure_sizes, dense)
+    record(
+        "storage_measured",
+        "Measured sizes at density 0.35 (bits): "
+        f"dense={sizes.dense} bitmask={sizes.bitmask} "
+        f"pointer={sizes.pointer} rle={sizes.run_length}",
+    )
+    assert sizes.bitmask < sizes.pointer
+    assert sizes.bitmask < sizes.dense

@@ -1,0 +1,16 @@
+"""Table 1: the design-goal matrix, evaluated from the implemented models."""
+
+from conftest import run_once
+
+from repro.eval.experiments import design_goals_table
+from repro.eval.reporting import render_design_goals
+
+
+def bench_table1_goals(benchmark, record):
+    rows = run_once(benchmark, design_goals_table)
+    record("table1_goals", render_design_goals(rows))
+    by_name = {r.architecture: r for r in rows}
+    assert by_name["SparTen"].efficient_fully_sparse
+    assert by_name["SCNN"].avoids_zero_transfer
+    assert not by_name["SCNN"].efficient_fully_sparse
+    assert not by_name["Dense"].avoids_zero_compute

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` target regenerates one of the paper's tables or figures
+(see DESIGN.md's experiment index), asserts the qualitative shape the
+paper reports, and writes the rendered rows to
+``benchmarks/output/<name>.txt``. Experiments run once per benchmark
+(``benchmark.pedantic(..., rounds=1)``) because a full figure regeneration
+is seconds-to-minutes, not microseconds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record(output_dir):
+    """Write one experiment's rendered output to benchmarks/output/."""
+
+    def _record(name: str, text: str) -> None:
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

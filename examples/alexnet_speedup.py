@@ -1,0 +1,48 @@
+"""Reproduce Figure 7: AlexNet speedups across all eight architectures.
+
+Run:  python examples/alexnet_speedup.py [--exact]
+
+Compares Dense, One-sided, the three SparTen variants, and the three SCNN
+variants on the paper's pruned AlexNet layers (Table 3 densities). With
+``--exact`` the full-resolution simulation runs (minutes); the default
+fast mode samples output positions (seconds) -- the *ratios* are stable.
+"""
+
+import sys
+
+from repro.eval.experiments import speedup_figure
+from repro.eval.reporting import render_speedups
+from repro.nets.models import alexnet
+
+
+def main() -> None:
+    fast = "--exact" not in sys.argv
+    mode = "fast (sampled)" if fast else "exact"
+    print(f"Regenerating Figure 7 in {mode} mode...\n")
+
+    fig = speedup_figure(alexnet(), fast=fast)
+    print(render_speedups(fig, "Figure 7: AlexNet speedup over Dense"))
+
+    geo = fig["geomean"]
+    print()
+    print("Paper's qualitative claims, checked on this run:")
+    checks = [
+        ("SparTen (GB-H) beats GB-S", geo["sparten"] > geo["sparten_gb_s"]),
+        ("GB-S beats no-GB", geo["sparten_gb_s"] > geo["sparten_no_gb"]),
+        ("no-GB beats One-sided", geo["sparten_no_gb"] > geo["one_sided"]),
+        ("SCNN falls behind One-sided", geo["scnn"] < geo["one_sided"]),
+        (
+            "SCNN collapses on stride-4 Layer0",
+            fig["layers"]["scnn"]["Layer0"] < 0.2,
+        ),
+        (
+            "SCNN beats its one-sided/dense variants",
+            geo["scnn"] > geo["scnn_one_sided"] > geo["scnn_dense"],
+        ),
+    ]
+    for claim, holds in checks:
+        print(f"  [{'ok' if holds else 'MISS'}] {claim}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Sparse matrix-vector products on real graph structures (HPC claim).
+
+Run:  python examples/hpc_graph_spmv.py
+
+Section 1 positions SparTen as "a general sparse linear algebra
+accelerator applicable to ... sparse HPC". This example runs SpMV over
+graph Laplacians and a scale-free adjacency matrix (built with networkx)
+through the accelerator, checks numerical exactness, and shows the
+representation caveat the paper itself raises: at HPC densities the
+pointer format stores smaller than SparTen's bit mask (Section 3.1's
+crossover), even though the compute pipeline still works.
+"""
+
+import numpy as np
+
+from repro.core.accelerator import SparTenAccelerator
+from repro.sim.config import HardwareConfig
+from repro.tensor.hpc import (
+    grid_laplacian,
+    matrix_density,
+    representation_verdict,
+    scale_free_adjacency,
+)
+
+
+def run_spmv(name: str, matrix: np.ndarray, acc: SparTenAccelerator) -> None:
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(matrix.shape[1])
+    out, report = acc.matvec(matrix, x)
+    assert np.allclose(out, matrix @ x), "SpMV mismatch"
+    verdict = representation_verdict(matrix)
+    print(f"{name:24s} n={matrix.shape[0]:4d}  density={matrix_density(matrix):7.4f}"
+          f"  useful MACs={report.useful_macs:8,.0f}"
+          f"  storage winner={verdict['winner']}")
+
+
+def main() -> None:
+    print("SpMV on structured HPC operands through SparTen\n")
+    acc = SparTenAccelerator(
+        config=HardwareConfig(name="hpc", n_clusters=4, units_per_cluster=8,
+                              chunk_size=64)
+    )
+    run_spmv("grid Laplacian (PDE)", grid_laplacian(12), acc)
+    run_spmv("scale-free adjacency", scale_free_adjacency(144, seed=3), acc)
+
+    print("\nJacobi iteration on the grid Laplacian (solver inner loop):")
+    lap = grid_laplacian(10).astype(np.float64)
+    a = lap + np.eye(lap.shape[0]) * 4.0  # diagonally dominant system
+    b = np.ones(a.shape[0])
+    d = np.diag(a)
+    off = a - np.diag(d)
+    x = np.zeros_like(b)
+    for it in range(12):
+        y, _ = acc.matvec(off, x)
+        x = (b - y) / d
+        residual = np.linalg.norm(a @ x - b)
+        if it % 3 == 0:
+            print(f"  iter {it:2d}: residual = {residual:.3e}")
+    print(f"  final  : residual = {np.linalg.norm(a @ x - b):.3e}")
+    print("\nEvery multiply ran through the sparse inner-join pipeline;")
+    print("the bit-mask representation pays a storage premium at this")
+    print("density (see `python -m repro run hpc`), which is exactly the")
+    print("crossover Section 3.1 of the paper derives.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""End-to-end sparse inference with GB-S's offline weight unshuffling.
+
+Run:  python examples/network_pipeline.py
+
+Builds a small 4-layer CNN, prunes it, and runs an image through the
+SparTen pipeline: ReLU creates activation sparsity layer by layer, the
+output collector converts to the sparse representation on the fly, and
+GB-S's density sort is statically "unshuffled" into the next layer's
+weights -- the pipeline verifies the network function is bit-identical.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import NetworkPipeline, PipelineLayer
+from repro.nets.pruning import prune_filters
+from repro.sim.config import HardwareConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    cfg = HardwareConfig(name="pipe", n_clusters=4, units_per_cluster=8)
+
+    layers = [
+        PipelineLayer(
+            prune_filters(rng.standard_normal((32, 3, 3, 8)), 0.6, rng=rng),
+            padding=1, name="conv1",
+        ),
+        PipelineLayer(
+            prune_filters(rng.standard_normal((48, 3, 3, 32)), 0.45, rng=rng),
+            padding=1, name="conv2",
+        ),
+        PipelineLayer(
+            prune_filters(rng.standard_normal((64, 3, 3, 48)), 0.35, rng=rng),
+            padding=1, name="conv3",
+        ),
+        PipelineLayer(
+            prune_filters(rng.standard_normal((64, 3, 3, 64)), 0.30, rng=rng),
+            stride=2, padding=1, name="conv4_s2",  # any stride works
+        ),
+    ]
+    image = np.abs(rng.standard_normal((16, 16, 8)))  # dense input image
+
+    pipe = NetworkPipeline(layers, config=cfg, variant="gb_s")
+    print("Offline pass: sorting filters by density + unshuffling weights...")
+    banks = pipe.prepare_gb_s_weights()
+    for layer, bank in zip(layers, banks):
+        d = (np.asarray(layer.weights) != 0).reshape(bank.shape[0], -1).mean(axis=1)
+        print(f"  {layer.name:9s}: filter densities "
+              f"{d.min():.2f}..{d.max():.2f} -> sorted groups for the clusters")
+
+    print("\nRunning inference (GB-S path, verified against reference)...")
+    run = pipe.run(image, simulate=True)
+
+    print(f"\n{'layer':10s} {'in density':>10s} {'cycles':>12s} "
+          f"{'useful MACs':>12s} {'sparse bits':>12s}")
+    for layer, result, density in zip(layers, run.layer_results, run.layer_densities):
+        print(
+            f"{layer.name:10s} {density:10.2f} {result.cycles:12,.0f} "
+            f"{result.breakdown.nonzero_macs:12,.0f} "
+            f"{result.traffic.overhead_bytes * 8:12,.0f}"
+        )
+    out_density = np.count_nonzero(run.output) / run.output.size
+    print(f"\nfinal output: {run.output.shape}, density {out_density:.2f}")
+    print(f"sparse footprint of the final map: "
+          f"{pipe.sparse_footprint(run.output):,} bits "
+          f"(dense: {run.output.size * 8:,} bits)")
+    print("\nGB-S unshuffling verified: shuffled execution == reference, "
+          "layer by layer.")
+
+
+if __name__ == "__main__":
+    main()

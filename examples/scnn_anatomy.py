@@ -1,0 +1,84 @@
+"""Anatomy of the SCNN comparison: where the Cartesian product pays.
+
+Run:  python examples/scnn_anatomy.py
+
+Executes the same sparse layer on the functional SCNN PE (Cartesian
+product + per-product address calculation + crossbar route) and on
+SparTen's inner-join machinery, then lines the operation counts up
+against each other -- the paper's Section 2.1.1 critique, measured on a
+live machine rather than argued.
+"""
+
+import numpy as np
+
+from repro.arch.scnn_pe import run_scnn_functional
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.scnn import simulate_scnn
+from repro.sim.sparten import simulate_sparten
+from repro.sim.dense import simulate_dense
+
+
+def main() -> None:
+    spec = ConvLayerSpec(
+        name="anatomy", in_height=12, in_width=12, in_channels=32,
+        kernel=3, n_filters=64, padding=1,
+        input_density=0.4, filter_density=0.35,
+    )
+    cfg = HardwareConfig(
+        name="anatomy", n_clusters=4, units_per_cluster=16,
+        scnn_pe_grid=(2, 2), scnn_max_tile=4,
+    )
+    data = synthesize_layer(spec, seed=0)
+    work = compute_chunk_work(data, cfg, need_counts=True)
+
+    print("One sparse layer, two machines "
+          f"({spec.in_height}x{spec.in_width}x{spec.in_channels}, "
+          f"{spec.n_filters} filters, densities "
+          f"{spec.input_density:.2f}/{spec.filter_density:.2f})\n")
+
+    # --- SCNN, functionally. -------------------------------------------------
+    out, stats = run_scnn_functional(
+        data.input_map, data.filters, tile=4, padding=spec.padding
+    )
+    print("SCNN (Cartesian product, functional execution):")
+    print(f"  products formed          {stats.products:10,}")
+    print(f"  address calculations     {stats.address_calculations:10,}"
+          "   <- one per product")
+    print(f"  crossbar routes          {stats.crossbar_routes:10,}"
+          "   <- one per surviving product")
+    print(f"  discarded at the edges   {stats.discarded_products:10,}")
+    print(f"  accumulator peak         {stats.accumulator_peak:10,} of 1024")
+
+    # --- SparTen. ---------------------------------------------------------------
+    sparten = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
+    out_cells = spec.out_positions * spec.n_filters
+    chunk_broadcasts = sparten.extras["barriers"]
+    print("\nSparTen (inner join, one output cell per unit):")
+    print(f"  useful MACs              {sparten.breakdown.nonzero_macs:10,.0f}")
+    print(f"  address calculations     {out_cells:10,}   <- one per output cell")
+    print(f"  permute-network routes   {0 if not sparten.extras['permute_cycles'] else '(hidden)':>10}"
+          "   (GB-H ships partials once per chunk, no crossbar)")
+    print(f"  chunk barriers           {chunk_broadcasts:10,.0f}"
+          "   (per output-position group)")
+
+    # --- The scoreboard. ----------------------------------------------------------
+    dense = simulate_dense(spec, cfg, data=data, work=work)
+    scnn = simulate_scnn(spec, cfg, variant="two", data=data)
+    print("\nCycle scoreboard (equal 64-MAC machines):")
+    print(f"  dense    {dense.cycles:10,.0f} cycles")
+    print(f"  scnn     {scnn.cycles:10,.0f} cycles "
+          f"({dense.cycles / scnn.cycles:.2f}x)")
+    print(f"  sparten  {sparten.cycles:10,.0f} cycles "
+          f"({dense.cycles / sparten.cycles:.2f}x)")
+    ratio = stats.address_calculations / out_cells
+    print(f"\nSCNN computed {ratio:.0f}x more addresses than SparTen for the "
+          "same outputs --")
+    print("that machinery (plus barriers and array underfill) is the gap "
+          "the scoreboard shows.")
+
+
+if __name__ == "__main__":
+    main()

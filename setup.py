@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` for PEP-517 editable installs; offline
+environments that lack it can use `python setup.py develop` instead, which
+installs the same egg-link. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

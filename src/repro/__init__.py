@@ -1,0 +1,64 @@
+"""SparTen reproduction: a sparse tensor accelerator for CNNs (MICRO 2019).
+
+This package is a from-scratch Python reproduction of SparTen (Gondimalla,
+Chesnut, Thottethodi, Vijaykumar; MICRO-52, 2019) together with every
+substrate its evaluation depends on:
+
+- ``repro.tensor``  -- the bit-mask (SparseMap) sparse representation, the
+  inner-join primitive, and baseline HPC formats (CSR/CSC/RLE).
+- ``repro.nets``    -- CNN layer/model definitions (AlexNet, GoogLeNet,
+  VGGNet per the paper's Table 3), pruning and workload synthesis.
+- ``repro.arch``    -- microarchitecture models: compute unit, cluster,
+  output collector, permutation network, buffers, memory.
+- ``repro.balance`` -- greedy balancing (GB-S and GB-H) and its metrics.
+- ``repro.sim``     -- cycle-level simulators for Dense, One-sided, SCNN
+  (dense/one-sided/two-sided) and SparTen (no-GB/GB-S/GB-H), the FPGA
+  roofline model, and energy/area models.
+- ``repro.core``    -- the public accelerator API (BLAS-like interface,
+  whole-network pipeline, architecture comparison).
+- ``repro.eval``    -- the experiment harness regenerating every figure and
+  table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SparTenAccelerator
+    from repro.nets import alexnet
+
+    acc = SparTenAccelerator()
+    report = acc.run_layer(alexnet().layers[2], seed=0)
+    print(report.cycles)
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+# Lazy top-level exports (PEP 562): keeps `import repro` cheap and lets
+# subpackages be used independently.
+_EXPORTS = {
+    "SparTenAccelerator": ("repro.core.accelerator", "SparTenAccelerator"),
+    "ArchitectureComparison": ("repro.core.compare", "ArchitectureComparison"),
+    "compare_architectures": ("repro.core.compare", "compare_architectures"),
+    "NetworkPipeline": ("repro.core.pipeline", "NetworkPipeline"),
+    "SparseMap": ("repro.tensor.sparsemap", "SparseMap"),
+    "CHUNK_SIZE": ("repro.tensor.sparsemap", "CHUNK_SIZE"),
+    "HardwareConfig": ("repro.sim.config", "HardwareConfig"),
+    "LARGE_CONFIG": ("repro.sim.config", "LARGE_CONFIG"),
+    "SMALL_CONFIG": ("repro.sim.config", "SMALL_CONFIG"),
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

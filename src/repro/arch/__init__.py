@@ -1,0 +1,39 @@
+"""Microarchitecture models for SparTen (paper Sections 3.1-3.3, Figure 4).
+
+- :mod:`repro.arch.prefix`       -- prefix-sum and priority-encoder circuit
+  models (logarithmic delay, gate/area estimates).
+- :mod:`repro.arch.compute_unit` -- the compute unit: filter buffer,
+  inner-join circuitry, MAC, partial-sum accumulators.
+- :mod:`repro.arch.collector`    -- output collector (Figure 5): zero
+  detection, inverted-prefix-sum compaction, sparse output emission.
+- :mod:`repro.arch.permute`      -- GB-H's thinned multi-stage permutation
+  network with bandwidth-limited scheduling.
+- :mod:`repro.arch.cluster`      -- a cluster of compute units with
+  broadcast, barriers, collocated filter pairs, and the collector.
+- :mod:`repro.arch.buffers`      -- buffer-capacity accounting (the 20 KB /
+  31 KB arithmetic of Sections 3.2-3.3).
+- :mod:`repro.arch.memory`       -- off-chip traffic accounting and the
+  bandwidth model used by the FPGA roofline.
+- :mod:`repro.arch.host`         -- the CPU-side driver that orchestrates
+  clusters over a layer.
+"""
+
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.cluster import Cluster, ClusterStats
+from repro.arch.collector import OutputCollector
+from repro.arch.permute import PermutationNetwork
+from repro.arch.fsm import cu_control_machine
+from repro.arch.host import Host
+from repro.arch.scnn_pe import ScnnPE, run_scnn_functional
+
+__all__ = [
+    "ComputeUnit",
+    "Cluster",
+    "ClusterStats",
+    "OutputCollector",
+    "PermutationNetwork",
+    "cu_control_machine",
+    "Host",
+    "ScnnPE",
+    "run_scnn_functional",
+]

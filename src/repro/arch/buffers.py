@@ -1,0 +1,86 @@
+"""Buffer-capacity accounting (paper Sections 3.2-3.3 and Table 2).
+
+The paper's arithmetic, reproduced exactly:
+
+- SparTen without collocation: [128 B + 128 b (input) + 128 B + 128 b
+  (filter) + 32 B (output)] x 32 units x 2 (double buffering) = 20 KB,
+  i.e. 640 B per multiplier.
+- SparTen with collocation (GB): the filter and output buffers double:
+  [128 B + 128 b + (128 B + 128 b) x 2 + 32 B x 2] x 32 x 2 = 31 KB,
+  i.e. 992 B per multiplier.
+- SCNN: 1.63 KB per multiplier (26 KB per 16-multiplier PE).
+- Dense (TPU-like): 8 B per MAC.
+
+These numbers feed the energy model (buffer access energy grows with
+capacity) and the Table 2 assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferSpec", "sparten_buffers", "scnn_buffers", "dense_buffers"]
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Per-cluster buffering for one architecture configuration.
+
+    Attributes:
+        bytes_per_unit: buffer bytes per multiplier (MAC).
+        n_units: multipliers per cluster.
+        double_buffered: whether capacities include double buffering.
+    """
+
+    bytes_per_unit: float
+    n_units: int
+    double_buffered: bool = True
+
+    @property
+    def cluster_bytes(self) -> float:
+        """Total buffer bytes in one cluster."""
+        return self.bytes_per_unit * self.n_units
+
+    @property
+    def cluster_kilobytes(self) -> float:
+        return self.cluster_bytes / 1024.0
+
+
+def sparten_buffers(
+    n_units: int = 32,
+    chunk_size: int = 128,
+    value_bytes: int = 1,
+    output_cells: int = 32,
+    collocated: bool = True,
+    double_buffered: bool = True,
+) -> BufferSpec:
+    """SparTen per-unit buffering, with or without GB collocation.
+
+    Per unit and per buffering copy: one input chunk (values + mask), one
+    filter chunk (values + mask) per held filter, and the output cells
+    (one byte each, doubled when collocation produces two output sets).
+    """
+    mask_bytes = chunk_size / 8.0
+    chunk_bytes = chunk_size * value_bytes + mask_bytes
+    filters_held = 2 if collocated else 1
+    output_sets = 2 if collocated else 1
+    per_copy = (
+        chunk_bytes  # input chunk
+        + chunk_bytes * filters_held  # filter chunk(s)
+        + output_cells * value_bytes * output_sets  # output cells
+    )
+    per_unit = per_copy * (2 if double_buffered else 1)
+    return BufferSpec(
+        bytes_per_unit=per_unit, n_units=n_units, double_buffered=double_buffered
+    )
+
+
+def scnn_buffers(n_units: int = 16) -> BufferSpec:
+    """SCNN's reported buffering: 26 KB per 16-multiplier PE (1.63 KB/MAC)."""
+    per_unit = 26 * 1024 / 16
+    return BufferSpec(bytes_per_unit=per_unit, n_units=n_units)
+
+
+def dense_buffers(n_units: int = 32) -> BufferSpec:
+    """Dense TPU-like accelerator: 8 B per MAC (Table 2)."""
+    return BufferSpec(bytes_per_unit=8, n_units=n_units)

@@ -1,0 +1,390 @@
+"""A SparTen cluster: compute units + broadcast + permute + collector.
+
+Paper Section 3.2 (right of Figure 4): a cluster of asynchronous compute
+units (e.g. 32) together performs a sparse matrix-vector multiplication --
+each unit owns one output cell (two with collocation) while input chunks
+are broadcast to all units. The broadcast imposes an implicit barrier per
+chunk: the cluster advances to the next input chunk only when every unit
+has drained its matches, which is precisely where load imbalance shows up
+and what greedy balancing attacks.
+
+:class:`Cluster` is the functional model: it computes numerically exact
+results through the ComputeUnit/PermutationNetwork/OutputCollector
+machinery while accounting cycles chunk-by-chunk. The vectorised
+simulators reproduce these counts in bulk and are tested against this
+model.
+
+Three execution modes mirror the paper's variants:
+
+- ``plain``        -- one filter per unit (SparTen-no-GB, and GB-S after
+  its offline whole-filter sort, which changes the order but not the
+  mechanics).
+- ``paired``       -- a static collocated filter pair per unit (GB-S with
+  whole-filter collocation; unshuffling is offline, so no network).
+- ``chunk_paired`` -- a per-chunk filter pair per unit (GB-H); each chunk's
+  two partial sums are routed through the permutation network to the
+  accumulator owning that filter's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.collector import OutputCollector
+from repro.arch.compute_unit import ComputeUnit, FilterSlot
+from repro.arch.permute import PermutationNetwork
+from repro.tensor.sparsemap import SparseMap
+
+__all__ = ["Cluster", "ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Cycle and work accounting for one cluster operation.
+
+    Attributes:
+        total_cycles: wall-clock cycles (sum of per-chunk barriers, plus
+            any unhidden permute cycles; the collector overlaps output).
+        useful_macs: multiply-accumulates on matched non-zero pairs.
+        busy_unit_cycles: summed per-unit busy cycles.
+        idle_unit_cycles: summed per-unit idle cycles under barriers
+            (intra-cluster loss: imbalance + missing filters).
+        barriers: number of broadcast barriers (chunks processed).
+        permute_cycles: total permutation-network occupancy.
+        permute_unhidden_cycles: permute cycles that failed to hide under
+            the next chunk's compute and extended the wall clock.
+        collector_cycles: output-collector occupancy (overlapped).
+    """
+
+    total_cycles: int = 0
+    useful_macs: int = 0
+    busy_unit_cycles: int = 0
+    idle_unit_cycles: int = 0
+    barriers: int = 0
+    permute_cycles: int = 0
+    permute_unhidden_cycles: int = 0
+    collector_cycles: int = 0
+
+
+class Cluster:
+    """A cluster of SparTen compute units (functional + cycle model)."""
+
+    def __init__(
+        self,
+        n_units: int = 32,
+        chunk_size: int = 128,
+        bisection_width: int = 4,
+        n_accumulators: int = 32,
+    ):
+        if n_units < 1:
+            raise ValueError(f"need at least one unit, got {n_units}")
+        self.n_units = n_units
+        self.chunk_size = chunk_size
+        self.units = [
+            ComputeUnit(chunk_size=chunk_size, n_accumulators=n_accumulators)
+            for _ in range(n_units)
+        ]
+        self.network = (
+            PermutationNetwork(n_units, bisection_width=bisection_width)
+            if n_units >= 2
+            else None
+        )
+        self.collector = OutputCollector(chunk_size=chunk_size)
+
+    # -- public API ---------------------------------------------------------
+
+    def matvec(
+        self,
+        rows: list[SparseMap],
+        x: SparseMap,
+        mode: str = "plain",
+        pairing: np.ndarray | None = None,
+        chunk_pairing: np.ndarray | None = None,
+        apply_relu: bool = False,
+        one_sided: bool = False,
+    ) -> tuple[SparseMap, ClusterStats]:
+        """Sparse matrix-vector product: ``out[j] = rows[j] . x``.
+
+        Args:
+            rows: the sparse matrix rows (filters), all chunked like *x*.
+            x: the broadcast sparse vector (input-map window).
+            mode: ``"plain"``, ``"paired"`` or ``"chunk_paired"``.
+            pairing: for ``paired``: array (n_pairs, 2) of row indices,
+                each pair collocated on one unit; a -1 second element
+                means an unpaired row.
+            chunk_pairing: for ``chunk_paired``: array
+                (n_chunks, n_pairs, 2) of per-chunk row pairings.
+            apply_relu: apply ReLU before collecting the sparse output.
+            one_sided: execute as the one-sided configuration (plain mode
+                only): each unit walks every non-zero *input* element and
+                multiplies it against its filter value, zero or not --
+                the Cnvlutin-style proxy. Numerically identical; cycles
+                become the input chunk's popcount.
+
+        Returns the sparse output vector (length ``len(rows)``) in original
+        row order, plus :class:`ClusterStats`.
+        """
+        self._validate_rows(rows, x)
+        if one_sided and mode != "plain":
+            raise ValueError("one_sided execution supports plain mode only")
+        if mode == "plain":
+            dense_out, stats = self._run_plain(rows, x, one_sided=one_sided)
+        elif mode == "paired":
+            if pairing is None:
+                raise ValueError("paired mode requires a pairing")
+            dense_out, stats = self._run_paired(rows, x, np.asarray(pairing))
+        elif mode == "chunk_paired":
+            if chunk_pairing is None:
+                raise ValueError("chunk_paired mode requires chunk_pairing")
+            dense_out, stats = self._run_chunk_paired(
+                rows, x, np.asarray(chunk_pairing)
+            )
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+
+        sparse_out, collect_cycles = self.collector.collect_channel_vector(
+            dense_out, apply_relu=apply_relu
+        )
+        stats.collector_cycles += collect_cycles
+        return sparse_out, stats
+
+    # -- execution modes ------------------------------------------------------
+
+    def _run_plain(
+        self, rows: list[SparseMap], x: SparseMap, one_sided: bool = False
+    ) -> tuple[np.ndarray, ClusterStats]:
+        """One row per unit, groups of ``n_units`` rows at a time."""
+        stats = ClusterStats()
+        out = np.zeros(len(rows))
+        for base in range(0, len(rows), self.n_units):
+            group = list(range(base, min(base + self.n_units, len(rows))))
+            for chunk_i in range(x.n_chunks):
+                cycles = []
+                work = []
+                input_pop = int(x.chunk_mask(chunk_i).sum())
+                for u, row_id in enumerate(group):
+                    unit = self.units[u]
+                    unit.reset()
+                    unit.load_filters(
+                        [
+                            FilterSlot(
+                                mask=rows[row_id].chunk_mask(chunk_i),
+                                values=rows[row_id].chunk_values(chunk_i),
+                                output_id=row_id,
+                            )
+                        ]
+                    )
+                    outcome = unit.process_input_chunk(
+                        x.chunk_mask(chunk_i), x.chunk_values(chunk_i)
+                    )
+                    out[row_id] += unit.drain(row_id)
+                    if one_sided:
+                        # The unit multiplies every non-zero input against
+                        # its (dense-held) filter column: popcount cycles.
+                        cycles.append(max(1, input_pop))
+                    else:
+                        cycles.append(outcome.cycles)
+                    work.append(outcome.matches)
+                    stats.useful_macs += outcome.matches
+                self._account_barrier(stats, cycles, work)
+        return out, stats
+
+    def _run_paired(
+        self, rows: list[SparseMap], x: SparseMap, pairing: np.ndarray
+    ) -> tuple[np.ndarray, ClusterStats]:
+        """A static collocated pair per unit (GB-S collocation)."""
+        self._validate_pairing(pairing, len(rows))
+        stats = ClusterStats()
+        out = np.zeros(len(rows))
+        for base in range(0, len(pairing), self.n_units):
+            group = pairing[base : base + self.n_units]
+            for chunk_i in range(x.n_chunks):
+                cycles = []
+                work = []
+                for u, (row_a, row_b) in enumerate(group):
+                    if row_a < 0:
+                        cycles.append(0)  # idle unit: no filter assigned
+                        work.append(0)
+                        continue
+                    unit = self.units[u]
+                    unit.reset()
+                    slots = [
+                        FilterSlot(
+                            mask=rows[row_a].chunk_mask(chunk_i),
+                            values=rows[row_a].chunk_values(chunk_i),
+                            output_id=int(row_a),
+                        )
+                    ]
+                    if row_b >= 0:
+                        slots.append(
+                            FilterSlot(
+                                mask=rows[row_b].chunk_mask(chunk_i),
+                                values=rows[row_b].chunk_values(chunk_i),
+                                output_id=int(row_b),
+                            )
+                        )
+                    unit.load_filters(slots)
+                    outcome = unit.process_input_chunk(
+                        x.chunk_mask(chunk_i), x.chunk_values(chunk_i)
+                    )
+                    for slot in slots:
+                        out[slot.output_id] += unit.drain(slot.output_id)
+                    cycles.append(outcome.cycles)
+                    work.append(outcome.matches)
+                    stats.useful_macs += outcome.matches
+                self._account_barrier(stats, cycles, work)
+        return out, stats
+
+    def _run_chunk_paired(
+        self, rows: list[SparseMap], x: SparseMap, chunk_pairing: np.ndarray
+    ) -> tuple[np.ndarray, ClusterStats]:
+        """Per-chunk pairs (GB-H): partial sums routed through the network."""
+        if self.network is None:
+            raise RuntimeError("chunk_paired mode needs at least 2 units")
+        if chunk_pairing.ndim != 3 or chunk_pairing.shape[0] != x.n_chunks:
+            raise ValueError(
+                f"chunk_pairing must be (n_chunks, n_pairs, 2); got "
+                f"{chunk_pairing.shape} for {x.n_chunks} chunks"
+            )
+        stats = ClusterStats()
+        out = np.zeros(len(rows))
+        n_pairs = chunk_pairing.shape[1]
+        for base in range(0, n_pairs, self.n_units):
+            prev_route_cycles = 0
+            for chunk_i in range(x.n_chunks):
+                group = chunk_pairing[chunk_i, base : base + self.n_units]
+                self._validate_pairing(group, len(rows))
+                cycles = []
+                work = []
+                partials_a = np.zeros(self.n_units)
+                dests_a = np.full(self.n_units, -1, dtype=np.int64)
+                partials_b = np.zeros(self.n_units)
+                dests_b = np.full(self.n_units, -1, dtype=np.int64)
+                for u, (row_a, row_b) in enumerate(group):
+                    if row_a < 0:
+                        cycles.append(0)  # idle unit: no filter assigned
+                        work.append(0)
+                        continue
+                    unit = self.units[u]
+                    unit.reset()
+                    slots = [
+                        FilterSlot(
+                            mask=rows[row_a].chunk_mask(chunk_i),
+                            values=rows[row_a].chunk_values(chunk_i),
+                            output_id=int(row_a),
+                        )
+                    ]
+                    if row_b >= 0:
+                        slots.append(
+                            FilterSlot(
+                                mask=rows[row_b].chunk_mask(chunk_i),
+                                values=rows[row_b].chunk_values(chunk_i),
+                                output_id=int(row_b),
+                            )
+                        )
+                    unit.load_filters(slots)
+                    outcome = unit.process_input_chunk(
+                        x.chunk_mask(chunk_i), x.chunk_values(chunk_i)
+                    )
+                    partials_a[u] = unit.drain(int(row_a))
+                    dests_a[u] = int(row_a) % self.n_units
+                    if row_b >= 0:
+                        partials_b[u] = unit.drain(int(row_b))
+                        dests_b[u] = int(row_b) % self.n_units
+                    cycles.append(outcome.cycles)
+                    work.append(outcome.matches)
+                    stats.useful_macs += outcome.matches
+                barrier = self._account_barrier(stats, cycles, work)
+
+                # Accumulate each partial into its output sum and account
+                # the routing cost of delivering it to its home unit
+                # (home port = row % n_units). Colliding destinations
+                # serialise into extra network batches.
+                route_cycles = 0
+                for partials, dests, col in (
+                    (partials_a, dests_a, 0),
+                    (partials_b, dests_b, 1),
+                ):
+                    if np.all(dests < 0):
+                        continue
+                    route_cycles += self._route_values(dests, partials)
+                    for u, (row_a, row_b) in enumerate(group):
+                        row = row_a if col == 0 else row_b
+                        if row >= 0:
+                            out[row] += partials[u]
+                stats.permute_cycles += route_cycles
+                # The previous chunk's routing hides under this chunk's
+                # compute; any excess extends the wall clock.
+                unhidden = max(0, prev_route_cycles - barrier)
+                stats.permute_unhidden_cycles += unhidden
+                stats.total_cycles += unhidden
+                prev_route_cycles = route_cycles
+            # The final chunk's routing cannot hide under anything.
+            stats.permute_unhidden_cycles += prev_route_cycles
+            stats.total_cycles += prev_route_cycles
+        return out, stats
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _route_values(self, dests: np.ndarray, values: np.ndarray) -> int:
+        """Cycle cost of routing values to destination ports.
+
+        The permutation network delivers at most one value per destination
+        port per batch; when two sources home to the same port the batch
+        splits, modelling the destination-port serialisation.
+        """
+        assert self.network is not None
+        remaining = dests.copy()
+        cycles = 0
+        while np.any(remaining >= 0):
+            batch = np.full(self.n_units, -1, dtype=np.int64)
+            claimed: set[int] = set()
+            for u in range(self.n_units):
+                d = int(remaining[u])
+                if d >= 0 and d not in claimed:
+                    batch[u] = d
+                    claimed.add(d)
+                    remaining[u] = -1
+            cycles += self.network.route(batch, values).cycles
+        return cycles
+
+    def _account_barrier(
+        self, stats: ClusterStats, cycles: list[int], work: list[int]
+    ) -> int:
+        """Record one broadcast barrier; returns the barrier time.
+
+        *cycles* are per-unit occupancy (>= 1 per broadcast); *work* are
+        the useful MACs. Idle counts every unit-cycle under the barrier
+        not spent on a useful MAC -- lagging units, unit-less filters,
+        and zero-match broadcast slots alike.
+        """
+        barrier = max(cycles) if cycles else 0
+        stats.total_cycles += barrier
+        stats.barriers += 1
+        stats.busy_unit_cycles += sum(work)
+        stats.idle_unit_cycles += barrier * self.n_units - sum(work)
+        return barrier
+
+    def _validate_rows(self, rows: list[SparseMap], x: SparseMap) -> None:
+        if not rows:
+            raise ValueError("need at least one matrix row")
+        for i, row in enumerate(rows):
+            if row.chunk_size != x.chunk_size or row.mask.size != x.mask.size:
+                raise ValueError(
+                    f"row {i} chunking ({row.chunk_size}, {row.mask.size}) does "
+                    f"not match x ({x.chunk_size}, {x.mask.size})"
+                )
+
+    @staticmethod
+    def _validate_pairing(pairing: np.ndarray, n_rows: int) -> None:
+        pairing = np.asarray(pairing)
+        if pairing.ndim != 2 or pairing.shape[1] != 2:
+            raise ValueError(f"pairing must be (n_pairs, 2), got {pairing.shape}")
+        flat = pairing.reshape(-1)
+        used = flat[flat >= 0]
+        if np.any(used >= n_rows):
+            raise ValueError("pairing references a row that does not exist")
+        if np.unique(used).size != used.size:
+            raise ValueError("pairing assigns some row twice")

@@ -1,0 +1,120 @@
+"""The output collector: on-the-fly conversion to the sparse representation.
+
+Paper Section 3.2 and Figure 5: each cluster's compute units produce one
+dense output cell each (some of which are zero, especially after ReLU).
+The collector (a) generates the output SparseMap with per-value zero
+detection (EXNOR), (b) compacts the values by shifting each non-zero left
+by the number of zeros before it (an *inverted* prefix sum), and (c) pads
+the SparseMap with zero bits when the channel count is not a multiple of
+the chunk size. Compaction need not be fast -- outputs arrive only once
+per many multiply-adds -- so a single collector serves even the two
+collocated output sets sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.prefix import PrefixSumCircuit
+from repro.tensor.sparsemap import CHUNK_SIZE, SparseMap, padded_length
+
+__all__ = ["OutputCollector", "CollectedChunk"]
+
+
+@dataclass(frozen=True)
+class CollectedChunk:
+    """One collected output chunk plus the collector's work accounting.
+
+    Attributes:
+        sparse: the emitted (SparseMap, values) chunk.
+        shifts: per-position left-shift distances (the inverted prefix sum
+            each value was routed by); zero positions carry their shift too
+            but route nothing.
+        cycles: collector occupancy to emit this chunk (one value per
+            cycle through the compacting shifter, minimum 1).
+    """
+
+    sparse: SparseMap
+    shifts: np.ndarray
+    cycles: int
+
+
+class OutputCollector:
+    """Collects dense per-unit outputs into sparse output chunks."""
+
+    def __init__(self, chunk_size: int = CHUNK_SIZE):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._prefix = PrefixSumCircuit(chunk_size)
+
+    def collect(self, dense_values: np.ndarray, apply_relu: bool = False) -> CollectedChunk:
+        """Convert one batch of unit outputs into a sparse chunk.
+
+        *dense_values* is the vector of output cells produced by the
+        cluster's units for consecutive output channels (length at most
+        the chunk size; shorter vectors are zero-padded per the paper's
+        channel-padding rule). With ``apply_relu`` the ReLU is applied
+        first -- this is where the zeros the next layer exploits appear.
+        """
+        dense = np.asarray(dense_values, dtype=np.float64)
+        if dense.ndim != 1:
+            raise ValueError(f"expected 1-D outputs, got shape {dense.shape}")
+        if dense.size > self.chunk_size:
+            raise ValueError(
+                f"{dense.size} outputs exceed the chunk size {self.chunk_size}"
+            )
+        if apply_relu:
+            dense = np.maximum(dense, 0.0)
+        padded = np.zeros(self.chunk_size, dtype=np.float64)
+        padded[: dense.size] = dense
+
+        # EXNOR zero detection -> SparseMap bits.
+        mask = padded != 0.0
+        # Inverted prefix sum: zeros to the left of each position = the
+        # left-shift distance of that position's value (Figure 5).
+        shifts = self._prefix.inverted_compute(mask)
+        compacted = np.zeros(int(mask.sum()), dtype=np.float64)
+        positions = np.flatnonzero(mask)
+        compacted[positions - shifts[positions]] = padded[positions]
+
+        sparse = SparseMap(
+            mask=mask,
+            values=compacted,
+            length=self.chunk_size,
+            chunk_size=self.chunk_size,
+        )
+        cycles = max(1, int(mask.sum()))
+        return CollectedChunk(sparse=sparse, shifts=shifts, cycles=cycles)
+
+    def collect_channel_vector(
+        self, dense_values: np.ndarray, apply_relu: bool = False
+    ) -> tuple[SparseMap, int]:
+        """Collect a whole output-channel vector (possibly many chunks).
+
+        The CPU rounds channel padding to the chunk size (Section 3.2);
+        each chunk is collected independently and the results are
+        concatenated into one SparseMap over the padded length. Returns
+        the sparse vector and the total collector cycles.
+        """
+        dense = np.asarray(dense_values, dtype=np.float64)
+        if dense.ndim != 1:
+            raise ValueError(f"expected 1-D outputs, got shape {dense.shape}")
+        padded_len = padded_length(dense.size, self.chunk_size)
+        masks = []
+        values = []
+        cycles = 0
+        for start in range(0, padded_len, self.chunk_size):
+            piece = dense[start : start + self.chunk_size]
+            chunk = self.collect(piece, apply_relu=apply_relu)
+            masks.append(chunk.sparse.mask)
+            values.append(chunk.sparse.values)
+            cycles += chunk.cycles
+        mask = np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+        vals = np.concatenate(values) if values else np.zeros(0)
+        sparse = SparseMap(
+            mask=mask, values=vals, length=dense.size, chunk_size=self.chunk_size
+        )
+        return sparse, cycles

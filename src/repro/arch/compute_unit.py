@@ -1,0 +1,147 @@
+"""The SparTen compute unit (paper Section 3.2, left of Figure 4).
+
+Each compute unit comprises a multiplier, an accumulator, the inner-join
+circuitry of Section 3.1, and buffers for inputs and outputs. It holds a
+filter chunk (two with collocation, Section 3.3) and, per broadcast input
+chunk, performs the sparse vector-vector dot-product step: AND the
+SparseMaps, walk matches via priority encoder + prefix sums, multiply and
+accumulate into the locally-held partial sum. One output cell's products
+stay confined to this one unit -- SparTen's core difference from SCNN.
+
+The unit is a functional model with exact cycle accounting (one MAC per
+matched pair per cycle); the vectorised simulators in :mod:`repro.sim`
+compute identical counts in bulk and are tested against this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import bitmask
+
+__all__ = ["ComputeUnit", "FilterSlot", "ChunkOutcome"]
+
+
+@dataclass
+class FilterSlot:
+    """One held filter chunk: its SparseMap, values, and output identity."""
+
+    mask: np.ndarray
+    values: np.ndarray
+    output_id: int
+
+    def __post_init__(self) -> None:
+        self.mask = np.asarray(self.mask, dtype=bool)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if int(self.mask.sum()) != self.values.size:
+            raise ValueError(
+                f"{int(self.mask.sum())} mask bits but {self.values.size} values"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Result of processing one broadcast input chunk.
+
+    Attributes:
+        cycles: cycles this unit was busy (total matches across held
+            filter slots, minimum 1 for receiving the broadcast).
+        matches: useful multiply-accumulates performed.
+    """
+
+    cycles: int
+    matches: int
+
+
+class ComputeUnit:
+    """A single SparTen compute unit.
+
+    Args:
+        chunk_size: SparseMap width this unit's join circuitry handles.
+        n_accumulators: outstanding partial sums the unit can hold
+            (the paper's 32 output cells per unit; doubled by collocation).
+    """
+
+    def __init__(self, chunk_size: int = 128, n_accumulators: int = 32):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        if n_accumulators <= 0:
+            raise ValueError(f"need at least one accumulator, got {n_accumulators}")
+        self.chunk_size = chunk_size
+        self.n_accumulators = n_accumulators
+        self.slots: list[FilterSlot] = []
+        self.partials: dict[int, float] = {}
+        self.busy_cycles = 0
+        self.total_matches = 0
+
+    # -- filter management ----------------------------------------------------
+
+    def load_filters(self, slots: list[FilterSlot]) -> None:
+        """Hold one or two filter chunks (two = collocated pair, GB)."""
+        if not 1 <= len(slots) <= 2:
+            raise ValueError(f"a unit holds 1 or 2 filter chunks, got {len(slots)}")
+        for slot in slots:
+            if slot.mask.shape != (self.chunk_size,):
+                raise ValueError(
+                    f"filter chunk width {slot.mask.shape} != {self.chunk_size}"
+                )
+        self.slots = list(slots)
+
+    # -- execution --------------------------------------------------------------
+
+    def process_input_chunk(
+        self, input_mask: np.ndarray, input_values: np.ndarray
+    ) -> ChunkOutcome:
+        """Join the broadcast input chunk against every held filter chunk.
+
+        Walks matches exactly as the hardware does (priority encoder over
+        the AND result, prefix-sum offsets into both value buffers) and
+        accumulates into the partial sum of each slot's output cell.
+        """
+        if not self.slots:
+            raise RuntimeError("no filter chunk loaded")
+        input_mask = np.asarray(input_mask, dtype=bool)
+        input_values = np.asarray(input_values, dtype=np.float64)
+        if input_mask.shape != (self.chunk_size,):
+            raise ValueError(f"input chunk width {input_mask.shape} != {self.chunk_size}")
+        if int(input_mask.sum()) != input_values.size:
+            raise ValueError("input mask/value count mismatch")
+
+        matches = 0
+        for slot in self.slots:
+            acc = self.partials.get(slot.output_id, 0.0)
+            for _pos, off_in, off_f in bitmask.iter_matches(input_mask, slot.mask):
+                acc += input_values[off_in] * slot.values[off_f]
+                matches += 1
+            if slot.output_id not in self.partials:
+                if len(self.partials) >= self.n_accumulators * len(self.slots):
+                    raise RuntimeError(
+                        "accumulator buffer overflow: too many outstanding outputs"
+                    )
+            self.partials[slot.output_id] = acc
+
+        cycles = max(1, matches)
+        self.busy_cycles += cycles
+        self.total_matches += matches
+        return ChunkOutcome(cycles=cycles, matches=matches)
+
+    # -- output -----------------------------------------------------------------
+
+    def drain(self, output_id: int) -> float:
+        """Read out and clear one completed partial sum."""
+        if output_id not in self.partials:
+            raise KeyError(f"no partial sum for output {output_id}")
+        return self.partials.pop(output_id)
+
+    def peek(self, output_id: int) -> float:
+        """Read a partial sum without clearing it (0.0 if untouched)."""
+        return self.partials.get(output_id, 0.0)
+
+    def reset(self) -> None:
+        """Clear held filters, partial sums, and counters."""
+        self.slots = []
+        self.partials = {}
+        self.busy_cycles = 0
+        self.total_matches = 0

@@ -1,0 +1,114 @@
+"""The compute unit's state-machine control (paper Section 3.2).
+
+"For energy efficiency, the compute units employ simple state machine
+control instead of program control." This module models that controller:
+a small Moore machine whose states mirror the unit's pipeline phases and
+whose transition table *is* the legal operation order — loading filters
+mid-join or draining an untouched accumulator is a transition the table
+does not contain, and raises.
+
+:class:`StateMachine` is the generic controller; :data:`CU_CONTROL`
+instantiates the compute unit's control flow:
+
+    IDLE -> FILTER_LOADED -> JOINING -> FILTER_LOADED (next chunk)
+                                     -> DRAINING -> IDLE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Transition", "StateMachine", "cu_control_machine", "CU_STATES"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the controller: (state, event) -> next state."""
+
+    source: str
+    event: str
+    target: str
+
+
+class StateMachine:
+    """A deterministic finite-state controller.
+
+    Args:
+        states: the state set.
+        transitions: the legal edges.
+        initial: starting state.
+
+    Illegal events raise :class:`IllegalTransition` with the offending
+    (state, event) pair -- the software analogue of a control bug the
+    RTL's assertions would catch.
+    """
+
+    def __init__(
+        self,
+        states: tuple[str, ...],
+        transitions: tuple[Transition, ...],
+        initial: str,
+    ):
+        if initial not in states:
+            raise ValueError(f"initial state {initial!r} not in states")
+        table: dict[tuple[str, str], str] = {}
+        for t in transitions:
+            if t.source not in states or t.target not in states:
+                raise ValueError(f"transition {t} references an unknown state")
+            key = (t.source, t.event)
+            if key in table:
+                raise ValueError(f"nondeterministic transition on {key}")
+            table[key] = t.target
+        self.states = states
+        self._table = table
+        self.state = initial
+        self.history: list[str] = [initial]
+
+    def can(self, event: str) -> bool:
+        """Whether *event* is legal in the current state."""
+        return (self.state, event) in self._table
+
+    def fire(self, event: str) -> str:
+        """Take a transition; returns the new state."""
+        try:
+            self.state = self._table[(self.state, event)]
+        except KeyError:
+            raise IllegalTransition(
+                f"event {event!r} is illegal in state {self.state!r}"
+            ) from None
+        self.history.append(self.state)
+        return self.state
+
+    def reset(self, initial: str | None = None) -> None:
+        """Return to the initial (or a given) state, clearing history."""
+        target = initial if initial is not None else self.history[0]
+        if target not in self.states:
+            raise ValueError(f"unknown state {target!r}")
+        self.state = target
+        self.history = [target]
+
+
+class IllegalTransition(RuntimeError):
+    """An operation issued out of the controller's legal order."""
+
+
+#: The compute unit's states.
+CU_STATES = ("IDLE", "FILTER_LOADED", "JOINING", "DRAINING")
+
+_CU_TRANSITIONS = (
+    Transition("IDLE", "load_filter", "FILTER_LOADED"),
+    Transition("FILTER_LOADED", "load_filter", "FILTER_LOADED"),  # swap chunk
+    Transition("FILTER_LOADED", "input_chunk", "JOINING"),
+    Transition("JOINING", "join_done", "FILTER_LOADED"),
+    Transition("FILTER_LOADED", "drain", "DRAINING"),
+    Transition("DRAINING", "drain", "DRAINING"),  # second collocated output
+    Transition("DRAINING", "drained", "IDLE"),
+    Transition("IDLE", "reset", "IDLE"),
+    Transition("FILTER_LOADED", "reset", "IDLE"),
+    Transition("DRAINING", "reset", "IDLE"),
+)
+
+
+def cu_control_machine() -> StateMachine:
+    """A fresh compute-unit controller in its IDLE state."""
+    return StateMachine(states=CU_STATES, transitions=_CU_TRANSITIONS, initial="IDLE")

@@ -1,0 +1,203 @@
+"""The CPU-side driver: orchestrates clusters over a convolutional layer.
+
+Paper Section 3.2: the CPU instructs each compute unit to fetch and hold
+filter chunks, issues input-map chunks which are broadcast to a cluster's
+units, keeps many requests outstanding, and maintains per-cluster output
+memory regions. It slices the output map along X or Y so each cluster
+produces a contiguous sub-tensor, issuing the corresponding input
+sub-tensors and *all* filters to the same cluster (capturing both reuse
+directions).
+
+:class:`Host` is the exact functional model of that orchestration: it runs
+a whole convolution through :class:`~repro.arch.cluster.Cluster` machinery
+(inner joins, barriers, permutation network, collector, output regions)
+and returns numerically exact outputs with full cycle accounting. It is
+O(positions x filters x chunks) in Python, intended for small layers and
+as the golden model the vectorised simulators are tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.cluster import Cluster, ClusterStats
+from repro.nets.synthesis import LayerData
+from repro.tensor.sparsemap import SparseMap, linearize_zfirst
+from repro.tensor.storage import OutputLayout
+
+__all__ = ["Host", "HostStats"]
+
+
+@dataclass
+class HostStats:
+    """Aggregated execution statistics for one layer run.
+
+    Attributes:
+        wall_cycles: layer latency -- the busiest cluster's total cycles
+            (clusters work independently; the layer completes when the
+            last one does).
+        per_cluster: each cluster's accumulated :class:`ClusterStats`.
+        output_region_extensions: watermark extensions across the output
+            regions (allocator pressure, Section 3.1).
+    """
+
+    wall_cycles: int = 0
+    per_cluster: list[ClusterStats] = field(default_factory=list)
+    output_region_extensions: int = 0
+
+    @property
+    def useful_macs(self) -> int:
+        return sum(s.useful_macs for s in self.per_cluster)
+
+    @property
+    def idle_unit_cycles(self) -> int:
+        return sum(s.idle_unit_cycles for s in self.per_cluster)
+
+
+class Host:
+    """Drives a grid of clusters through one convolutional layer."""
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        units_per_cluster: int = 8,
+        chunk_size: int = 16,
+        bisection_width: int = 4,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"need at least one cluster, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.units_per_cluster = units_per_cluster
+        self.chunk_size = chunk_size
+        self.clusters = [
+            Cluster(
+                n_units=units_per_cluster,
+                chunk_size=chunk_size,
+                bisection_width=bisection_width,
+            )
+            for _ in range(n_clusters)
+        ]
+
+    def run_conv(
+        self,
+        data: LayerData,
+        mode: str = "plain",
+        pairing: np.ndarray | None = None,
+        chunk_pairing: np.ndarray | None = None,
+        apply_relu: bool = False,
+        one_sided: bool = False,
+    ) -> tuple[np.ndarray, HostStats]:
+        """Run one convolution; returns dense (out_h, out_w, F) + stats.
+
+        ``mode``/``pairing``/``chunk_pairing`` select the greedy-balancing
+        variant exactly as :meth:`Cluster.matvec` does. The returned
+        output is in *original* filter order regardless of balancing (the
+        cluster/network unshuffle internally).
+        """
+        spec = data.spec
+        rows = [
+            linearize_zfirst(data.filters[f], chunk_size=self.chunk_size)
+            for f in range(spec.n_filters)
+        ]
+        padded = self._pad_input(data.input_map, spec.padding)
+        layout = OutputLayout(
+            height=spec.out_height,
+            width=spec.out_width,
+            channels=spec.n_filters,
+            n_clusters=self.n_clusters,
+            expected_density=min(1.0, spec.input_density),
+            slice_axis="flat",
+        )
+        out = np.zeros((spec.out_height, spec.out_width, spec.n_filters))
+        stats = HostStats(per_cluster=[ClusterStats() for _ in range(self.n_clusters)])
+
+        for oy in range(spec.out_height):
+            for ox in range(spec.out_width):
+                cluster_id = layout.cluster_for_position(ox, oy)
+                window = padded[
+                    oy * spec.stride : oy * spec.stride + spec.kernel,
+                    ox * spec.stride : ox * spec.stride + spec.kernel,
+                    :,
+                ]
+                x = linearize_zfirst(window, chunk_size=self.chunk_size)
+                sparse_out, cstats = self.clusters[cluster_id].matvec(
+                    rows,
+                    x,
+                    mode=mode,
+                    pairing=pairing,
+                    chunk_pairing=chunk_pairing,
+                    apply_relu=apply_relu,
+                    one_sided=one_sided,
+                )
+                out[oy, ox, :] = sparse_out.to_dense()
+                self._merge(stats.per_cluster[cluster_id], cstats)
+                layout.write_cluster_output(cluster_id, sparse_out.nnz)
+
+        stats.wall_cycles = max(
+            (s.total_cycles for s in stats.per_cluster), default=0
+        )
+        stats.output_region_extensions = layout.total_extensions
+        return out, stats
+
+    def run_matvec(
+        self,
+        weights: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        mode: str = "plain",
+        pairing: np.ndarray | None = None,
+        chunk_pairing: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, HostStats]:
+        """The BLAS-like interface: ``C <- A x + y`` on cluster 0.
+
+        *weights* is dense (out, in); *x* dense (in,). Rows become sparse
+        filters, *x* becomes the broadcast vector -- an FC layer, which
+        SparTen handles natively (unlike SCNN's Cartesian product).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        if weights.ndim != 2 or x.ndim != 1 or weights.shape[1] != x.size:
+            raise ValueError(
+                f"incompatible shapes: weights {weights.shape}, x {x.shape}"
+            )
+        rows = [
+            SparseMap.from_dense(weights[r], chunk_size=self.chunk_size)
+            for r in range(weights.shape[0])
+        ]
+        xs = SparseMap.from_dense(x, chunk_size=self.chunk_size)
+        sparse_out, cstats = self.clusters[0].matvec(
+            rows, xs, mode=mode, pairing=pairing, chunk_pairing=chunk_pairing
+        )
+        result = sparse_out.to_dense()
+        if y is not None:
+            y = np.asarray(y, dtype=np.float64)
+            if y.shape != result.shape:
+                raise ValueError(f"y shape {y.shape} != result {result.shape}")
+            result = result + y
+        stats = HostStats(per_cluster=[cstats])
+        stats.wall_cycles = cstats.total_cycles
+        return result, stats
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _pad_input(input_map: np.ndarray, padding: int) -> np.ndarray:
+        if padding == 0:
+            return input_map
+        h, w, c = input_map.shape
+        padded = np.zeros((h + 2 * padding, w + 2 * padding, c), input_map.dtype)
+        padded[padding : padding + h, padding : padding + w] = input_map
+        return padded
+
+    @staticmethod
+    def _merge(into: ClusterStats, update: ClusterStats) -> None:
+        into.total_cycles += update.total_cycles
+        into.useful_macs += update.useful_macs
+        into.busy_unit_cycles += update.busy_unit_cycles
+        into.idle_unit_cycles += update.idle_unit_cycles
+        into.barriers += update.barriers
+        into.permute_cycles += update.permute_cycles
+        into.permute_unhidden_cycles += update.permute_unhidden_cycles
+        into.collector_cycles += update.collector_cycles

@@ -1,0 +1,192 @@
+"""Off-chip traffic accounting and the bandwidth model.
+
+Design goal G1 (avoid transfer of zeros in both maps and filters) shows up
+here: per layer and per scheme this module counts the bytes that cross the
+memory interface, split into zero-value bytes, non-zero-value bytes, and
+sparse-representation overhead (masks + chunk pointers). The totals drive
+the memory-energy component of Figure 13 and the FPGA roofline of
+Figures 15-17 (compute shrinks quadratically with sparsity while traffic
+shrinks only linearly, so the FPGA becomes memory-bound).
+
+Schemes:
+
+- ``dense``:     all three tensors move fully dense.
+- ``one_sided``: feature maps move sparse (values + masks + pointers) but
+  filters move dense (Cnvlutin-style).
+- ``two_sided``: feature maps and filters both move sparse (SparTen, SCNN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nets.layers import ConvLayerSpec
+from repro.tensor.sparsemap import CHUNK_SIZE, padded_length
+
+__all__ = ["Traffic", "layer_traffic", "layer_traffic_detailed", "MemoryInterface"]
+
+_SCHEMES = ("dense", "one_sided", "two_sided")
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """Byte counts for one layer crossing the memory interface.
+
+    ``nonzero_bytes`` are useful value bytes; ``zero_bytes`` are
+    transferred zero values (dense/one-sided only); ``overhead_bytes``
+    are sparse-representation masks and per-chunk pointers.
+    """
+
+    nonzero_bytes: float
+    zero_bytes: float
+    overhead_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.nonzero_bytes + self.zero_bytes + self.overhead_bytes
+
+    def __add__(self, other: "Traffic") -> "Traffic":
+        return Traffic(
+            nonzero_bytes=self.nonzero_bytes + other.nonzero_bytes,
+            zero_bytes=self.zero_bytes + other.zero_bytes,
+            overhead_bytes=self.overhead_bytes + other.overhead_bytes,
+        )
+
+
+def _tensor_traffic(
+    spatial_positions: int,
+    channels: int,
+    density: float,
+    sparse: bool,
+    value_bytes: int,
+    chunk_size: int,
+    pointer_bytes: int,
+) -> Traffic:
+    """Traffic for one tensor moved once."""
+    elements = spatial_positions * channels
+    nonzero = elements * density * value_bytes
+    if not sparse:
+        return Traffic(
+            nonzero_bytes=nonzero,
+            zero_bytes=elements * (1.0 - density) * value_bytes,
+            overhead_bytes=0.0,
+        )
+    padded_c = padded_length(channels, chunk_size)
+    n_chunks = spatial_positions * (padded_c // chunk_size)
+    if density >= 1.0:
+        # A fully dense tensor (the network's input image) has identical
+        # SparseMaps everywhere and contiguous values -- the paper's
+        # "three 1s padded by 125 0s" pattern plus "a pointer to the
+        # dense data" is one descriptor, not a per-position stream.
+        overhead = chunk_size / 8.0 + pointer_bytes
+    else:
+        overhead = n_chunks * (chunk_size / 8.0 + pointer_bytes)
+    return Traffic(nonzero_bytes=nonzero, zero_bytes=0.0, overhead_bytes=overhead)
+
+
+def layer_traffic_detailed(
+    spec: ConvLayerSpec,
+    scheme: str,
+    output_density: float | None = None,
+    value_bytes: int = 1,
+    chunk_size: int = CHUNK_SIZE,
+    pointer_bytes: int = 4,
+) -> tuple[Traffic, Traffic, Traffic]:
+    """Per-tensor traffic (input, filters, output) under *scheme*.
+
+    ``output_density`` defaults to the input density (post-ReLU outputs of
+    one layer are the next layer's inputs; Table 3 gives only input-side
+    numbers, so the same density is the natural estimate).
+    """
+    if scheme not in _SCHEMES:
+        raise ValueError(f"scheme must be one of {_SCHEMES}, got {scheme!r}")
+    out_density = output_density if output_density is not None else spec.input_density
+    if not 0.0 <= out_density <= 1.0:
+        raise ValueError(f"output density {out_density} outside [0, 1]")
+
+    maps_sparse = scheme in ("one_sided", "two_sided")
+    filters_sparse = scheme == "two_sided"
+
+    input_t = _tensor_traffic(
+        spec.in_height * spec.in_width,
+        spec.in_channels,
+        spec.input_density,
+        maps_sparse,
+        value_bytes,
+        chunk_size,
+        pointer_bytes,
+    )
+    filter_t = _tensor_traffic(
+        spec.n_filters * spec.kernel * spec.kernel,
+        spec.in_channels,
+        spec.filter_density,
+        filters_sparse,
+        value_bytes,
+        chunk_size,
+        pointer_bytes,
+    )
+    output_t = _tensor_traffic(
+        spec.out_positions,
+        spec.n_filters,
+        out_density,
+        maps_sparse,
+        value_bytes,
+        chunk_size,
+        pointer_bytes,
+    )
+    return input_t, filter_t, output_t
+
+
+def layer_traffic(
+    spec: ConvLayerSpec,
+    scheme: str,
+    output_density: float | None = None,
+    value_bytes: int = 1,
+    chunk_size: int = CHUNK_SIZE,
+    pointer_bytes: int = 4,
+    input_refetch: int = 1,
+) -> Traffic:
+    """Total memory traffic to run one layer under *scheme*.
+
+    Moves the input map ``input_refetch`` times (re-streaming per filter
+    group when on-chip buffering cannot hold it, as on the FPGA), and the
+    filters and output map once each.
+    """
+    if input_refetch < 1:
+        raise ValueError(f"input_refetch must be >= 1, got {input_refetch}")
+    input_t, filter_t, output_t = layer_traffic_detailed(
+        spec,
+        scheme,
+        output_density=output_density,
+        value_bytes=value_bytes,
+        chunk_size=chunk_size,
+        pointer_bytes=pointer_bytes,
+    )
+    scaled_input = Traffic(
+        nonzero_bytes=input_t.nonzero_bytes * input_refetch,
+        zero_bytes=input_t.zero_bytes * input_refetch,
+        overhead_bytes=input_t.overhead_bytes * input_refetch,
+    )
+    return scaled_input + filter_t + output_t
+
+
+class MemoryInterface:
+    """A bandwidth-limited memory interface (the FPGA's external SDRAM).
+
+    ``bytes_per_cycle`` is the sustained transfer rate relative to the
+    accelerator clock. The roofline bound for a layer is
+    ``cycles = max(compute_cycles, total_bytes / bytes_per_cycle)``.
+    """
+
+    def __init__(self, bytes_per_cycle: float):
+        if bytes_per_cycle <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bytes_per_cycle}")
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def transfer_cycles(self, traffic: Traffic) -> float:
+        """Cycles to move *traffic* at this interface's bandwidth."""
+        return traffic.total_bytes / self.bytes_per_cycle
+
+    def bound_cycles(self, compute_cycles: float, traffic: Traffic) -> float:
+        """Roofline: the max of compute time and transfer time."""
+        return max(compute_cycles, self.transfer_cycles(traffic))

@@ -1,0 +1,142 @@
+"""GB-H's thinned multi-stage permutation network (paper Section 3.3).
+
+GB-H sorts filters per chunk, so each compute unit's two partial sums may
+belong to any output position within the cluster; a multi-stage permutation
+network "unshuffles" them. The key insight the paper exploits is *low
+bandwidth demand*: results move only once per chunk of multiply-adds
+(e.g. 32 values after ~18 MACs), so the network's links and switches are
+"thinned" -- the bisection carries only ``bisection_width`` values per
+cycle (1/8 of full provisioning in the paper) and excess values are
+scheduled into later, vacant cycles.
+
+The model here is a butterfly (omega-style) network with ``log2(n)``
+stages and destination-tag routing. :meth:`route` simulates one
+unshuffle: it computes per-stage link loads for an arbitrary
+source->destination assignment and returns the cycles needed under the
+thinned-bandwidth schedule, plus the values actually delivered (so the
+functional cluster uses the same code path the cycle model does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PermutationNetwork", "RouteResult"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one batch of values through the network.
+
+    Attributes:
+        delivered: values reordered to destination port order.
+        cycles: total cycles for the batch under the bandwidth limit
+            (pipeline latency + serialisation of overloaded links).
+        max_link_load: the most-loaded single link (values), before
+            thinning spreads it over cycles.
+        bisection_values: values that crossed the network bisection.
+    """
+
+    delivered: np.ndarray
+    cycles: int
+    max_link_load: int
+    bisection_values: int
+
+
+class PermutationNetwork:
+    """A thinned butterfly network over ``n_ports`` (a power of two)."""
+
+    def __init__(self, n_ports: int, bisection_width: int = 4):
+        if n_ports < 2 or (n_ports & (n_ports - 1)) != 0:
+            raise ValueError(f"n_ports must be a power of two >= 2, got {n_ports}")
+        if bisection_width < 1:
+            raise ValueError(f"bisection width must be >= 1, got {bisection_width}")
+        self.n_ports = n_ports
+        self.bisection_width = bisection_width
+        self.n_stages = int(np.log2(n_ports))
+
+    @property
+    def full_bisection(self) -> int:
+        """The fully-provisioned bisection (all ports at once)."""
+        return self.n_ports // 2
+
+    @property
+    def thinning_factor(self) -> float:
+        """Provisioned fraction of full bisection bandwidth (paper: 1/8)."""
+        return self.bisection_width / self.full_bisection
+
+    def route(self, destinations: np.ndarray, values: np.ndarray) -> RouteResult:
+        """Route ``values[i]`` from source port ``i`` to ``destinations[i]``.
+
+        Destinations must be a permutation-free multiset of valid ports;
+        multiple sources may target distinct ports only (each destination
+        receives at most one value -- partial-sum unshuffles are
+        one-to-one). Sources with destination ``-1`` send nothing.
+        """
+        destinations = np.asarray(destinations, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if destinations.shape != (self.n_ports,) or values.shape != (self.n_ports,):
+            raise ValueError(
+                f"expected {self.n_ports} destinations and values, got "
+                f"{destinations.shape} and {values.shape}"
+            )
+        active = destinations >= 0
+        dests = destinations[active]
+        if np.any(dests >= self.n_ports):
+            raise ValueError("destination port out of range")
+        if np.unique(dests).size != dests.size:
+            raise ValueError("each destination may receive at most one value")
+
+        # Destination-tag routing: after stage s the value sits at a node
+        # whose top (s+1) address bits equal the destination's. Count the
+        # load on every (stage, node) output link.
+        loads = np.zeros((self.n_stages, self.n_ports), dtype=np.int64)
+        sources = np.flatnonzero(active)
+        for src, dst in zip(sources, destinations[sources]):
+            node = int(src)
+            for stage in range(self.n_stages):
+                bit = self.n_stages - 1 - stage
+                desired = (int(dst) >> bit) & 1
+                node = (node & ~(1 << bit)) | (desired << bit)
+                loads[stage, node] += 1
+
+        max_link_load = int(loads.max(initial=0))
+        # Bisection traffic: values whose source and destination lie in
+        # different halves of the port space.
+        half = self.n_ports // 2
+        bisection = int(np.sum((sources < half) != (destinations[sources] < half)))
+
+        # Thinned schedule: per stage, a link moves `bisection_width`
+        # values per cycle relative to full provisioning; total time is the
+        # pipeline depth plus the serialisation of the worst link.
+        per_cycle = max(1, int(round(self.bisection_width)))
+        serialisation = 0
+        if max_link_load:
+            serialisation = int(np.ceil(max_link_load / per_cycle)) - 1
+        # Also the network injects at most bisection_width values/cycle at
+        # the bisection, so a heavily crossing batch serialises there too.
+        bisection_cycles = 0
+        if bisection:
+            bisection_cycles = int(np.ceil(bisection / self.bisection_width)) - 1
+        cycles = self.n_stages + max(serialisation, bisection_cycles)
+
+        delivered = np.zeros(self.n_ports, dtype=np.float64)
+        delivered[destinations[sources]] = values[sources]
+        return RouteResult(
+            delivered=delivered,
+            cycles=cycles,
+            max_link_load=max_link_load,
+            bisection_values=bisection,
+        )
+
+    def hidden_under(self, compute_cycles: int, destinations: np.ndarray) -> bool:
+        """Whether a route of *destinations* hides under *compute_cycles*.
+
+        Section 3.3: the permutation latency can be hidden under the next
+        chunk's computation; this predicate is what the provisioning
+        ablation sweeps.
+        """
+        values = np.zeros(self.n_ports)
+        return self.route(destinations, values).cycles <= compute_cycles

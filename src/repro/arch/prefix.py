@@ -1,0 +1,103 @@
+"""Circuit models for the inner-join building blocks.
+
+Paper Section 3.1: "prefix sum and priority encoder have well-studied,
+efficient implementations with carry lookahead-like logarithmic delays in
+the SparseMap bit width instead of ripple carry-like linear delays."
+
+These classes model those circuits at the level the reproduction needs:
+functional behaviour (used by the step-wise compute unit) plus delay and
+gate-count estimates (used by the ASIC area/power model of Table 4). The
+prefix sum is modelled after a Ladner-Fischer parallel-prefix adder tree;
+the priority encoder after a lookahead tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+__all__ = ["PrefixSumCircuit", "PriorityEncoderCircuit", "CircuitEstimate"]
+
+
+@dataclass(frozen=True)
+class CircuitEstimate:
+    """Static implementation estimates for one circuit instance."""
+
+    width: int
+    delay_levels: int
+    gate_count: int
+
+
+class PrefixSumCircuit:
+    """Parallel prefix-sum over a *width*-bit mask (Ladner-Fischer style).
+
+    Functionally: exclusive prefix popcounts (the value-buffer offsets of
+    Figure 3). Structurally: ``log2(width)`` levels of compressor nodes,
+    about ``width * log2(width)`` adder cells -- the dominant area/power
+    item of Table 4 (0.418 mm^2, 48 mW of a 0.766 mm^2, 118 mW cluster).
+    """
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+
+    def compute(self, bits: np.ndarray) -> np.ndarray:
+        """Exclusive prefix sums of *bits* (length must equal the width)."""
+        bits = np.asarray(bits).astype(bool)
+        if bits.shape != (self.width,):
+            raise ValueError(f"expected {self.width} bits, got shape {bits.shape}")
+        out = np.zeros(self.width, dtype=np.int64)
+        if self.width > 1:
+            np.cumsum(bits[:-1], out=out[1:])
+        return out
+
+    def inverted_compute(self, bits: np.ndarray) -> np.ndarray:
+        """Exclusive prefix counts of *zeros* -- the collector's shifter input.
+
+        Figure 5's output compaction shifts each non-zero left by the
+        number of zeros before it; this is the prefix sum of the inverted
+        mask.
+        """
+        bits = np.asarray(bits).astype(bool)
+        if bits.shape != (self.width,):
+            raise ValueError(f"expected {self.width} bits, got shape {bits.shape}")
+        return self.compute(~bits)
+
+    def estimate(self) -> CircuitEstimate:
+        """Delay (tree levels) and gate-count estimate."""
+        levels = max(1, ceil(log2(self.width))) if self.width > 1 else 1
+        # Ladner-Fischer uses ~n/2 nodes per level; each node is a small
+        # adder of ~5 gate-equivalents per result bit (up to log2(n) bits).
+        bits_per_node = max(1, ceil(log2(self.width)))
+        gates = int((self.width / 2) * levels * 5 * bits_per_node)
+        return CircuitEstimate(width=self.width, delay_levels=levels, gate_count=gates)
+
+
+class PriorityEncoderCircuit:
+    """Priority encoder over a *width*-bit mask (lookahead tree).
+
+    Functionally: index of the highest-priority set bit (top of Figure 3),
+    -1 when empty. Structurally: a ``log2(width)``-level OR/select tree.
+    """
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+
+    def compute(self, bits: np.ndarray) -> int:
+        """Index of the first set bit, or -1 when no bit is set."""
+        bits = np.asarray(bits).astype(bool)
+        if bits.shape != (self.width,):
+            raise ValueError(f"expected {self.width} bits, got shape {bits.shape}")
+        hits = np.flatnonzero(bits)
+        return int(hits[0]) if hits.size else -1
+
+    def estimate(self) -> CircuitEstimate:
+        levels = max(1, ceil(log2(self.width))) if self.width > 1 else 1
+        # Binary select tree: ~width leaf OR gates plus ~width muxes.
+        gates = int(self.width * 3)
+        return CircuitEstimate(width=self.width, delay_levels=levels, gate_count=gates)

@@ -1,0 +1,121 @@
+"""Dataflow reuse analysis: filter-stationary vs input-stationary traffic.
+
+Section 3.3's pivotal observation: "while input-stationary and
+filter-stationary approaches may seem equivalent in capturing reuse,
+SparTen employs the latter because the filters do not change during
+recognition" -- only the stationary operand can be load-balanced offline.
+
+This module makes the "seem equivalent" part quantitative: given a layer
+and an on-chip buffer budget, it computes the off-chip traffic of both
+dataflows. Each captures one reuse direction for free (the resident
+operand) and must re-stream the other whenever it does not fit on chip:
+
+- filter-stationary (SparTen): filters resident in groups; the input map
+  streams once per resident filter group;
+- input-stationary (SCNN/Eyeriss): input tiles resident; the filters
+  stream once per resident input tile set.
+
+With generous buffering the two converge (the paper's "seem equivalent");
+the asymmetry that decides for filter-stationary is *balanceability*, not
+traffic -- which :mod:`repro.balance` provides and the simulators measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.memory import layer_traffic_detailed
+from repro.nets.layers import ConvLayerSpec
+from repro.tensor.sparsemap import CHUNK_SIZE
+
+__all__ = ["DataflowTraffic", "dataflow_traffic", "compare_dataflows"]
+
+
+@dataclass(frozen=True)
+class DataflowTraffic:
+    """Off-chip traffic of one layer under one dataflow."""
+
+    dataflow: str
+    input_bytes: float
+    filter_bytes: float
+    output_bytes: float
+    input_passes: int
+    filter_passes: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.input_bytes + self.filter_bytes + self.output_bytes
+
+
+def dataflow_traffic(
+    spec: ConvLayerSpec,
+    dataflow: str,
+    sram_bytes: float,
+    scheme: str = "two_sided",
+    chunk_size: int = CHUNK_SIZE,
+) -> DataflowTraffic:
+    """Traffic for *spec* under a dataflow with *sram_bytes* of buffering.
+
+    The resident operand is tiled to fit the budget; the streaming
+    operand is re-fetched once per resident tile (pass). Sparse sizes
+    follow the scheme's representation.
+    """
+    if dataflow not in ("filter_stationary", "input_stationary"):
+        raise ValueError(
+            f"dataflow must be 'filter_stationary' or 'input_stationary', "
+            f"got {dataflow!r}"
+        )
+    if sram_bytes <= 0:
+        raise ValueError(f"sram budget must be positive, got {sram_bytes}")
+    input_t, filter_t, output_t = layer_traffic_detailed(
+        spec, scheme, chunk_size=chunk_size
+    )
+    input_total = input_t.total_bytes
+    filter_total = filter_t.total_bytes
+    output_total = output_t.total_bytes
+
+    if dataflow == "filter_stationary":
+        # Filters resident: passes = ceil(filter bytes / budget); the
+        # input streams once per pass. Filters themselves move once.
+        passes = max(1, int(-(-filter_total // sram_bytes)))
+        return DataflowTraffic(
+            dataflow=dataflow,
+            input_bytes=input_total * passes,
+            filter_bytes=filter_total,
+            output_bytes=output_total,
+            input_passes=passes,
+            filter_passes=1,
+        )
+    passes = max(1, int(-(-input_total // sram_bytes)))
+    return DataflowTraffic(
+        dataflow=dataflow,
+        input_bytes=input_total,
+        filter_bytes=filter_total * passes,
+        output_bytes=output_total,
+        input_passes=1,
+        filter_passes=passes,
+    )
+
+
+def compare_dataflows(
+    spec: ConvLayerSpec,
+    sram_bytes: float,
+    scheme: str = "two_sided",
+    chunk_size: int = CHUNK_SIZE,
+) -> dict:
+    """Both dataflows' traffic at one buffer budget, plus the verdict.
+
+    Returns the two :class:`DataflowTraffic` records and which moves
+    fewer bytes -- typically whichever operand is *larger* should stay
+    resident, and at large budgets they tie (the paper's "seem
+    equivalent").
+    """
+    fs = dataflow_traffic(spec, "filter_stationary", sram_bytes, scheme, chunk_size)
+    is_ = dataflow_traffic(spec, "input_stationary", sram_bytes, scheme, chunk_size)
+    if fs.total_bytes < is_.total_bytes:
+        winner = "filter_stationary"
+    elif is_.total_bytes < fs.total_bytes:
+        winner = "input_stationary"
+    else:
+        winner = "tie"
+    return {"filter_stationary": fs, "input_stationary": is_, "winner": winner}

@@ -1,0 +1,192 @@
+"""A functional SCNN processing element (paper Section 2.1).
+
+The vectorised SCNN simulator (:mod:`repro.sim.scnn`) counts cycles; this
+module executes SCNN's actual dataflow so the comparison rests on a
+machine that demonstrably computes the right numbers -- and so the
+overheads the paper criticises are *visible objects* here:
+
+- the PE holds a sparse input tile (input stationary) and receives the
+  filter's non-zero (weight, position) stream channel by channel;
+- per channel it forms the **Cartesian product** of the tile's non-zero
+  activations with the group's non-zero weights -- every product is
+  unrelated to its neighbours;
+- every product then needs an **address calculation** (output coordinate
+  = input coordinate - weight offset, validity-checked against stride
+  and bounds) and a **crossbar route** to its accumulator bank, exactly
+  the per-product machinery SparTen's one-cell-per-unit design avoids.
+
+:class:`ScnnPE.run_tile` returns the tile's dense output contribution
+(validated against the reference convolution in tests) together with
+counters for products formed, products discarded (out of tile/stride),
+address calculations, and crossbar routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScnnPEStats", "ScnnPE", "run_scnn_functional"]
+
+
+@dataclass
+class ScnnPEStats:
+    """Operation counters for one PE execution."""
+
+    products: int = 0
+    discarded_products: int = 0
+    address_calculations: int = 0
+    crossbar_routes: int = 0
+    accumulator_peak: int = 0
+
+
+class ScnnPE:
+    """One SCNN PE operating on one input tile.
+
+    Args:
+        accumulators: accumulator banks available (the paper's 1K); the
+            peak number of distinct output cells touched is tracked and
+            checked against it.
+    """
+
+    def __init__(self, accumulators: int = 1024):
+        if accumulators < 1:
+            raise ValueError(f"need at least one accumulator, got {accumulators}")
+        self.accumulators = accumulators
+
+    def run_tile(
+        self,
+        tile: np.ndarray,
+        tile_origin: tuple[int, int],
+        filters: np.ndarray,
+        out_shape: tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+    ) -> tuple[dict[tuple[int, int, int], float], ScnnPEStats]:
+        """Execute the Cartesian-product dataflow over one input tile.
+
+        Args:
+            tile: dense (th, tw, C) slice of the input map (zeros kept;
+                the PE stores and iterates only the non-zeros).
+            tile_origin: (y, x) of the tile's top-left in the input map.
+            filters: dense (F, k, k, C) filter bank (again, only the
+                non-zeros stream in).
+            out_shape: (out_h, out_w) of the layer's output.
+            stride / padding: convolution parameters. Non-unit strides
+                still form the full Cartesian product (the paper's
+                criticism); invalid products are discarded after the
+                address calculation.
+
+        Returns a sparse accumulator dict ``{(oy, ox, f): partial}`` --
+        including "halo" outputs whose positions fall outside the tile,
+        which the real SCNN sends to neighbouring PEs -- plus counters.
+        """
+        tile = np.asarray(tile, dtype=np.float64)
+        filters = np.asarray(filters, dtype=np.float64)
+        if tile.ndim != 3 or filters.ndim != 4:
+            raise ValueError(
+                f"expected (th, tw, C) tile and (F, k, k, C) filters, got "
+                f"{tile.shape} and {filters.shape}"
+            )
+        if tile.shape[2] != filters.shape[3]:
+            raise ValueError(
+                f"channel mismatch: tile {tile.shape[2]} vs filters {filters.shape[3]}"
+            )
+        oy0, ox0 = tile_origin
+        out_h, out_w = out_shape
+        stats = ScnnPEStats()
+        accumulators: dict[tuple[int, int, int], float] = {}
+
+        for c in range(tile.shape[2]):
+            # The channel's non-zero activations (input-stationary hold).
+            act_pos = np.argwhere(tile[:, :, c] != 0.0)
+            if act_pos.size == 0:
+                continue
+            # The channel's non-zero weights across the filter group.
+            w_pos = np.argwhere(filters[:, :, :, c] != 0.0)
+            if w_pos.size == 0:
+                continue
+            for ty, tx in act_pos:
+                in_y = oy0 + int(ty)
+                in_x = ox0 + int(tx)
+                activation = tile[ty, tx, c]
+                for f, ky, kx in w_pos:
+                    # The Cartesian product: every activation meets every
+                    # weight -- the product exists before we know whether
+                    # any output wants it.
+                    product = activation * filters[f, ky, kx, c]
+                    stats.products += 1
+                    # The per-product address calculation SparTen avoids:
+                    # output coordinate from input/weight coordinates.
+                    stats.address_calculations += 1
+                    num_y = in_y + padding - int(ky)
+                    num_x = in_x + padding - int(kx)
+                    if num_y % stride or num_x % stride:
+                        stats.discarded_products += 1
+                        continue
+                    oy = num_y // stride
+                    ox = num_x // stride
+                    if not (0 <= oy < out_h and 0 <= ox < out_w):
+                        stats.discarded_products += 1
+                        continue
+                    # The crossbar route to the product's accumulator.
+                    key = (oy, ox, int(f))
+                    stats.crossbar_routes += 1
+                    accumulators[key] = accumulators.get(key, 0.0) + product
+                    stats.accumulator_peak = max(
+                        stats.accumulator_peak, len(accumulators)
+                    )
+        if stats.accumulator_peak > self.accumulators:
+            raise RuntimeError(
+                f"accumulator overflow: tile touched {stats.accumulator_peak} "
+                f"output cells but the PE has {self.accumulators} banks"
+            )
+        return accumulators, stats
+
+
+def run_scnn_functional(
+    input_map: np.ndarray,
+    filters: np.ndarray,
+    tile: int = 4,
+    stride: int = 1,
+    padding: int = 0,
+    accumulators: int = 1024,
+    output_group: int = 8,
+) -> tuple[np.ndarray, ScnnPEStats]:
+    """Convolve a whole layer through tiled SCNN PEs (functional).
+
+    Tiles the input and processes the filters in *output groups* of 8 --
+    exactly SCNN's mechanism for fitting its 1K accumulator banks -- then
+    merges the halo contributions (the inter-PE communication of
+    Section 2.1). Returns the dense output and aggregate counters.
+    """
+    input_map = np.asarray(input_map, dtype=np.float64)
+    filters = np.asarray(filters, dtype=np.float64)
+    h, w, _c = input_map.shape
+    n_filters = filters.shape[0]
+    kernel = filters.shape[1]
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    out = np.zeros((out_h, out_w, n_filters))
+    total = ScnnPEStats()
+    pe = ScnnPE(accumulators=accumulators)
+    for base in range(0, n_filters, output_group):
+        group = filters[base : base + output_group]
+        for ty in range(0, h, tile):
+            for tx in range(0, w, tile):
+                block = input_map[ty : ty + tile, tx : tx + tile, :]
+                acc, stats = pe.run_tile(
+                    block, (ty, tx), group, (out_h, out_w),
+                    stride=stride, padding=padding,
+                )
+                for (oy, ox, f), value in acc.items():
+                    out[oy, ox, base + f] += value
+                total.products += stats.products
+                total.discarded_products += stats.discarded_products
+                total.address_calculations += stats.address_calculations
+                total.crossbar_routes += stats.crossbar_routes
+                total.accumulator_peak = max(
+                    total.accumulator_peak, stats.accumulator_peak
+                )
+    return out, total

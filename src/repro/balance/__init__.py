@@ -1,0 +1,25 @@
+"""Greedy balancing (paper Section 3.3): GB-S and GB-H.
+
+Filters are static during inference, so SparTen balances load *offline*:
+sort a layer's filters by density so each cluster group holds
+similar-density filters, and collocate dense with sparse filters on the
+same compute unit so pair workloads even out.
+
+- :mod:`repro.balance.greedy`    -- plan construction for GB-S (whole-filter
+  granularity) and GB-H (per-chunk granularity).
+- :mod:`repro.balance.unshuffle` -- the static next-layer weight
+  permutation that undoes GB-S's output shuffling.
+- :mod:`repro.balance.metrics`   -- imbalance/utilisation metrics and the
+  Figure 14 density-distribution data.
+"""
+
+from repro.balance.greedy import BalancePlan, gb_s_plan, gb_h_plan, no_gb_plan
+from repro.balance.unshuffle import unshuffle_next_layer_weights
+
+__all__ = [
+    "BalancePlan",
+    "gb_s_plan",
+    "gb_h_plan",
+    "no_gb_plan",
+    "unshuffle_next_layer_weights",
+]

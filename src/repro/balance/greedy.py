@@ -1,0 +1,207 @@
+"""Greedy-balancing plan construction (paper Section 3.3, Figure 6).
+
+A *plan* describes, for one layer, how filters map onto compute units:
+
+- **no-GB**: original filter order, one filter per unit, groups of
+  ``n_units`` filters processed back to back.
+- **GB-S** (software-only): sort the layer's filters by *whole-filter*
+  density so the filters concurrently resident in a cluster are similar
+  in density, then collocate pairs -- the group's densest with its
+  sparsest, second densest with second sparsest, and so on (Figure 6's
+  pairing at whole-filter granularity). The resulting output-channel
+  shuffle is undone statically by rewriting the next layer's weights
+  (:mod:`repro.balance.unshuffle`).
+- **GB-H** (hybrid): same group formation, but the dense/sparse pairing
+  is re-derived *per chunk* from per-chunk filter densities; the partial
+  sums are unshuffled at runtime by the permutation network.
+
+Group size is ``2 * n_units`` filters when collocation is on (each unit
+holds a pair), else ``n_units``. The paper turns collocation off when a
+layer has too few filters for pairing to help; :func:`collocation_helps`
+implements that static check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.sparsemap import padded_length
+
+__all__ = [
+    "BalancePlan",
+    "no_gb_plan",
+    "gb_s_plan",
+    "gb_h_plan",
+    "filter_chunk_densities",
+    "collocation_helps",
+]
+
+
+@dataclass(frozen=True)
+class BalancePlan:
+    """How one layer's filters map onto a cluster's compute units.
+
+    Attributes:
+        variant: ``"no_gb"``, ``"gb_s"`` or ``"gb_h"``.
+        order: filter processing order (permutation of range(F)); for
+            GB variants this is the density sort, and equals the output
+            channel shuffle GB-S must statically undo.
+        pairing: (n_pairs, 2) collocated filter pairs in unit order
+            (-1 second element = unpaired); ``None`` when collocation is
+            off (no-GB).
+        chunk_pairing: (n_chunks, n_pairs, 2) per-chunk pairs for GB-H;
+            ``None`` otherwise.
+        n_units: compute units per cluster the plan was built for.
+    """
+
+    variant: str
+    order: np.ndarray
+    pairing: np.ndarray | None
+    chunk_pairing: np.ndarray | None
+    n_units: int
+
+    @property
+    def collocated(self) -> bool:
+        return self.pairing is not None or self.chunk_pairing is not None
+
+    @property
+    def n_filters(self) -> int:
+        return int(self.order.size)
+
+
+def whole_filter_densities(filter_masks: np.ndarray) -> np.ndarray:
+    """Per-filter density from a boolean (F, ...) mask array."""
+    masks = np.asarray(filter_masks).astype(bool)
+    if masks.ndim < 2:
+        raise ValueError(f"expected (F, ...) masks, got shape {masks.shape}")
+    flat = masks.reshape(masks.shape[0], -1)
+    return flat.mean(axis=1)
+
+
+def filter_chunk_densities(
+    filter_masks: np.ndarray, chunk_size: int = 128
+) -> np.ndarray:
+    """Per-chunk non-zero counts of each filter: (F, n_chunks) ints.
+
+    Filters are linearised Z-first with per-kernel-position channel
+    padding (the storage layout), so chunk ``(ky*k + kx) * cpc + cz``
+    covers channels ``[cz*chunk, ...)`` at kernel position (ky, kx).
+    """
+    masks = np.asarray(filter_masks).astype(bool)
+    if masks.ndim != 4:
+        raise ValueError(f"expected (F, k, k, C) masks, got shape {masks.shape}")
+    n_filters, k1, k2, c = masks.shape
+    padded_c = padded_length(c, chunk_size)
+    cpc = padded_c // chunk_size
+    counts = np.zeros((n_filters, k1 * k2 * cpc), dtype=np.int64)
+    for ky in range(k1):
+        for kx in range(k2):
+            for cz in range(cpc):
+                lo = cz * chunk_size
+                hi = min(lo + chunk_size, c)
+                if lo >= c:
+                    continue
+                chunk = (ky * k2 + kx) * cpc + cz
+                counts[:, chunk] = masks[:, ky, kx, lo:hi].sum(axis=1)
+    return counts
+
+
+def _pair_group(group: np.ndarray, n_units: int) -> np.ndarray:
+    """Pair a density-sorted group: densest with sparsest, inward.
+
+    *group* is filter ids sorted densest-first. Returns (n_units, 2)
+    pairs padded with -1 (idle units / unpaired filters).
+    """
+    pairs = np.full((n_units, 2), -1, dtype=np.int64)
+    m = group.size
+    n_pairs = (m + 1) // 2
+    if n_pairs > n_units:
+        raise ValueError(f"group of {m} filters exceeds 2*{n_units} capacity")
+    for i in range(n_pairs):
+        j = m - 1 - i
+        pairs[i, 0] = group[i]
+        if j > i:
+            pairs[i, 1] = group[j]
+    return pairs
+
+
+def no_gb_plan(filter_masks: np.ndarray, n_units: int) -> BalancePlan:
+    """The baseline: original order, no collocation."""
+    n_filters = np.asarray(filter_masks).shape[0]
+    return BalancePlan(
+        variant="no_gb",
+        order=np.arange(n_filters, dtype=np.int64),
+        pairing=None,
+        chunk_pairing=None,
+        n_units=n_units,
+    )
+
+
+def gb_s_plan(filter_masks: np.ndarray, n_units: int) -> BalancePlan:
+    """GB-S: whole-filter density sort plus whole-filter collocation."""
+    densities = whole_filter_densities(filter_masks)
+    order = np.argsort(-densities, kind="stable").astype(np.int64)
+    group_size = 2 * n_units
+    pair_blocks = []
+    for base in range(0, order.size, group_size):
+        group = order[base : base + group_size]
+        pair_blocks.append(_pair_group(group, n_units))
+    pairing = np.concatenate(pair_blocks, axis=0)
+    # Drop fully idle trailing unit rows so n_pairs reflects actual pairs,
+    # but keep within-group idle rows (they represent idle units).
+    return BalancePlan(
+        variant="gb_s",
+        order=order,
+        pairing=pairing,
+        chunk_pairing=None,
+        n_units=n_units,
+    )
+
+
+def gb_h_plan(
+    filter_masks: np.ndarray, n_units: int, chunk_size: int = 128
+) -> BalancePlan:
+    """GB-H: per-chunk density sort within each 2x group, paired per chunk.
+
+    Group membership follows the whole-filter sort (so groups are
+    density-homogeneous); within each group and for each chunk, filters
+    are re-ranked by that chunk's density and paired densest-with-sparsest
+    (Figure 6(a)'s per-chunk ranks).
+    """
+    densities = whole_filter_densities(filter_masks)
+    order = np.argsort(-densities, kind="stable").astype(np.int64)
+    chunk_counts = filter_chunk_densities(filter_masks, chunk_size=chunk_size)
+    n_chunks = chunk_counts.shape[1]
+    group_size = 2 * n_units
+    blocks = []
+    for base in range(0, order.size, group_size):
+        group = order[base : base + group_size]
+        per_chunk = np.full((n_chunks, n_units, 2), -1, dtype=np.int64)
+        for c in range(n_chunks):
+            ranked = group[np.argsort(-chunk_counts[group, c], kind="stable")]
+            per_chunk[c] = _pair_group(ranked, n_units)
+        blocks.append(per_chunk)
+    chunk_pairing = np.concatenate(blocks, axis=1)
+    return BalancePlan(
+        variant="gb_h",
+        order=order,
+        pairing=None,
+        chunk_pairing=chunk_pairing,
+        n_units=n_units,
+    )
+
+
+def collocation_helps(n_filters: int, n_units: int) -> bool:
+    """Static check: does pairing improve utilisation for this layer?
+
+    With fewer than ``2 * n_units`` filters, pairing leaves compute units
+    entirely idle for the whole (lengthened) pass, which costs more than
+    the imbalance it removes (the paper's GoogLeNet 5x5-reduce case:
+    16 or 48 filters on 32-unit clusters). The paper detects this
+    statically and turns GB off.
+    """
+    if n_filters <= 0 or n_units <= 0:
+        raise ValueError("filter and unit counts must be positive")
+    return n_filters >= 2 * n_units

@@ -1,0 +1,151 @@
+"""Load-imbalance metrics and Figure 14's density-distribution data.
+
+The paper quantifies GB's effect two ways: utilisation (Figure 6's shaded
+vs unshaded cycles; Section 3.3 cites 52%-65% utilisation without
+balancing on ResNet-152 filters) and the per-chunk density distribution
+before/after pairing (Figure 14: AlexNet Layer 2's 384 filters span <10%
+to >40% density; after GB-H the 192 pair densities cluster tightly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.balance.greedy import BalancePlan, filter_chunk_densities
+
+__all__ = [
+    "group_utilization",
+    "plan_utilization",
+    "Figure14Data",
+    "figure14_distribution",
+]
+
+
+def group_utilization(unit_work: np.ndarray) -> float:
+    """Utilisation of one barrier group: mean work over the max work.
+
+    *unit_work* holds each compute unit's work for one broadcast interval
+    (idle units contribute 0). Every unit waits for the slowest, so
+    utilisation is ``sum(work) / (n_units * max(work))``.
+    """
+    work = np.asarray(unit_work, dtype=float)
+    if work.ndim != 1 or work.size == 0:
+        raise ValueError(f"expected a non-empty 1-D work vector, got {work.shape}")
+    peak = work.max()
+    if peak <= 0:
+        return 1.0
+    return float(work.sum() / (work.size * peak))
+
+
+def plan_utilization(
+    plan: BalancePlan, filter_masks: np.ndarray, chunk_size: int = 128
+) -> float:
+    """Expected utilisation of a balance plan, using chunk density as work.
+
+    Walks every (group, chunk) barrier the plan implies, computes each
+    unit's work (its filter's -- or filter pair's -- chunk density), and
+    returns the work-weighted utilisation over the whole layer. This is
+    the density-proxy the paper uses for balancing ("load-balancing based
+    solely on the density of filters is an effective proxy").
+    """
+    counts = filter_chunk_densities(filter_masks, chunk_size=chunk_size)
+    n_filters, n_chunks = counts.shape
+    total_work = 0.0
+    total_slots = 0.0
+    if plan.chunk_pairing is not None:
+        pairing_for_chunk = lambda c: plan.chunk_pairing[c]  # noqa: E731
+        n_pairs = plan.chunk_pairing.shape[1]
+        group_rows = plan.n_units
+    elif plan.pairing is not None:
+        pairing_for_chunk = lambda c: plan.pairing  # noqa: E731
+        n_pairs = plan.pairing.shape[0]
+        group_rows = plan.n_units
+    else:
+        singles = np.stack(
+            [plan.order, np.full_like(plan.order, -1)], axis=1
+        )
+        pairing_for_chunk = lambda c: singles  # noqa: E731
+        n_pairs = singles.shape[0]
+        group_rows = plan.n_units
+
+    for base in range(0, n_pairs, group_rows):
+        for c in range(n_chunks):
+            pairs = pairing_for_chunk(c)[base : base + group_rows]
+            work = np.zeros(group_rows)
+            for u, (fa, fb) in enumerate(pairs[:group_rows]):
+                if fa >= 0:
+                    work[u] += counts[fa, c]
+                if fb >= 0:
+                    work[u] += counts[fb, c]
+            peak = work.max()
+            if peak <= 0:
+                continue
+            total_work += work.sum()
+            total_slots += group_rows * peak
+    if total_slots == 0:
+        return 1.0
+    return float(total_work / total_slots)
+
+
+@dataclass(frozen=True)
+class Figure14Data:
+    """The two curves of Figure 14 for one layer and chunk index.
+
+    ``filter_densities``: per-filter chunk density, sorted ascending (the
+    red curve, 384 points for AlexNet Layer 2).
+    ``pair_densities``: per collocated-pair mean chunk density, sorted
+    ascending (the blue curve, 192 points).
+    """
+
+    chunk_index: int
+    filter_densities: np.ndarray
+    pair_densities: np.ndarray
+
+    @property
+    def filter_spread(self) -> float:
+        return float(self.filter_densities.max() - self.filter_densities.min())
+
+    @property
+    def pair_spread(self) -> float:
+        return float(self.pair_densities.max() - self.pair_densities.min())
+
+
+def figure14_distribution(
+    filter_masks: np.ndarray,
+    plan: BalancePlan,
+    chunk_index: int = 0,
+    chunk_size: int = 128,
+) -> Figure14Data:
+    """Per-chunk density before/after pairing for one chunk index.
+
+    For GB-H the pairing of the given chunk is used; for GB-S the static
+    pairing. Pair density is the mean of the two members (an unpaired
+    filter counts alone), matching Figure 14's per-pair view.
+    """
+    counts = filter_chunk_densities(filter_masks, chunk_size=chunk_size)
+    if not 0 <= chunk_index < counts.shape[1]:
+        raise IndexError(
+            f"chunk {chunk_index} out of range [0, {counts.shape[1]})"
+        )
+    densities = counts[:, chunk_index] / chunk_size
+    if plan.chunk_pairing is not None:
+        pairing = plan.chunk_pairing[chunk_index]
+    elif plan.pairing is not None:
+        pairing = plan.pairing
+    else:
+        raise ValueError("plan has no collocation; Figure 14 needs pairs")
+    pair_vals = []
+    for fa, fb in pairing:
+        if fa < 0:
+            continue
+        if fb >= 0:
+            pair_vals.append((densities[fa] + densities[fb]) / 2.0)
+        else:
+            pair_vals.append(densities[fa])
+    return Figure14Data(
+        chunk_index=chunk_index,
+        filter_densities=np.sort(densities),
+        pair_densities=np.sort(np.asarray(pair_vals)),
+    )

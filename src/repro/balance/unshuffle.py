@@ -1,0 +1,86 @@
+"""Static unshuffling of GB-S's output-channel permutation.
+
+GB-S sorts a layer's filters by density, which permutes the layer's
+output channels. Because the next layer's weights are also static, the
+permutation is undone *once, offline*: the next layer's weights are
+re-indexed along their input-channel axis so the network function is
+bit-identical (paper Section 3.3: "statically 'unshuffles' the next
+layer's weights in software (once for all image inputs)"; the offline
+processing proceeds layer by layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "shuffle_outputs",
+    "unshuffle_next_layer_weights",
+    "plan_network_unshuffles",
+]
+
+
+def shuffle_outputs(output_map: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Apply a GB filter order to an output map's channel axis.
+
+    After GB-S, output channel ``j`` holds the result of original filter
+    ``order[j]``. *output_map* is (..., F); returns the shuffled view.
+    """
+    order = _check_order(order, np.asarray(output_map).shape[-1])
+    return np.asarray(output_map)[..., order]
+
+
+def unshuffle_next_layer_weights(
+    next_weights: np.ndarray, order: np.ndarray
+) -> np.ndarray:
+    """Rewrite the next layer's weights to consume shuffled channels.
+
+    *next_weights* is (F2, k, k, C) with ``C == order.size``. The
+    shuffled feature map's channel ``j`` carries original channel
+    ``order[j]``, so the rewritten weights take their channel-``j`` slice
+    from the original channel ``order[j]``:
+    ``new[..., j] = old[..., order[j]]``. Guarantees
+    ``conv(new_w, shuffled_x) == conv(old_w, x)``.
+    """
+    next_weights = np.asarray(next_weights)
+    if next_weights.ndim != 4:
+        raise ValueError(
+            f"expected (F, k, k, C) weights, got shape {next_weights.shape}"
+        )
+    order = _check_order(order, next_weights.shape[-1])
+    return next_weights[..., order]
+
+
+def plan_network_unshuffles(
+    orders: list[np.ndarray], weight_banks: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Propagate GB-S unshuffling through a whole network, layer by layer.
+
+    ``orders[i]`` is layer i's GB filter order; ``weight_banks[i]`` is
+    layer i's (F, k, k, C) weights. Returns the rewritten banks: layer
+    i's weights are first re-indexed on the *input*-channel axis to undo
+    layer i-1's shuffle, then re-ordered on the *filter* axis per their
+    own plan -- exactly the paper's "unshuffling each layer's weights to
+    match the previous layer and then sorting the layer's filters".
+    """
+    if len(orders) != len(weight_banks):
+        raise ValueError(
+            f"{len(orders)} orders but {len(weight_banks)} weight banks"
+        )
+    rewritten: list[np.ndarray] = []
+    for i, weights in enumerate(weight_banks):
+        weights = np.asarray(weights)
+        if i > 0:
+            weights = unshuffle_next_layer_weights(weights, orders[i - 1])
+        order = _check_order(orders[i], weights.shape[0])
+        rewritten.append(weights[order])
+    return rewritten
+
+
+def _check_order(order: np.ndarray, expected: int) -> np.ndarray:
+    order = np.asarray(order, dtype=np.int64)
+    if order.ndim != 1 or order.size != expected:
+        raise ValueError(f"order must have {expected} entries, got shape {order.shape}")
+    if not np.array_equal(np.sort(order), np.arange(expected)):
+        raise ValueError("order must be a permutation")
+    return order

@@ -1,0 +1,266 @@
+"""Command-line interface: regenerate any experiment from the terminal.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig7 [--exact] [--seed N]
+    python -m repro run headline
+    python -m repro run chunk-sweep --network vggnet --layer Layer7
+
+Every experiment of DESIGN.md's index is addressable by a short id; the
+rendered rows print to stdout (the same text the benchmark harness writes
+to ``benchmarks/output/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.eval import experiments as exp
+from repro.eval import reporting as rep
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _net(args: argparse.Namespace):
+    return exp.network_by_name(args.network)
+
+
+def _speedup_output(fig, title, args):
+    if args.plot:
+        from repro.eval.figures import plot_speedup_figure
+
+        return plot_speedup_figure(fig, title)
+    return rep.render_speedups(fig, title)
+
+
+def _run_fig7(args):
+    fig = exp.speedup_figure(
+        exp.network_by_name("alexnet"), fast=args.fast, seed=args.seed
+    )
+    return _speedup_output(fig, "Figure 7: AlexNet speedup", args)
+
+
+def _run_fig8(args):
+    fig = exp.speedup_figure(
+        exp.network_by_name("googlenet"), fast=args.fast, seed=args.seed
+    )
+    return _speedup_output(fig, "Figure 8: GoogLeNet speedup", args)
+
+
+def _run_fig9(args):
+    fig = exp.speedup_figure(
+        exp.network_by_name("vggnet"), fast=args.fast, seed=args.seed
+    )
+    return _speedup_output(fig, "Figure 9: VGGNet speedup", args)
+
+
+def _run_breakdown(args):
+    fig = exp.breakdown_figure(_net(args), fast=args.fast, seed=args.seed)
+    title = f"Execution-time breakdown: {args.network}"
+    if args.plot:
+        from repro.eval.figures import plot_breakdown_figure
+
+        return plot_breakdown_figure(fig, title)
+    return rep.render_breakdown(fig, title)
+
+
+def _run_fig13(args):
+    return rep.render_energy(exp.energy_figure(fast=args.fast, seed=args.seed))
+
+
+def _run_fig14(args):
+    return rep.render_gb_impact(exp.gb_impact_figure(seed=args.seed))
+
+
+def _run_fpga(args):
+    fig = exp.fpga_figure(_net(args), fast=args.fast, seed=args.seed)
+    return _speedup_output(fig, f"FPGA speedup: {args.network}", args)
+
+
+def _run_table1(args):
+    return rep.render_design_goals(exp.design_goals_table())
+
+
+def _run_table4(args):
+    return rep.render_asic_table(exp.asic_table())
+
+
+def _run_headline(args):
+    return rep.render_headline(exp.headline_means(fast=args.fast, seed=args.seed))
+
+
+def _run_generality(args):
+    return rep.render_generality(exp.generality_figure(fast=args.fast, seed=args.seed))
+
+
+def _run_chunk_sweep(args):
+    return rep.render_chunk_sweep(
+        exp.chunk_size_sweep(
+            layer_name=args.layer, network=_net(args), fast=args.fast, seed=args.seed
+        )
+    )
+
+
+def _run_dynamic(args):
+    return rep.render_dynamic_dispatch(
+        exp.dynamic_dispatch_ablation(
+            layer_name=args.layer, network=_net(args), fast=args.fast, seed=args.seed
+        )
+    )
+
+
+def _run_dataflows(args):
+    return rep.render_dataflows(
+        exp.dataflow_figure(layer_name=args.layer, network=_net(args))
+    )
+
+
+def _run_coarse(args):
+    return rep.render_coarse_pruning(
+        exp.coarse_pruning_table(layer_name=args.layer, network=_net(args), seed=args.seed)
+    )
+
+
+def _run_hpc(args):
+    return rep.render_hpc_representation(exp.hpc_representation_figure(seed=args.seed))
+
+
+def _run_double_buffer(args):
+    return rep.render_double_buffer(
+        exp.double_buffer_figure(
+            layer_name=args.layer, network=_net(args), fast=args.fast, seed=args.seed
+        )
+    )
+
+
+def _run_rle(args):
+    return rep.render_rle_waste(exp.rle_compute_waste_figure(seed=args.seed))
+
+
+def _run_proxy_oracle(args):
+    return rep.render_proxy_oracle(
+        exp.proxy_oracle_figure(
+            layer_name=args.layer, network=_net(args), fast=args.fast, seed=args.seed
+        )
+    )
+
+
+def _run_density(args):
+    return rep.render_density_sensitivity(
+        exp.density_sensitivity_figure(fast=args.fast, seed=args.seed)
+    )
+
+
+def _run_model_storage(args):
+    rows = exp.model_storage_figure(seed=args.seed)
+    lines = ["Whole-model storage: dense vs SparTen representation"]
+    for net, row in rows.items():
+        lines.append(
+            f"{net:10s} dense={row['dense_bytes'] / 1e6:7.2f} MB  "
+            f"sparse={row['sparse_bytes'] / 1e6:7.2f} MB  "
+            f"reduction={row['reduction']:.2f}x "
+            f"(weights {row['filter_reduction']:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def _run_profile(args):
+    from repro.eval.characterize import characterize_layer, render_profile
+    from repro.sim.config import config_for
+
+    net = _net(args)
+    spec = net.layer(args.layer)
+    cfg = config_for(net)
+    if args.fast:
+        cfg = cfg.with_sampling(200, batch=1)
+    return render_profile(characterize_layer(spec, cfg, seed=args.seed))
+
+
+def _run_scaling(args):
+    from repro.sim.sweeps import machine_scaling_sweep, render_scaling
+
+    spec = _net(args).layer(args.layer)
+    sweep = machine_scaling_sweep(spec, seed=args.seed)
+    return render_scaling(sweep, spec.name)
+
+
+#: experiment id -> (runner, description).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig7": (_run_fig7, "AlexNet speedup over Dense (Figure 7)"),
+    "fig8": (_run_fig8, "GoogLeNet speedup over Dense (Figure 8)"),
+    "fig9": (_run_fig9, "VGGNet speedup over Dense (Figure 9)"),
+    "breakdown": (_run_breakdown, "Execution-time breakdown (Figures 10-12)"),
+    "fig13": (_run_fig13, "Energy with zero/non-zero splits (Figure 13)"),
+    "fig14": (_run_fig14, "Greedy-balancing density impact (Figure 14)"),
+    "fpga": (_run_fpga, "FPGA roofline speedups (Figures 15-17)"),
+    "table1": (_run_table1, "Design-goal matrix (Table 1)"),
+    "table4": (_run_table4, "ASIC area/power (Table 4)"),
+    "headline": (_run_headline, "The abstract's headline means"),
+    "generality": (_run_generality, "ResNet/MLP/LSTM generality table"),
+    "chunk-sweep": (_run_chunk_sweep, "Chunk-size ablation"),
+    "dynamic": (_run_dynamic, "GB vs idealised dynamic dispatch"),
+    "dataflows": (_run_dataflows, "Filter- vs input-stationary traffic"),
+    "coarse-pruning": (_run_coarse, "Fine vs coarse pruning energy"),
+    "hpc": (_run_hpc, "Representation verdicts on HPC structures"),
+    "double-buffer": (_run_double_buffer, "Memory-latency hiding trace"),
+    "rle-waste": (_run_rle, "EIE-style RLE redundant compute"),
+    "profile": (_run_profile, "Workload sparsity profile + speedup bounds"),
+    "scaling": (_run_scaling, "Machine-size scaling study"),
+    "model-storage": (_run_model_storage, "Whole-model 2-3x storage claim"),
+    "proxy-oracle": (_run_proxy_oracle, "Density proxy vs measured-work oracle"),
+    "density": (_run_density, "Speedup vs density sensitivity curve"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparTen reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a consolidated report"
+    )
+    report.add_argument("-o", "--output", default="REPORT.md",
+                        help="output path (default REPORT.md)")
+    report.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    run = sub.add_parser("run", help="run one experiment and print its rows")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--exact", action="store_true",
+                     help="full-resolution simulation (slow)")
+    run.add_argument("--seed", type=int, default=0, help="workload seed")
+    run.add_argument("--network", default="alexnet",
+                     help="network for per-network experiments")
+    run.add_argument("--layer", default="Layer2",
+                     help="layer for per-layer ablations")
+    run.add_argument("--plot", action="store_true",
+                     help="draw ASCII bars instead of tables (figures only)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_fn, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "report":
+        from repro.eval.report import generate_report
+
+        generate_report(path=args.output, seed=args.seed)
+        return 0
+    args.fast = not args.exact
+    runner, _ = EXPERIMENTS[args.experiment]
+    try:
+        print(runner(args))
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped to `head`): not an error.
+        return 0
+    return 0

@@ -1,0 +1,18 @@
+"""Public API: the SparTen accelerator facade, comparisons, pipelines.
+
+- :class:`repro.core.accelerator.SparTenAccelerator` -- the BLAS-like
+  interface of Section 3.2 (``matvec``, ``matmul``, ``conv2d``, ``fc``)
+  with numeric results plus cycle/energy reports.
+- :func:`repro.core.compare.compare_architectures` -- run any subset of
+  the paper's eight schemes on a layer and get normalised speedups and
+  execution-time breakdowns.
+- :class:`repro.core.pipeline.NetworkPipeline` -- whole-network sparse
+  inference with ReLU-induced sparsity and GB-S's offline layer-by-layer
+  weight unshuffling.
+"""
+
+from repro.core.accelerator import SparTenAccelerator
+from repro.core.compare import ArchitectureComparison, compare_architectures
+from repro.core.pipeline import NetworkPipeline
+
+__all__ = ["SparTenAccelerator", "ArchitectureComparison", "compare_architectures", "NetworkPipeline"]

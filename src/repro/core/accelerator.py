@@ -1,0 +1,314 @@
+"""The SparTen accelerator facade: the paper's BLAS-like interface.
+
+Section 3.2: "The accelerator exposes BLAS-like interfaces for
+matrix-vector (C <- Ax + y) and matrix-matrix multiplications ... all
+tensors are linearized on-the-fly into vectors". This class is that
+interface: numerically exact sparse operations with cycle accounting.
+
+Two engines:
+
+- ``"fast"`` (default): values via the vectorised path (mathematically
+  identical to the chunk-level inner join -- zero operands contribute
+  nothing), cycles via the vectorised simulator. Handles real layer
+  sizes.
+- ``"functional"``: every multiply goes through the step-wise
+  ComputeUnit/Cluster/Collector machinery (priority encoder, prefix sums,
+  permutation network). Exact but slow; meant for small shapes and
+  validation.
+
+SparTen is stride-agnostic and handles non-convolutional layers (the
+generality SCNN lacks): :meth:`conv2d` takes any stride, :meth:`fc` and
+:meth:`matvec` cover fully-connected / HPC-style sparse algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.host import Host
+from repro.nets.layers import ConvLayerSpec, FCLayerSpec
+from repro.nets.reference import conv2d_reference, relu as relu_fn
+from repro.nets.synthesis import LayerData
+from repro.sim.config import HardwareConfig, LARGE_CONFIG
+from repro.sim.energy import EnergyBreakdown, layer_energy
+from repro.sim.results import LayerResult
+from repro.sim.sparten import simulate_sparten
+
+__all__ = ["SparTenAccelerator", "OperationReport", "QuickEstimate", "estimate_layer"]
+
+_VARIANTS = ("no_gb", "gb_s", "gb_h")
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """Cycle and energy accounting for one accelerator operation."""
+
+    result: LayerResult
+    energy: EnergyBreakdown
+
+    @property
+    def cycles(self) -> float:
+        return self.result.cycles
+
+    @property
+    def useful_macs(self) -> float:
+        return self.result.breakdown.nonzero_macs
+
+
+class SparTenAccelerator:
+    """A SparTen machine instance.
+
+    Args:
+        config: hardware configuration (Table 2 sizes or custom).
+        variant: greedy-balancing variant used by operations
+            (``"no_gb"``, ``"gb_s"``, ``"gb_h"``).
+        engine: ``"fast"`` or ``"functional"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig = LARGE_CONFIG,
+        variant: str = "gb_h",
+        engine: str = "fast",
+    ):
+        if variant not in _VARIANTS:
+            raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+        if engine not in ("fast", "functional"):
+            raise ValueError(f"engine must be 'fast' or 'functional', got {engine!r}")
+        self.config = config
+        self.variant = variant
+        self.engine = engine
+
+    # -- convolution ----------------------------------------------------------
+
+    def conv2d(
+        self,
+        input_map: np.ndarray,
+        filters: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        apply_relu: bool = False,
+    ) -> tuple[np.ndarray, OperationReport]:
+        """Sparse convolution of any stride: (H, W, C) x (F, k, k, C).
+
+        Returns the dense (out_h, out_w, F) output and an
+        :class:`OperationReport` with cycles (measured on this exact
+        data, not the spec's nominal densities) and energy.
+        """
+        data = self._layer_data(input_map, filters, stride, padding, name="conv2d")
+        if self.engine == "functional":
+            out, _host_stats = self._functional_host().run_conv(
+                data, **self._functional_mode(data)
+            )
+        else:
+            out = conv2d_reference(input_map, filters, stride=stride, padding=padding)
+        if apply_relu:
+            out = relu_fn(out)
+        report = self._report(data)
+        return out, report
+
+    def fc(
+        self, weights: np.ndarray, x: np.ndarray, y: np.ndarray | None = None
+    ) -> tuple[np.ndarray, OperationReport]:
+        """Fully-connected layer: ``weights (out, in) @ x (in,) [+ y]``.
+
+        The non-convolutional case SCNN's Cartesian product cannot
+        express; SparTen treats it as one dot product per output.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        if weights.ndim != 2 or x.ndim != 1 or weights.shape[1] != x.size:
+            raise ValueError(
+                f"incompatible shapes: weights {weights.shape}, x {x.shape}"
+            )
+        data = self._layer_data(
+            x.reshape(1, 1, -1),
+            weights.reshape(weights.shape[0], 1, 1, weights.shape[1]),
+            stride=1,
+            padding=0,
+            name="fc",
+        )
+        if self.engine == "functional":
+            out, _stats = self._functional_host().run_matvec(
+                weights, x, y=None, **self._functional_mode(data)
+            )
+        else:
+            out = weights @ x
+        if y is not None:
+            y = np.asarray(y, dtype=np.float64)
+            if y.shape != out.shape:
+                raise ValueError(f"y shape {y.shape} != output {out.shape}")
+            out = out + y
+        return out, self._report(data)
+
+    # -- BLAS-like interface ------------------------------------------------------
+
+    def matvec(
+        self, a: np.ndarray, x: np.ndarray, y: np.ndarray | None = None
+    ) -> tuple[np.ndarray, OperationReport]:
+        """``C <- A x + y`` -- the paper's matrix-vector interface."""
+        return self.fc(a, x, y=y)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, OperationReport]:
+        """``C <- A x B`` as a sequence of matrix-vector products.
+
+        The interface "allows for incremental construction of vectors";
+        each column of *b* is one broadcast vector, so cycle costs add.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes: {a.shape} x {b.shape}")
+        out = np.zeros((a.shape[0], b.shape[1]))
+        total_report: OperationReport | None = None
+        for col in range(b.shape[1]):
+            out[:, col], report = self.matvec(a, b[:, col])
+            total_report = report if total_report is None else _merge_reports(
+                total_report, report
+            )
+        assert total_report is not None
+        return out, total_report
+
+    # -- simulation-only entry points ----------------------------------------------
+
+    def run_layer(self, spec: ConvLayerSpec | FCLayerSpec, seed: int = 0) -> LayerResult:
+        """Simulate a benchmark layer spec (synthetic workload at its densities)."""
+        if isinstance(spec, FCLayerSpec):
+            spec = spec.as_conv()
+        return simulate_sparten(spec, self.config, variant=self.variant, seed=seed)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _layer_data(
+        self,
+        input_map: np.ndarray,
+        filters: np.ndarray,
+        stride: int,
+        padding: int,
+        name: str,
+    ) -> LayerData:
+        input_map = np.asarray(input_map, dtype=np.float64)
+        filters = np.asarray(filters, dtype=np.float64)
+        if input_map.ndim != 3 or filters.ndim != 4:
+            raise ValueError(
+                f"expected (H, W, C) and (F, k, k, C); got {input_map.shape} "
+                f"and {filters.shape}"
+            )
+        h, w, c = input_map.shape
+        n_filters, k1, k2, fc = filters.shape
+        if k1 != k2:
+            raise ValueError(f"square kernels only, got {k1}x{k2}")
+        if fc != c:
+            raise ValueError(f"channel mismatch: input {c}, filters {fc}")
+        spec = ConvLayerSpec(
+            name=name,
+            in_height=h,
+            in_width=w,
+            in_channels=c,
+            kernel=k1,
+            n_filters=n_filters,
+            stride=stride,
+            padding=padding,
+            input_density=float(np.count_nonzero(input_map)) / input_map.size,
+            filter_density=float(np.count_nonzero(filters)) / filters.size,
+        )
+        return LayerData(spec=spec, input_map=input_map, filters=filters)
+
+    def _functional_host(self) -> Host:
+        return Host(
+            n_clusters=self.config.n_clusters,
+            units_per_cluster=self.config.units_per_cluster,
+            chunk_size=self.config.chunk_size,
+            bisection_width=self.config.bisection_width,
+        )
+
+    def _functional_mode(self, data: LayerData) -> dict:
+        """Mode/pairing kwargs for the functional Host per the GB variant."""
+        from repro.balance.greedy import gb_h_plan, gb_s_plan
+
+        if self.variant == "no_gb":
+            return {"mode": "plain"}
+        if self.variant == "gb_s":
+            plan = gb_s_plan(data.filter_masks, self.config.units_per_cluster)
+            return {"mode": "paired", "pairing": plan.pairing}
+        plan = gb_h_plan(
+            data.filter_masks,
+            self.config.units_per_cluster,
+            chunk_size=self.config.chunk_size,
+        )
+        return {"mode": "chunk_paired", "chunk_pairing": plan.chunk_pairing}
+
+    def _report(self, data: LayerData) -> OperationReport:
+        result = simulate_sparten(
+            data.spec, self.config, variant=self.variant, data=data
+        )
+        energy = layer_energy(result, data.spec, chunk_size=self.config.chunk_size)
+        return OperationReport(result=result, energy=energy)
+
+
+def _merge_reports(a: OperationReport, b: OperationReport) -> OperationReport:
+    """Accumulate two operation reports (cycles and energy add)."""
+    from dataclasses import replace
+
+    merged_result = replace(
+        a.result,
+        cycles=a.result.cycles + b.result.cycles,
+        compute_cycles=a.result.compute_cycles + b.result.compute_cycles,
+        breakdown=a.result.breakdown + b.result.breakdown,
+        traffic=a.result.traffic + b.result.traffic,
+    )
+    return OperationReport(result=merged_result, energy=a.energy + b.energy)
+
+
+@dataclass(frozen=True)
+class QuickEstimate:
+    """An analytical (no-simulation) performance estimate for one layer.
+
+    ``cycles`` assumes the machine sustains ``assumed_efficiency`` of the
+    two-sided density ceiling -- the 60-70% band the workload profiles
+    measure across Table 3 (see ``repro.eval.characterize``). Use for
+    capacity planning; use :meth:`SparTenAccelerator.run_layer` for
+    measured numbers.
+    """
+
+    layer_name: str
+    dense_macs: int
+    expected_useful_macs: float
+    ceiling_speedup: float
+    estimated_speedup: float
+    estimated_cycles: float
+    assumed_efficiency: float
+
+
+def estimate_layer(
+    spec: ConvLayerSpec | FCLayerSpec,
+    config: HardwareConfig = LARGE_CONFIG,
+    assumed_efficiency: float = 0.65,
+) -> QuickEstimate:
+    """Back-of-envelope SparTen estimate from densities alone.
+
+    The two-sided ceiling is ``1 / (input_density x filter_density)``;
+    the estimate applies the typical measured sparse efficiency on top.
+    Instant -- no workload synthesis, no simulation.
+    """
+    if not 0.0 < assumed_efficiency <= 1.0:
+        raise ValueError(
+            f"efficiency must be in (0, 1], got {assumed_efficiency}"
+        )
+    if isinstance(spec, FCLayerSpec):
+        spec = spec.as_conv()
+    density_product = max(1e-9, spec.input_density * spec.filter_density)
+    ceiling = 1.0 / density_product
+    estimated_speedup = max(1e-9, ceiling * assumed_efficiency)
+    dense_cycles = spec.dense_macs / config.total_macs
+    return QuickEstimate(
+        layer_name=spec.name,
+        dense_macs=spec.dense_macs,
+        expected_useful_macs=spec.expected_sparse_macs,
+        ceiling_speedup=ceiling,
+        estimated_speedup=estimated_speedup,
+        estimated_cycles=dense_cycles / estimated_speedup,
+        assumed_efficiency=assumed_efficiency,
+    )

@@ -1,0 +1,175 @@
+"""Architecture comparison: the paper's eight schemes on one workload.
+
+Figures 7-12 compare Dense, One-sided, SparTen-no-GB, SparTen-GB-S,
+SparTen (GB-H), SCNN, SCNN-one-sided and SCNN-dense. This module runs any
+subset of those on a layer or network, sharing the expensive mask work
+across schemes, and returns normalised speedups plus the execution-time
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.models import NetworkSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig, LARGE_CONFIG, config_for
+from repro.sim.dense import simulate_dense
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.results import LayerResult, geomean
+from repro.sim.scnn import simulate_scnn
+from repro.sim.sparten import simulate_sparten
+
+__all__ = ["ALL_SCHEMES", "ArchitectureComparison", "compare_architectures"]
+
+#: Every scheme of Figures 7-9, in the paper's plotting order.
+ALL_SCHEMES = (
+    "dense",
+    "one_sided",
+    "sparten_no_gb",
+    "sparten_gb_s",
+    "sparten",
+    "scnn",
+    "scnn_one_sided",
+    "scnn_dense",
+)
+
+
+@dataclass
+class ArchitectureComparison:
+    """Results of one comparison run.
+
+    ``results[scheme][layer_name]`` holds the :class:`LayerResult`;
+    speedups are relative to the ``dense`` scheme (present whenever any
+    speedup is requested).
+    """
+
+    schemes: tuple[str, ...]
+    layer_names: tuple[str, ...]
+    results: dict[str, dict[str, LayerResult]] = field(default_factory=dict)
+
+    def speedup(self, scheme: str, layer_name: str) -> float:
+        """Speedup of *scheme* over dense on one layer."""
+        return self.results["dense"][layer_name].cycles / self.results[scheme][
+            layer_name
+        ].cycles
+
+    def geomean_speedup(self, scheme: str, exclude: tuple[str, ...] = ()) -> float:
+        """Geometric-mean speedup over dense across layers."""
+        values = [
+            self.speedup(scheme, name)
+            for name in self.layer_names
+            if name not in exclude
+        ]
+        return geomean(values)
+
+    def breakdown_fractions(self, scheme: str, layer_name: str) -> dict[str, float]:
+        """The Figure 10-12 stacked bar: components / dense total.
+
+        Components are MAC-cycles normalised by the dense architecture's
+        total MAC-cycles for the same layer, so dense's bar sums to 1.
+        """
+        dense_total = self.results["dense"][layer_name].breakdown.total
+        b = self.results[scheme][layer_name].breakdown
+        return {
+            "nonzero": b.nonzero_macs / dense_total,
+            "zero": b.zero_macs / dense_total,
+            "intra_loss": b.intra_loss / dense_total,
+            "inter_loss": b.inter_loss / dense_total,
+        }
+
+
+def compare_architectures(
+    target: ConvLayerSpec | NetworkSpec,
+    schemes: tuple[str, ...] = ALL_SCHEMES,
+    cfg: HardwareConfig | None = None,
+    seed: int = 0,
+) -> ArchitectureComparison:
+    """Run *schemes* on a layer or whole network.
+
+    For a :class:`NetworkSpec` the paper's configuration for that network
+    is used unless *cfg* overrides it. One workload per (layer, batch
+    image) is synthesised once and shared across every scheme, so the
+    comparison isolates architecture differences exactly as the paper's
+    methodology requires.
+    """
+    unknown = set(schemes) - set(ALL_SCHEMES)
+    if unknown:
+        raise ValueError(f"unknown schemes: {sorted(unknown)}")
+    if isinstance(target, NetworkSpec):
+        layers = target.layers
+        cfg = cfg if cfg is not None else config_for(target)
+    else:
+        layers = (target,)
+        cfg = cfg if cfg is not None else LARGE_CONFIG
+
+    run_schemes = tuple(dict.fromkeys(("dense", *schemes)))
+    if any(s.startswith("scnn") for s in run_schemes):
+        if cfg.scnn_total_macs != cfg.total_macs:
+            import warnings
+
+            warnings.warn(
+                f"resource parity violated: SCNN has {cfg.scnn_total_macs} MACs "
+                f"but SparTen/Dense have {cfg.total_macs}; cross-architecture "
+                "speedups are not apples-to-apples (the paper's Table 2 keeps "
+                "them equal)",
+                stacklevel=2,
+            )
+    comparison = ArchitectureComparison(
+        schemes=run_schemes,
+        layer_names=tuple(layer.name for layer in layers),
+        results={s: {} for s in run_schemes},
+    )
+    needs_counts = any(s.startswith("sparten") for s in run_schemes)
+    for spec in layers:
+        # Synthesise the batch once; accumulate per scheme.
+        for image in range(cfg.batch):
+            data = synthesize_layer(spec, seed=seed + image)
+            work = compute_chunk_work(data, cfg, need_counts=needs_counts)
+            for scheme in run_schemes:
+                result = _run_scheme(scheme, spec, cfg, data, work, seed + image)
+                prior = comparison.results[scheme].get(spec.name)
+                comparison.results[scheme][spec.name] = (
+                    result if prior is None else _accumulate(prior, result)
+                )
+    return comparison
+
+
+def _run_scheme(
+    scheme: str,
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    data,
+    work,
+    seed: int,
+) -> LayerResult:
+    if scheme == "dense":
+        return simulate_dense(spec, cfg, data=data, work=work)
+    if scheme == "one_sided":
+        return simulate_sparten(spec, cfg, sided="one", data=data, work=work)
+    if scheme == "sparten_no_gb":
+        return simulate_sparten(spec, cfg, variant="no_gb", data=data, work=work)
+    if scheme == "sparten_gb_s":
+        return simulate_sparten(spec, cfg, variant="gb_s", data=data, work=work)
+    if scheme == "sparten":
+        return simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
+    if scheme == "scnn":
+        return simulate_scnn(spec, cfg, variant="two", data=data)
+    if scheme == "scnn_one_sided":
+        return simulate_scnn(spec, cfg, variant="one", data=data)
+    if scheme == "scnn_dense":
+        return simulate_scnn(spec, cfg, variant="dense", data=data)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def _accumulate(a: LayerResult, b: LayerResult) -> LayerResult:
+    """Accumulate batch images: cycles and breakdowns add."""
+    from dataclasses import replace
+
+    return replace(
+        a,
+        cycles=a.cycles + b.cycles,
+        compute_cycles=a.compute_cycles + b.compute_cycles,
+        breakdown=a.breakdown + b.breakdown,
+    )

@@ -1,0 +1,34 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+- :mod:`repro.eval.experiments` -- one runner per experiment (Figures
+  7-17, Tables 1 and 4, the headline means, and the ablations DESIGN.md
+  calls out).
+- :mod:`repro.eval.reporting`   -- text rendering of the results in the
+  paper's row/series format.
+
+Each runner takes a ``fast`` flag: ``fast=True`` (default) uses position
+sampling and batch 1 for quick regeneration; ``fast=False`` runs the
+exact full-batch simulation.
+"""
+
+from repro.eval.experiments import (
+    speedup_figure,
+    breakdown_figure,
+    energy_figure,
+    gb_impact_figure,
+    fpga_figure,
+    asic_table,
+    design_goals_table,
+    headline_means,
+)
+
+__all__ = [
+    "speedup_figure",
+    "breakdown_figure",
+    "energy_figure",
+    "gb_impact_figure",
+    "fpga_figure",
+    "asic_table",
+    "design_goals_table",
+    "headline_means",
+]

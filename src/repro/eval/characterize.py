@@ -1,0 +1,149 @@
+"""Workload characterisation: sparsity structure and speedup bounds.
+
+Section 5.1 notes that "improvements closely track the per-benchmark
+density listed in Table 3". This module makes that tracking explicit for
+any workload: measured densities, per-chunk work statistics, the
+*analytical* speedup bounds the densities imply, and how much of that
+bound each scheme's losses consume.
+
+Bounds (vs an ideal dense machine of equal MACs):
+
+- one-sided ceiling:  ``1 / input_density``  (skip zero activations)
+- two-sided ceiling:  ``1 / (input_density x filter_density)``
+  (the quadratic compute reduction of Section 2)
+
+The achieved/ceiling ratio is the *sparse efficiency* -- what the
+microarchitecture (barriers, imbalance, padding, min-cycle floors)
+delivers of what the data offers. GB exists to push that ratio up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.dense import simulate_dense
+from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.sparten import simulate_sparten
+
+__all__ = ["WorkloadProfile", "characterize_layer", "characterize_network", "render_profile"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Sparsity structure and bound accounting for one layer workload."""
+
+    layer_name: str
+    measured_input_density: float
+    measured_filter_density: float
+    match_fraction: float  # useful MACs / dense MACs, measured
+    chunk_work_mean: float
+    chunk_work_p95: float
+    chunk_work_max: float
+    one_sided_ceiling: float
+    two_sided_ceiling: float
+    achieved_speedup: float
+    sparse_efficiency: float
+
+    @property
+    def imbalance_indicator(self) -> float:
+        """p95 / mean per-chunk work: >1.5 signals balancing headroom."""
+        if self.chunk_work_mean == 0:
+            return 1.0
+        return self.chunk_work_p95 / self.chunk_work_mean
+
+
+def characterize_layer(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    data: LayerData | None = None,
+    work: ChunkWork | None = None,
+    variant: str = "gb_h",
+    seed: int = 0,
+) -> WorkloadProfile:
+    """Profile one layer: densities, chunk statistics, bounds, efficiency."""
+    if data is None:
+        data = synthesize_layer(spec, seed=seed)
+    if work is None:
+        work = compute_chunk_work(data, cfg, need_counts=True)
+    assert work.counts is not None
+
+    dense = simulate_dense(spec, cfg, data=data, work=work)
+    sparse = simulate_sparten(spec, cfg, variant=variant, data=data, work=work)
+
+    in_d = data.measured_input_density
+    f_d = data.measured_filter_density
+    counts = work.counts
+    flat = counts.reshape(-1, counts.shape[-1]).astype(np.float64)
+    per_unit_work = flat[flat.sum(axis=1) > 0]  # drop empty broadcast rows
+    values = per_unit_work.reshape(-1)
+    nonzero_vals = values[values > 0]
+    if nonzero_vals.size == 0:
+        nonzero_vals = np.zeros(1)
+
+    weights = work.assignment.weight_of
+    useful = float(np.sum(work.match_sums * weights))
+    dense_macs = float(spec.dense_macs)
+    two_sided_ceiling = dense_macs / max(1.0, useful)
+    one_sided_ceiling = 1.0 / max(1e-9, in_d)
+    achieved = dense.cycles / sparse.cycles
+    return WorkloadProfile(
+        layer_name=spec.name,
+        measured_input_density=in_d,
+        measured_filter_density=f_d,
+        match_fraction=useful / dense_macs,
+        chunk_work_mean=float(nonzero_vals.mean()),
+        chunk_work_p95=float(np.percentile(nonzero_vals, 95)),
+        chunk_work_max=float(nonzero_vals.max()),
+        one_sided_ceiling=one_sided_ceiling,
+        two_sided_ceiling=two_sided_ceiling,
+        achieved_speedup=achieved,
+        sparse_efficiency=achieved / two_sided_ceiling,
+    )
+
+
+def render_profile(profile: WorkloadProfile) -> str:
+    """Human-readable profile card."""
+    return "\n".join(
+        [
+            f"Workload profile: {profile.layer_name}",
+            f"  densities            input {profile.measured_input_density:.3f}, "
+            f"filter {profile.measured_filter_density:.3f}",
+            f"  useful MAC fraction  {profile.match_fraction:.4f} of dense",
+            f"  per-chunk work       mean {profile.chunk_work_mean:.1f}, "
+            f"p95 {profile.chunk_work_p95:.1f}, max {profile.chunk_work_max:.0f} "
+            f"(imbalance x{profile.imbalance_indicator:.2f})",
+            f"  speedup ceilings     one-sided {profile.one_sided_ceiling:.2f}x, "
+            f"two-sided {profile.two_sided_ceiling:.2f}x",
+            f"  achieved             {profile.achieved_speedup:.2f}x "
+            f"({profile.sparse_efficiency:.0%} of the two-sided ceiling)",
+        ]
+    )
+
+
+def characterize_network(
+    network,
+    cfg: HardwareConfig | None = None,
+    variant: str = "gb_h",
+    fast: bool = True,
+    seed: int = 0,
+) -> list[WorkloadProfile]:
+    """Profile every layer of a benchmark network.
+
+    With ``fast=True`` positions are sampled (the profile ratios are
+    stable under sampling, like the speedups).
+    """
+    from repro.sim.config import config_for
+
+    if cfg is None:
+        cfg = config_for(network)
+    if fast:
+        cfg = cfg.with_sampling(200, batch=1)
+    return [
+        characterize_layer(spec, cfg, variant=variant, seed=seed)
+        for spec in network.layers
+    ]

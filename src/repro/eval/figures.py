@@ -1,0 +1,112 @@
+"""ASCII figure rendering: the paper's bar charts in a terminal.
+
+The evaluation figures are grouped/stacked bar charts. These renderers
+draw them with characters so `python -m repro run fig7 --plot` and the
+examples can show the *shape* without any plotting dependency:
+
+- :func:`bar_chart`   -- grouped horizontal bars (Figures 7-9, 15-17).
+- :func:`stacked_chart` -- stacked horizontal bars (Figures 10-12).
+- :func:`curve`       -- a sorted-series sketch (Figure 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "stacked_chart", "curve", "plot_speedup_figure",
+           "plot_breakdown_figure"]
+
+
+def bar_chart(
+    groups: dict[str, dict[str, float]],
+    width: int = 48,
+    unit: str = "x",
+) -> str:
+    """Grouped horizontal bars: ``{group: {series: value}}``.
+
+    Bars scale to the global maximum; each group prints its series in
+    insertion order with the numeric value at the right.
+    """
+    if not groups:
+        raise ValueError("nothing to plot")
+    peak = max(v for series in groups.values() for v in series.values())
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive value")
+    label_w = max(len(s) for series in groups.values() for s in series)
+    lines: list[str] = []
+    for group, series in groups.items():
+        lines.append(group)
+        for name, value in series.items():
+            bar = "#" * max(1, int(round(value / peak * width)))
+            lines.append(f"  {name.ljust(label_w)} |{bar.ljust(width)}| "
+                         f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    groups: dict[str, dict[str, dict[str, float]]],
+    components: tuple[str, ...] = ("nonzero", "zero", "intra_loss", "inter_loss"),
+    glyphs: str = "#o-=",
+    width: int = 48,
+) -> str:
+    """Stacked bars: ``{group: {series: {component: fraction}}}``.
+
+    Fractions are of the dense baseline (so dense's bar fills the width);
+    each component gets its glyph, legend appended.
+    """
+    if len(glyphs) < len(components):
+        raise ValueError("need one glyph per component")
+    lines: list[str] = []
+    label_w = max(
+        (len(s) for series in groups.values() for s in series), default=8
+    )
+    for group, series in groups.items():
+        lines.append(group)
+        for name, comps in series.items():
+            bar = ""
+            for component, glyph in zip(components, glyphs):
+                cells = int(round(comps.get(component, 0.0) * width))
+                bar += glyph * cells
+            total = sum(comps.get(c, 0.0) for c in components)
+            lines.append(
+                f"  {name.ljust(label_w)} |{bar[:width * 2].ljust(width)}| "
+                f"{total:.2f}"
+            )
+    legend = "  legend: " + "  ".join(
+        f"{glyph}={component}" for component, glyph in zip(components, glyphs)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def curve(values: np.ndarray, width: int = 60, height: int = 10) -> str:
+    """A terminal sketch of a (sorted) series -- Figure 14's curves."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("nothing to plot")
+    idx = np.linspace(0, values.size - 1, width).astype(int)
+    samples = values[idx]
+    top = samples.max() if samples.max() > 0 else 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        rows.append("".join("#" if v >= threshold else " " for v in samples))
+    rows.append("-" * width)
+    rows.append(f"min={values.min():.3f}  max={values.max():.3f}  n={values.size}")
+    return "\n".join(rows)
+
+
+def plot_speedup_figure(figure: dict, title: str, width: int = 40) -> str:
+    """Draw a speedup_figure()/fpga_figure() result as grouped bars."""
+    layers = figure["layers"]
+    schemes = list(layers)
+    groups = {}
+    for layer_name in next(iter(layers.values())):
+        groups[layer_name] = {s: layers[s][layer_name] for s in schemes}
+    groups["geomean"] = dict(figure["geomean"])
+    return title + "\n" + bar_chart(groups, width=width)
+
+
+def plot_breakdown_figure(figure: dict, title: str, width: int = 40) -> str:
+    """Draw a breakdown_figure() result as stacked bars."""
+    return title + "\n" + stacked_chart(figure["breakdown"], width=width)

@@ -1,0 +1,85 @@
+"""Extended networks for the generality claims (paper Section 7).
+
+"SparTen is broadly applicable to convolutional layers using any stride,
+non-convolutional deep neural networks (DNNs) such as long short-term
+memory (LSTMs), recurrent neural networks (RNNs), and multi-level
+perceptrons (MLP), as well as sparse linear algebra for HPC. We leave
+extending SparTen to these other DNNs ... to future work."
+
+This module builds those future-work workloads so the simulators can run
+them today:
+
+- :func:`resnet18_layers` -- representative ResNet-18 conv layers,
+  including the stride-2 downsampling convolutions SCNN cannot execute.
+  Densities are representative magnitude-pruning results for ResNets
+  (~30-45% weights, post-ReLU activations), in the band of Table 3.
+- :func:`lenet_300_100` -- the classic Deep Compression MLP
+  (784-300-100-10) with Han et al.'s reported per-layer weight densities
+  (8% / 9% / 26%).
+- :func:`lstm_cell_layers` -- one LSTM cell's four gate matrices over the
+  input and hidden vectors, as FC layers.
+"""
+
+from __future__ import annotations
+
+from repro.nets.layers import ConvLayerSpec, FCLayerSpec
+from repro.nets.models import NetworkSpec
+
+__all__ = ["resnet18_layers", "lenet_300_100", "lstm_cell_layers"]
+
+
+def resnet18_layers() -> NetworkSpec:
+    """Representative ResNet-18 conv layers (pruned), incl. stride-2 ones."""
+    mk = ConvLayerSpec
+    layers = (
+        mk("conv1_s2", 112, 112, 3, kernel=7, n_filters=64, stride=2, padding=3,
+           input_density=1.00, filter_density=0.70),
+        mk("conv2_1", 56, 56, 64, kernel=3, n_filters=64, padding=1,
+           input_density=0.45, filter_density=0.40),
+        mk("conv3_1_s2", 56, 56, 64, kernel=3, n_filters=128, stride=2, padding=1,
+           input_density=0.42, filter_density=0.38),
+        mk("conv3_2", 28, 28, 128, kernel=3, n_filters=128, padding=1,
+           input_density=0.40, filter_density=0.35),
+        mk("conv4_1_s2", 28, 28, 128, kernel=3, n_filters=256, stride=2, padding=1,
+           input_density=0.38, filter_density=0.33),
+        mk("conv5_1_s2", 14, 14, 256, kernel=3, n_filters=512, stride=2, padding=1,
+           input_density=0.30, filter_density=0.30),
+        mk("downsample_1x1_s2", 56, 56, 64, kernel=1, n_filters=128, stride=2,
+           input_density=0.42, filter_density=0.45),
+    )
+    return NetworkSpec(name="ResNet18", layers=layers, config_name="large")
+
+
+def lenet_300_100() -> tuple[FCLayerSpec, ...]:
+    """Deep Compression's LeNet-300-100 MLP with its pruned densities."""
+    return (
+        FCLayerSpec("fc1", n_inputs=784, n_outputs=300,
+                    input_density=0.75, weight_density=0.08),
+        FCLayerSpec("fc2", n_inputs=300, n_outputs=100,
+                    input_density=0.45, weight_density=0.09),
+        FCLayerSpec("fc3", n_inputs=100, n_outputs=10,
+                    input_density=0.50, weight_density=0.26),
+    )
+
+
+def lstm_cell_layers(
+    input_size: int = 512, hidden_size: int = 512
+) -> tuple[FCLayerSpec, ...]:
+    """One LSTM cell: four gates, each over [x_t ; h_{t-1}].
+
+    Gate weight matrices are pruned to ~30% density (typical LSTM pruning
+    results); the input vector mixes a dense x_t with a tanh-saturated
+    (moderately sparse) hidden state.
+    """
+    gates = []
+    for gate in ("input", "forget", "cell", "output"):
+        gates.append(
+            FCLayerSpec(
+                f"lstm_{gate}_gate",
+                n_inputs=input_size + hidden_size,
+                n_outputs=hidden_size,
+                input_density=0.60,
+                weight_density=0.30,
+            )
+        )
+    return tuple(gates)

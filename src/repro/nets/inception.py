@@ -1,0 +1,122 @@
+"""Inception modules: GoogLeNet's branch-and-concat structure.
+
+Table 3's GoogLeNet rows are the *branches* of Inception 3a and 5a; the
+real network runs the four branches in parallel on the same input and
+concatenates their outputs channelwise. This module assembles those
+branches into executable modules so whole-inception workloads exist:
+
+    branch 1: 1x1 conv
+    branch 2: 1x1 reduce -> 3x3 conv
+    branch 3: 1x1 reduce -> 5x5 conv
+    branch 4: 3x3 max pool -> 1x1 projection
+
+Outputs concatenate to (H, W, sum of branch filters) -- 256 channels for
+Inception 3a, 1024 for 5a -- via the sparse channel concat of
+:func:`repro.tensor.sparsemap.concat_channels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.models import NetworkSpec, googlenet
+from repro.nets.pooling import max_pool2d
+from repro.nets.reference import conv2d_reference, relu
+from repro.nets.synthesis import synthesize_filters
+
+__all__ = ["InceptionModule", "inception_3a", "inception_5a"]
+
+
+@dataclass(frozen=True)
+class InceptionModule:
+    """One inception module: the four branches' layer specs.
+
+    Branch layers reference the Table 3 specs, so densities and shapes
+    are the paper's. ``forward`` executes the module with synthetic
+    pruned weights (seeded from each layer's name) and returns the
+    concatenated output map.
+    """
+
+    name: str
+    b1_1x1: ConvLayerSpec
+    b2_reduce: ConvLayerSpec
+    b2_3x3: ConvLayerSpec
+    b3_reduce: ConvLayerSpec
+    b3_5x5: ConvLayerSpec
+    b4_proj: ConvLayerSpec
+
+    @property
+    def branch_layers(self) -> tuple[ConvLayerSpec, ...]:
+        return (
+            self.b1_1x1, self.b2_reduce, self.b2_3x3,
+            self.b3_reduce, self.b3_5x5, self.b4_proj,
+        )
+
+    @property
+    def out_channels(self) -> int:
+        """Concatenated channel count: 1x1 + 3x3 + 5x5 + pool-proj."""
+        return (
+            self.b1_1x1.n_filters
+            + self.b2_3x3.n_filters
+            + self.b3_5x5.n_filters
+            + self.b4_proj.n_filters
+        )
+
+    def forward(self, x: np.ndarray, seed: int = 0) -> np.ndarray:
+        """Run the module on (H, W, C): four branches, ReLU, concat."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (
+            self.b1_1x1.in_height, self.b1_1x1.in_width, self.b1_1x1.in_channels
+        ):
+            raise ValueError(
+                f"{self.name}: input shape {x.shape} does not match the module"
+            )
+
+        def conv(spec: ConvLayerSpec, inp: np.ndarray) -> np.ndarray:
+            from repro.nets.synthesis import _stable_seed
+
+            rng = np.random.default_rng(
+                _stable_seed(self.name, spec.name, str(seed))
+            )
+            filters = synthesize_filters(spec, rng)
+            return relu(
+                conv2d_reference(inp, filters, stride=spec.stride,
+                                 padding=spec.padding)
+            )
+
+        branch1 = conv(self.b1_1x1, x)
+        branch2 = conv(self.b2_3x3, conv(self.b2_reduce, x))
+        branch3 = conv(self.b3_5x5, conv(self.b3_reduce, x))
+        # Pool branch: 3x3/1 max pool (padded to keep geometry), then 1x1.
+        padded = np.zeros((x.shape[0] + 2, x.shape[1] + 2, x.shape[2]))
+        padded[1:-1, 1:-1] = x
+        pooled = max_pool2d(padded, size=3, stride=1)
+        branch4 = conv(self.b4_proj, pooled)
+
+        return np.concatenate([branch1, branch2, branch3, branch4], axis=2)
+
+
+def _module_from_table(prefix: str, name: str) -> InceptionModule:
+    table: NetworkSpec = googlenet()
+    return InceptionModule(
+        name=name,
+        b1_1x1=table.layer(f"{prefix}_1x1"),
+        b2_reduce=table.layer(f"{prefix}_3x3red"),
+        b2_3x3=table.layer(f"{prefix}_3x3"),
+        b3_reduce=table.layer(f"{prefix}_5x5red"),
+        b3_5x5=table.layer(f"{prefix}_5x5"),
+        b4_proj=table.layer(f"{prefix}_poolprj"),
+    )
+
+
+def inception_3a() -> InceptionModule:
+    """Inception 3a: 28x28x192 in, 28x28x256 out (64+128+32+32)."""
+    return _module_from_table("Inc3a", "inception_3a")
+
+
+def inception_5a() -> InceptionModule:
+    """Inception 5a: 7x7x832 in, 7x7x1024 out (384+384+128+128)."""
+    return _module_from_table("Inc5a", "inception_5a")

@@ -1,0 +1,156 @@
+"""Layer specifications: geometry, densities, and work accounting.
+
+A :class:`ConvLayerSpec` captures everything the simulators need about one
+convolutional layer: input geometry (H, W, C), filter geometry (k, k, C),
+filter count, stride, padding, and the target input/filter densities of the
+paper's Table 3. :class:`FCLayerSpec` covers fully-connected layers (the
+generality claim of Sections 1/3.2: SparTen, unlike SCNN, handles FC layers
+and any stride).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ConvLayerSpec", "FCLayerSpec"]
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolutional layer of a benchmark network.
+
+    Attributes:
+        name: layer label (e.g. ``"Layer2"`` or ``"Inc3a_3x3"``).
+        in_height / in_width / in_channels: input feature-map geometry.
+        kernel: filter height/width (square filters, per the paper).
+        n_filters: number of filters (= output channels).
+        stride: convolution stride (SparTen supports any; SCNN only 1).
+        padding: symmetric zero padding on each border.
+        input_density: fraction of non-zero input activations (Table 3).
+        filter_density: fraction of non-zero filter weights (Table 3).
+    """
+
+    name: str
+    in_height: int
+    in_width: int
+    in_channels: int
+    kernel: int
+    n_filters: int
+    stride: int = 1
+    padding: int = 0
+    input_density: float = 1.0
+    filter_density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.in_height, self.in_width, self.in_channels) <= 0:
+            raise ValueError(f"{self.name}: input dims must be positive")
+        if self.kernel <= 0 or self.n_filters <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: kernel/filters/stride must be positive")
+        if self.padding < 0:
+            raise ValueError(f"{self.name}: padding must be non-negative")
+        for label, d in (("input", self.input_density), ("filter", self.filter_density)):
+            if not 0.0 <= d <= 1.0:
+                raise ValueError(f"{self.name}: {label} density {d} outside [0, 1]")
+        if self.kernel > self.in_height + 2 * self.padding:
+            raise ValueError(f"{self.name}: kernel larger than padded input height")
+        if self.kernel > self.in_width + 2 * self.padding:
+            raise ValueError(f"{self.name}: kernel larger than padded input width")
+
+    # -- output geometry -----------------------------------------------------
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_channels(self) -> int:
+        return self.n_filters
+
+    @property
+    def out_positions(self) -> int:
+        """Spatial output positions (cells per output channel)."""
+        return self.out_height * self.out_width
+
+    # -- work accounting -------------------------------------------------------
+
+    @property
+    def filter_elements(self) -> int:
+        """Elements per filter: k * k * C (the dot-product length)."""
+        return self.kernel * self.kernel * self.in_channels
+
+    @property
+    def dense_macs(self) -> int:
+        """Dense multiply-adds: h*w*k^2*d*n over output positions (Section 2)."""
+        return self.out_positions * self.filter_elements * self.n_filters
+
+    @property
+    def expected_sparse_macs(self) -> float:
+        """Expected two-sided-sparse MACs (density product; Section 2's 4-9x)."""
+        return self.dense_macs * self.input_density * self.filter_density
+
+    @property
+    def input_elements(self) -> int:
+        return self.in_height * self.in_width * self.in_channels
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_positions * self.n_filters
+
+    def scaled(self, spatial: float) -> "ConvLayerSpec":
+        """A spatially scaled copy (for fast tests/sampled benchmarking).
+
+        Scales the input H and W by *spatial* (keeping channels, kernel,
+        stride, densities), clamped so the kernel still fits.
+        """
+        if spatial <= 0:
+            raise ValueError(f"scale must be positive, got {spatial}")
+        min_side = self.kernel + (0 if self.padding else 0)
+        new_h = max(min_side, int(round(self.in_height * spatial)))
+        new_w = max(min_side, int(round(self.in_width * spatial)))
+        return replace(self, in_height=new_h, in_width=new_w)
+
+
+@dataclass(frozen=True)
+class FCLayerSpec:
+    """A fully-connected layer (matrix-vector product of shape out x in).
+
+    SparTen treats an FC layer as ``n_outputs`` sparse dot products of
+    length ``n_inputs`` -- exactly a convolution with a 1x1 spatial extent,
+    which is how the simulators consume it via :meth:`as_conv`.
+    """
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    input_density: float = 1.0
+    weight_density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_inputs <= 0 or self.n_outputs <= 0:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        for label, d in (("input", self.input_density), ("weight", self.weight_density)):
+            if not 0.0 <= d <= 1.0:
+                raise ValueError(f"{self.name}: {label} density {d} outside [0, 1]")
+
+    @property
+    def dense_macs(self) -> int:
+        return self.n_inputs * self.n_outputs
+
+    def as_conv(self) -> ConvLayerSpec:
+        """The equivalent 1x1x(n_inputs) convolution over a 1x1 input."""
+        return ConvLayerSpec(
+            name=self.name,
+            in_height=1,
+            in_width=1,
+            in_channels=self.n_inputs,
+            kernel=1,
+            n_filters=self.n_outputs,
+            stride=1,
+            padding=0,
+            input_density=self.input_density,
+            filter_density=self.weight_density,
+        )

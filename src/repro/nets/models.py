@@ -1,0 +1,191 @@
+"""The paper's benchmark networks (Table 3) plus generality extras.
+
+Every layer below matches Table 3 exactly: input geometry, filter geometry,
+filter count, and the measured input/filter densities of the pruned
+networks. Paddings and strides are the canonical values for each
+architecture (AlexNet conv1 stride 4 / pad 2; 3x3 convs pad 1; 5x5 convs
+pad 2; 1x1 convs pad 0) so the output geometry matches the real networks.
+
+The paper simulates an aggressive ("large") configuration for AlexNet and
+VGGNet and a scaled-down ("small") one for GoogLeNet (Section 4); each
+:class:`NetworkSpec` records which.
+
+Beyond Table 3, :func:`strided_resnet_layer` and :func:`lstm_fc_layer`
+exercise the generality claims (non-unit stride, non-convolutional DNNs)
+that SCNN's Cartesian product cannot handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nets.layers import ConvLayerSpec, FCLayerSpec
+
+__all__ = [
+    "NetworkSpec",
+    "alexnet",
+    "googlenet",
+    "vggnet",
+    "all_networks",
+    "strided_resnet_layer",
+    "lstm_fc_layer",
+]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A benchmark network: an ordered list of conv layers plus metadata.
+
+    Attributes:
+        name: network label.
+        layers: the Table 3 conv layers in order.
+        config_name: ``"large"`` or ``"small"`` hardware configuration.
+        scnn_mean_exclude: layer names excluded from SCNN's geometric mean
+            (the paper excludes AlexNet Layer0, where SCNN's non-unit-stride
+            limitation makes it perform pathologically).
+        mean_exclude: layer names excluded from *all* schemes' means (the
+            paper excludes VGGNet Layer0 from the mean).
+    """
+
+    name: str
+    layers: tuple[ConvLayerSpec, ...]
+    config_name: str = "large"
+    scnn_mean_exclude: tuple[str, ...] = field(default_factory=tuple)
+    mean_exclude: tuple[str, ...] = field(default_factory=tuple)
+
+    def layer(self, name: str) -> ConvLayerSpec:
+        """Look up a layer by name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        return tuple(layer.name for layer in self.layers)
+
+
+def alexnet() -> NetworkSpec:
+    """AlexNet's five conv layers with Table 3 densities."""
+    mk = ConvLayerSpec
+    layers = (
+        mk("Layer0", 224, 224, 3, kernel=11, n_filters=64, stride=4, padding=2,
+           input_density=1.00, filter_density=0.84),
+        mk("Layer1", 55, 55, 64, kernel=5, n_filters=192, stride=1, padding=2,
+           input_density=0.38, filter_density=0.38),
+        mk("Layer2", 27, 27, 192, kernel=3, n_filters=384, stride=1, padding=1,
+           input_density=0.24, filter_density=0.35),
+        mk("Layer3", 13, 13, 384, kernel=3, n_filters=256, stride=1, padding=1,
+           input_density=0.20, filter_density=0.37),
+        mk("Layer4", 13, 13, 256, kernel=3, n_filters=256, stride=1, padding=1,
+           input_density=0.24, filter_density=0.37),
+    )
+    return NetworkSpec(
+        name="AlexNet",
+        layers=layers,
+        config_name="large",
+        scnn_mean_exclude=("Layer0",),
+    )
+
+
+def googlenet() -> NetworkSpec:
+    """GoogLeNet's Inception 3a and 5a branches with Table 3 densities."""
+    mk = ConvLayerSpec
+    layers = (
+        mk("Inc3a_1x1", 28, 28, 192, kernel=1, n_filters=64,
+           input_density=0.58, filter_density=0.38),
+        mk("Inc3a_3x3red", 28, 28, 192, kernel=1, n_filters=96,
+           input_density=0.58, filter_density=0.41),
+        mk("Inc3a_3x3", 28, 28, 96, kernel=3, n_filters=128, padding=1,
+           input_density=0.68, filter_density=0.43),
+        mk("Inc3a_5x5red", 28, 28, 192, kernel=1, n_filters=16,
+           input_density=0.58, filter_density=0.35),
+        mk("Inc3a_5x5", 28, 28, 16, kernel=5, n_filters=32, padding=2,
+           input_density=0.85, filter_density=0.33),
+        mk("Inc3a_poolprj", 28, 28, 192, kernel=1, n_filters=32,
+           input_density=0.58, filter_density=0.47),
+        mk("Inc5a_1x1", 7, 7, 832, kernel=1, n_filters=384,
+           input_density=0.31, filter_density=0.37),
+        mk("Inc5a_3x3red", 7, 7, 832, kernel=1, n_filters=192,
+           input_density=0.31, filter_density=0.38),
+        mk("Inc5a_3x3", 7, 7, 192, kernel=3, n_filters=384, padding=1,
+           input_density=0.42, filter_density=0.39),
+        mk("Inc5a_5x5red", 7, 7, 832, kernel=1, n_filters=48,
+           input_density=0.31, filter_density=0.35),
+        mk("Inc5a_5x5", 7, 7, 48, kernel=5, n_filters=128, padding=2,
+           input_density=0.69, filter_density=0.38),
+        mk("Inc5a_poolprj", 7, 7, 832, kernel=1, n_filters=128,
+           input_density=0.31, filter_density=0.36),
+    )
+    return NetworkSpec(name="GoogLeNet", layers=layers, config_name="small")
+
+
+def vggnet() -> NetworkSpec:
+    """VGGNet's thirteen conv layers with Table 3 densities."""
+    mk = ConvLayerSpec
+    layers = (
+        mk("Layer0", 224, 224, 3, kernel=3, n_filters=64, padding=1,
+           input_density=1.00, filter_density=0.58),
+        mk("Layer1", 224, 224, 64, kernel=3, n_filters=64, padding=1,
+           input_density=0.57, filter_density=0.21),
+        mk("Layer2", 224, 224, 64, kernel=3, n_filters=128, padding=1,
+           input_density=0.49, filter_density=0.34),
+        mk("Layer3", 112, 112, 128, kernel=3, n_filters=128, padding=1,
+           input_density=0.52, filter_density=0.36),
+        mk("Layer4", 112, 112, 128, kernel=3, n_filters=256, padding=1,
+           input_density=0.36, filter_density=0.53),
+        mk("Layer5", 56, 56, 256, kernel=3, n_filters=256, padding=1,
+           input_density=0.39, filter_density=0.24),
+        mk("Layer6", 56, 56, 256, kernel=3, n_filters=256, padding=1,
+           input_density=0.49, filter_density=0.42),
+        mk("Layer7", 56, 56, 256, kernel=3, n_filters=512, padding=1,
+           input_density=0.16, filter_density=0.32),
+        mk("Layer8", 28, 28, 512, kernel=3, n_filters=512, padding=1,
+           input_density=0.27, filter_density=0.27),
+        mk("Layer9", 28, 28, 512, kernel=3, n_filters=512, padding=1,
+           input_density=0.30, filter_density=0.34),
+        mk("Layer10", 28, 28, 512, kernel=3, n_filters=512, padding=1,
+           input_density=0.13, filter_density=0.32),
+        mk("Layer11", 14, 14, 512, kernel=3, n_filters=512, padding=1,
+           input_density=0.22, filter_density=0.29),
+        mk("Layer12", 14, 14, 512, kernel=3, n_filters=512, padding=1,
+           input_density=0.28, filter_density=0.36),
+    )
+    return NetworkSpec(
+        name="VGGNet",
+        layers=layers,
+        config_name="large",
+        mean_exclude=("Layer0",),
+    )
+
+
+def all_networks() -> tuple[NetworkSpec, ...]:
+    """The three Table 3 networks, in the paper's order."""
+    return (alexnet(), googlenet(), vggnet())
+
+
+def strided_resnet_layer() -> ConvLayerSpec:
+    """A ResNet-style stride-2 layer: exercises SparTen's any-stride claim."""
+    return ConvLayerSpec(
+        name="ResNet_conv3_1",
+        in_height=56,
+        in_width=56,
+        in_channels=256,
+        kernel=3,
+        n_filters=128,
+        stride=2,
+        padding=1,
+        input_density=0.40,
+        filter_density=0.35,
+    )
+
+
+def lstm_fc_layer() -> FCLayerSpec:
+    """An LSTM-gate-sized FC layer: exercises the non-convolutional claim."""
+    return FCLayerSpec(
+        name="LSTM_gate",
+        n_inputs=1024,
+        n_outputs=4096,
+        input_density=0.45,
+        weight_density=0.30,
+    )

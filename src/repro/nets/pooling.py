@@ -1,0 +1,49 @@
+"""Pooling layers: the glue between the Table 3 conv layers.
+
+The benchmark networks interleave max pooling between the conv layers
+(AlexNet's 55x55 conv1 output becomes conv2's 27x27 input via a 3x3/2
+pool, and so on). The accelerator itself does not execute pooling -- the
+paper's CPU-side host would -- but whole-network pipelines need it to
+chain layers at the right geometry and to propagate sparsity correctly:
+max pooling over non-negative (post-ReLU) maps *increases* density,
+which is part of why deeper layers' Table 3 densities are what they are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_pool2d", "pool_output_shape"]
+
+
+def pool_output_shape(
+    height: int, width: int, size: int, stride: int
+) -> tuple[int, int]:
+    """Output geometry of a size x size / stride pool (no padding)."""
+    if size < 1 or stride < 1:
+        raise ValueError(f"size and stride must be positive, got {size}, {stride}")
+    if height < size or width < size:
+        raise ValueError(
+            f"pool window {size} larger than the {height}x{width} input"
+        )
+    return (height - size) // stride + 1, (width - size) // stride + 1
+
+
+def max_pool2d(x: np.ndarray, size: int = 2, stride: int | None = None) -> np.ndarray:
+    """Channelwise max pooling over an (H, W, C) map.
+
+    Overlapping pools (stride < size, AlexNet-style 3x3/2) are supported.
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected (H, W, C), got shape {x.shape}")
+    stride = stride if stride is not None else size
+    h, w, c = x.shape
+    out_h, out_w = pool_output_shape(h, w, size, stride)
+    out = np.full((out_h, out_w, c), -np.inf, dtype=np.float64)
+    for py in range(size):
+        for px in range(size):
+            window = x[py : py + stride * out_h : stride,
+                       px : px + stride * out_w : stride, :]
+            np.maximum(out, window, out=out)
+    return out

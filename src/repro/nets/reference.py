@@ -1,0 +1,91 @@
+"""Dense golden-reference convolution and FC (numpy im2col).
+
+Every simulated architecture must produce numerically identical outputs to
+these references (the paper checks numerical correctness of its FPGA
+implementation; we check every engine against this model in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv2d_reference", "fc_reference", "im2col", "relu"]
+
+
+def im2col(
+    input_map: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold (H, W, C) into (out_h * out_w, k * k * C) patch rows.
+
+    Patch elements are ordered kernel-position-major, channel-minor --
+    i.e. for each (ky, kx) in row-major order, all C channels. This is the
+    Z-first order SparTen chunks along (channels fastest within a kernel
+    position), so the simulators and this reference agree on element
+    positions.
+    """
+    input_map = np.asarray(input_map)
+    if input_map.ndim != 3:
+        raise ValueError(f"expected (H, W, C), got shape {input_map.shape}")
+    h, w, c = input_map.shape
+    if padding:
+        padded = np.zeros((h + 2 * padding, w + 2 * padding, c), input_map.dtype)
+        padded[padding : padding + h, padding : padding + w] = input_map
+    else:
+        padded = input_map
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel/stride/padding produce an empty output")
+    cols = np.empty((out_h * out_w, kernel * kernel * c), padded.dtype)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            patch = padded[
+                ky : ky + stride * out_h : stride,
+                kx : kx + stride * out_w : stride,
+                :,
+            ]
+            col = (ky * kernel + kx) * c
+            cols[:, col : col + c] = patch.reshape(out_h * out_w, c)
+    return cols
+
+
+def conv2d_reference(
+    input_map: np.ndarray,
+    filters: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Dense 2-D convolution: (H, W, C) x (F, k, k, C) -> (out_h, out_w, F)."""
+    filters = np.asarray(filters)
+    if filters.ndim != 4:
+        raise ValueError(f"expected (F, k, k, C) filters, got shape {filters.shape}")
+    n_filters, kh, kw, c = filters.shape
+    if kh != kw:
+        raise ValueError(f"square kernels only, got {kh}x{kw}")
+    if c != input_map.shape[2]:
+        raise ValueError(
+            f"channel mismatch: input {input_map.shape[2]} vs filters {c}"
+        )
+    cols = im2col(input_map, kernel=kh, stride=stride, padding=padding)
+    weights = filters.reshape(n_filters, kh * kw * c)
+    h, w, _ = np.asarray(input_map).shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kh) // stride + 1
+    out = cols @ weights.T
+    return out.reshape(out_h, out_w, n_filters)
+
+
+def fc_reference(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Dense fully-connected layer: weights (out, in) times x (in,)."""
+    x = np.asarray(x)
+    weights = np.asarray(weights)
+    if x.ndim != 1 or weights.ndim != 2 or weights.shape[1] != x.size:
+        raise ValueError(
+            f"incompatible shapes: x {x.shape}, weights {weights.shape}"
+        )
+    return weights @ x
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit -- the source of natural activation sparsity."""
+    return np.maximum(x, 0.0)

@@ -1,0 +1,44 @@
+"""Cycle-level simulators and energy/area models (paper Sections 4-5).
+
+- :mod:`repro.sim.config`  -- the Table 2 hardware configurations.
+- :mod:`repro.sim.results` -- result records with the four-way execution
+  time breakdown of Figures 10-12.
+- :mod:`repro.sim.kernels` -- vectorised per-chunk match-count kernels
+  shared by the simulators (numerically identical to the functional
+  models in :mod:`repro.arch`, asserted in tests).
+- :mod:`repro.sim.dense`   -- the TPU-like dense accelerator.
+- :mod:`repro.sim.sparten` -- SparTen (no-GB / GB-S / GB-H) and the
+  one-sided configuration that proxies Cnvlutin/Cambricon-X/EIE idling.
+- :mod:`repro.sim.scnn`    -- SCNN and its dense/one-sided sanity variants.
+- :mod:`repro.sim.fpga`    -- the memory-bandwidth-bounded FPGA model.
+- :mod:`repro.sim.energy`  -- compute/memory energy with zero/non-zero
+  splits (Figure 13).
+- :mod:`repro.sim.area`    -- the ASIC area/power model (Table 4).
+"""
+
+from repro.sim.config import FPGA_CONFIG, HardwareConfig, LARGE_CONFIG, SMALL_CONFIG, config_for
+from repro.sim.results import Breakdown, LayerResult
+from repro.sim.dense import simulate_dense
+from repro.sim.sparten import simulate_sparten
+from repro.sim.scnn import simulate_scnn
+from repro.sim.dynamic import simulate_dynamic_dispatch
+from repro.sim.fpga import simulate_fpga
+from repro.sim.validate import validate_layer
+from repro.sim.sweeps import machine_scaling_sweep
+
+__all__ = [
+    "HardwareConfig",
+    "LARGE_CONFIG",
+    "SMALL_CONFIG",
+    "FPGA_CONFIG",
+    "config_for",
+    "Breakdown",
+    "LayerResult",
+    "simulate_dense",
+    "simulate_sparten",
+    "simulate_scnn",
+    "simulate_dynamic_dispatch",
+    "simulate_fpga",
+    "validate_layer",
+    "machine_scaling_sweep",
+]

@@ -1,0 +1,137 @@
+"""ASIC area/power model (paper Section 5.6, Table 4).
+
+The paper synthesised one 32-compute-unit SparTen cluster at 45 nm
+(FreePDK45 + Design Compiler, Cacti 6.5 for the buffers) and reports:
+
+    Component          Area (mm^2)   Power (mW)
+    Buffers            0.1           19.2
+    Prefix-sum         0.418         48
+    Priority Encoder   0.0626        6.4
+    MACs               0.0432        13.82
+    Permute Network    0.0344        10.6
+    Other              0.1           20.28
+    Total              0.766         118.30
+
+This module reproduces that table at the reference configuration and
+scales each component with the configuration parameters that physically
+drive it: prefix-sum and priority-encoder with unit count and mask width
+(x log-width for the prefix tree), MACs with unit count, buffers with
+capacity, the permute network with port count x stages x bisection width.
+The 800 MHz synthesis clock is recorded for the performance-per-area
+conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+
+from repro.arch.buffers import sparten_buffers
+from repro.sim.config import HardwareConfig, LARGE_CONFIG
+
+__all__ = ["ComponentEstimate", "ClusterAreaPower", "cluster_area_power", "CLOCK_MHZ"]
+
+#: Synthesis clock of the paper's 45 nm implementation.
+CLOCK_MHZ = 800
+
+#: Reference design point of Table 4.
+_REF_UNITS = 32
+_REF_CHUNK = 128
+_REF_BISECTION = 4
+_REF_BUFFER_BYTES = sparten_buffers(
+    n_units=_REF_UNITS, chunk_size=_REF_CHUNK, collocated=True
+).cluster_bytes
+
+#: Table 4 values: component -> (area mm^2, power mW).
+_TABLE4 = {
+    "Buffers": (0.1, 19.2),
+    "Prefix-sum": (0.418, 48.0),
+    "Priority Encoder": (0.0626, 6.4),
+    "MACs": (0.0432, 13.82),
+    "Permute Network": (0.0344, 10.6),
+    "Other": (0.1, 20.28),
+}
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    """Area/power of one cluster component."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class ClusterAreaPower:
+    """The full per-cluster estimate (Table 4 shape)."""
+
+    components: tuple[ComponentEstimate, ...]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.components)
+
+    def component(self, name: str) -> ComponentEstimate:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(f"no component named {name!r}")
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(name, area, power) rows plus the total, for table rendering."""
+        rows = [(c.name, c.area_mm2, c.power_mw) for c in self.components]
+        rows.append(("Total", self.total_area_mm2, self.total_power_mw))
+        return rows
+
+
+def _scale_factors(cfg: HardwareConfig) -> dict[str, float]:
+    """Per-component scale relative to the Table 4 reference point."""
+    units = cfg.units_per_cluster / _REF_UNITS
+    width = cfg.chunk_size / _REF_CHUNK
+    # Parallel-prefix trees grow ~n log n in the mask width.
+    log_ref = log2(_REF_CHUNK)
+    log_now = log2(max(2, cfg.chunk_size))
+    prefix = units * width * (log_now / log_ref)
+    priority = units * width
+    buffers = (
+        sparten_buffers(
+            n_units=cfg.units_per_cluster, chunk_size=cfg.chunk_size, collocated=True
+        ).cluster_bytes
+        / _REF_BUFFER_BYTES
+    )
+    if cfg.units_per_cluster >= 2:
+        stages = log2(cfg.units_per_cluster) / log2(_REF_UNITS)
+        permute = units * stages * (cfg.bisection_width / _REF_BISECTION)
+    else:
+        permute = 0.0
+    return {
+        "Buffers": buffers,
+        "Prefix-sum": prefix,
+        "Priority Encoder": priority,
+        "MACs": units,
+        "Permute Network": permute,
+        "Other": units,
+    }
+
+
+def cluster_area_power(cfg: HardwareConfig = LARGE_CONFIG) -> ClusterAreaPower:
+    """Estimate one cluster's area/power; exact Table 4 at the reference.
+
+    The reference point is 32 units, 128-bit chunks, bisection width 4
+    (the large configuration's cluster).
+    """
+    scales = _scale_factors(cfg)
+    components = tuple(
+        ComponentEstimate(
+            name=name,
+            area_mm2=area * scales[name],
+            power_mw=power * scales[name],
+        )
+        for name, (area, power) in _TABLE4.items()
+    )
+    return ClusterAreaPower(components=components)

@@ -1,0 +1,145 @@
+"""Hardware configurations (paper Table 2 and Section 4).
+
+Two sizes, with equal multiply-accumulate (MAC) counts across
+architectures so performance differences stem from architecture alone:
+
+========  =====================  ==================  ==========
+arch      MACs/cluster            clusters            buffer/MAC
+========  =====================  ==================  ==========
+Dense     32 (large) 16 (small)  32 (large) 16 (sm)  8 B
+SCNN      16                     64 (large) 16 (sm)  1.63 KB
+SparTen   32 (large) 16 (small)  32 (large) 16 (sm)  0.97 KB
+========  =====================  ==================  ==========
+
+AlexNet and VGGNet use the large configuration, GoogLeNet the small one.
+Simulations use a mini-batch of 16; ``position_sample`` optionally caps
+the output positions simulated per cluster (evenly-spaced sampling with
+exact rescaling) to keep large layers fast -- exact when ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.nets.models import NetworkSpec
+
+__all__ = [
+    "HardwareConfig",
+    "LARGE_CONFIG",
+    "SMALL_CONFIG",
+    "FPGA_CONFIG",
+    "config_for",
+]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One simulated machine configuration.
+
+    Attributes:
+        name: configuration label.
+        n_clusters: SparTen/Dense clusters.
+        units_per_cluster: MACs (compute units) per cluster.
+        chunk_size: SparseMap width (positions per chunk).
+        bisection_width: permutation-network bisection (values/cycle).
+        scnn_pe_grid: SCNN's PE array (rows, cols); 16 MACs per PE.
+        scnn_mult_rows / scnn_mult_cols: SCNN's per-PE multiplier array
+            (4x4 takes 4 inputs x 4 weights per cycle).
+        scnn_output_group: filters processed together per PE (8).
+        scnn_max_tile: SCNN's input-tile side cap (the methodology's 6x6;
+            smaller maps use ceil(H/grid) so every PE is assignable).
+        scnn_accumulators: per-PE accumulator banks (1K).
+        batch: mini-batch size (images per simulation).
+        position_sample: max output positions simulated per cluster
+            (``None`` = exact). Sampling is evenly spaced and rescaled.
+        memory_bytes_per_cycle: off-chip bandwidth for roofline models
+            (``None`` = compute-bound simulation, the ASIC assumption).
+    """
+
+    name: str
+    n_clusters: int
+    units_per_cluster: int
+    chunk_size: int = 128
+    bisection_width: int = 4
+    scnn_pe_grid: tuple[int, int] = (8, 8)
+    scnn_mult_rows: int = 4
+    scnn_mult_cols: int = 4
+    scnn_output_group: int = 8
+    scnn_max_tile: int = 6
+    scnn_accumulators: int = 1024
+    batch: int = 1
+    position_sample: int | None = None
+    memory_bytes_per_cycle: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1 or self.units_per_cluster < 1:
+            raise ValueError(f"{self.name}: cluster geometry must be positive")
+        if self.chunk_size < 1 or self.batch < 1:
+            raise ValueError(f"{self.name}: chunk size and batch must be positive")
+        if self.position_sample is not None and self.position_sample < 1:
+            raise ValueError(f"{self.name}: position_sample must be >= 1")
+
+    @property
+    def total_macs(self) -> int:
+        """MACs in the SparTen/Dense machine (equal to SCNN's by design)."""
+        return self.n_clusters * self.units_per_cluster
+
+    @property
+    def scnn_n_pes(self) -> int:
+        return self.scnn_pe_grid[0] * self.scnn_pe_grid[1]
+
+    @property
+    def scnn_macs_per_pe(self) -> int:
+        return self.scnn_mult_rows * self.scnn_mult_cols
+
+    @property
+    def scnn_total_macs(self) -> int:
+        return self.scnn_n_pes * self.scnn_macs_per_pe
+
+    def with_sampling(self, position_sample: int | None, batch: int | None = None) -> "HardwareConfig":
+        """A copy with different sampling/batch (benchmark speed knobs)."""
+        kwargs = {"position_sample": position_sample}
+        if batch is not None:
+            kwargs["batch"] = batch
+        return replace(self, **kwargs)
+
+
+#: Aggressive configuration (AlexNet, VGGNet): 1024 MACs.
+LARGE_CONFIG = HardwareConfig(
+    name="large",
+    n_clusters=32,
+    units_per_cluster=32,
+    scnn_pe_grid=(8, 8),
+)
+
+#: Scaled-down configuration (GoogLeNet): 256 MACs.
+SMALL_CONFIG = HardwareConfig(
+    name="small",
+    n_clusters=16,
+    units_per_cluster=16,
+    scnn_pe_grid=(4, 4),
+)
+
+#: The FPGA prototype: one 32-unit cluster at 50 MHz with 2.8 Gbps SDRAM.
+#: Peak bandwidth is 2.8e9 / 8 bytes/s over 50e6 cycles/s = 7 bytes per
+#: cycle; the *sustained* rate over chunk-grained random accesses on the
+#: DE2's shared 16-bit SDRAM (controller overheads, row misses, the Nios
+#: soft core on the same bus) is far lower. 0.6 B/cycle is the calibrated
+#: effective bandwidth that reproduces the paper's observation that FPGA
+#: speedups sit slightly below simulation because sparse schemes become
+#: memory-bound (compute shrinks quadratically, traffic only linearly).
+FPGA_CONFIG = HardwareConfig(
+    name="fpga",
+    n_clusters=1,
+    units_per_cluster=32,
+    memory_bytes_per_cycle=0.6,
+)
+
+
+def config_for(network: NetworkSpec) -> HardwareConfig:
+    """The paper's configuration choice for a benchmark network."""
+    if network.config_name == "large":
+        return LARGE_CONFIG
+    if network.config_name == "small":
+        return SMALL_CONFIG
+    raise ValueError(f"unknown config name {network.config_name!r}")

@@ -1,0 +1,87 @@
+"""The TPU-like dense accelerator baseline (paper Sections 4-5).
+
+Every tensor element is multiplied -- zeros included -- so the simulator
+"captures the zero computations, which provide opportunity for the sparse
+architectures, without imposing sparse computation overheads". With equal
+MAC counts (Table 2) and perfectly regular dataflow, a dense cluster's
+time for one output cell and one filter is exactly the dot-product length
+``k*k*C`` (padding zeros included, as an im2col systolic pipeline would
+stream them); the only losses are inter-cluster (uneven position
+partitioning, insufficient work) and idle units when a layer's filter
+count is not a multiple of the cluster width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.memory import layer_traffic
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.results import Breakdown, LayerResult
+
+__all__ = ["simulate_dense"]
+
+
+def simulate_dense(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    data: LayerData | None = None,
+    work: ChunkWork | None = None,
+    seed: int = 0,
+    naive_buffers: bool = False,
+) -> LayerResult:
+    """Simulate one layer on the dense accelerator.
+
+    ``naive_buffers`` tags the result as the Dense-naive configuration of
+    Figure 13 (identical performance; the energy model charges SparTen's
+    buffering instead of the dense 8 B/MAC).
+    """
+    units = cfg.units_per_cluster
+    n_clusters = cfg.n_clusters
+    dot_length = spec.kernel * spec.kernel * spec.in_channels
+    n_groups = int(np.ceil(spec.n_filters / units))
+
+    cluster_cycles = np.zeros(n_clusters, dtype=np.float64)
+    nonzero = 0.0
+    total_mult_slots = 0.0
+
+    batch_items = [(data, work)] if data is not None else [(None, None)] * cfg.batch
+    for image, (img_data, img_work) in enumerate(batch_items):
+        if img_data is None:
+            img_data = synthesize_layer(spec, seed=seed + image)
+        if img_work is None:
+            img_work = compute_chunk_work(img_data, cfg, need_counts=False)
+        assignment = img_work.assignment
+        # Every owned position costs n_groups * dot_length cycles.
+        cluster_cycles += (
+            assignment.cluster_positions.astype(np.float64) * n_groups * dot_length
+        )
+        nonzero += float(np.sum(img_work.match_sums * assignment.weight_of))
+        # Multiplies actually issued: full dot products on every unit that
+        # holds a filter (idle units in a partial last group issue none).
+        total_mult_slots += float(
+            assignment.cluster_positions.sum() * spec.n_filters * dot_length
+        )
+
+    layer_cycles = float(cluster_cycles.max())
+    zero = total_mult_slots - nonzero
+    # Idle units in the last filter group while their cluster is busy.
+    busy_slots = float(cluster_cycles.sum()) * units
+    intra = busy_slots - total_mult_slots
+    inter = float(np.sum((layer_cycles - cluster_cycles) * units))
+    breakdown = Breakdown(
+        nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
+    )
+    return LayerResult(
+        scheme="dense_naive" if naive_buffers else "dense",
+        layer_name=spec.name,
+        cycles=layer_cycles,
+        compute_cycles=layer_cycles,
+        total_macs=cfg.total_macs,
+        breakdown=breakdown,
+        traffic=layer_traffic(spec, scheme="dense", chunk_size=cfg.chunk_size),
+        extras={"filter_groups": n_groups, "dot_length": dot_length},
+    )

@@ -1,0 +1,99 @@
+"""The FPGA prototype model (paper Sections 4 and 5.5).
+
+The paper's FPGA realises one 32-unit SparTen cluster at 50 MHz against a
+2.8 Gbps external SDRAM. Speedup *trends* match the simulator but the
+absolute speedups are slightly lower because "the FPGA becomes
+memory-bound in some cases where the computation decreases more
+(quadratically with sparsity) than the memory traffic (linearly with
+sparsity)".
+
+This module reproduces that mechanism exactly: run the identical compute
+model on the FPGA configuration (one cluster) and bound each layer with
+the roofline ``cycles = max(compute, bytes / bytes_per_cycle)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.memory import MemoryInterface, layer_traffic
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import FPGA_CONFIG, HardwareConfig
+from repro.sim.dense import simulate_dense
+from repro.sim.results import LayerResult
+from repro.sim.sparten import simulate_sparten
+
+__all__ = ["simulate_fpga", "apply_roofline", "FPGA_SCHEMES"]
+
+#: The schemes the paper runs on the FPGA (Figures 15-17).
+FPGA_SCHEMES = ("dense", "one_sided", "sparten_no_gb", "sparten")
+
+
+def apply_roofline(result: LayerResult, bytes_per_cycle: float) -> LayerResult:
+    """Bound a compute result by memory bandwidth; stalls become inter-loss.
+
+    Memory-stall cycles idle the whole machine, so the added MAC-cycles
+    are charged to inter-cluster loss (the machine-wide idle bucket).
+    """
+    interface = MemoryInterface(bytes_per_cycle)
+    bounded = interface.bound_cycles(result.compute_cycles, result.traffic)
+    if bounded <= result.compute_cycles:
+        return result
+    stall = bounded - result.compute_cycles
+    breakdown = replace(
+        result.breakdown, inter_loss=result.breakdown.inter_loss + stall * result.total_macs
+    )
+    extras = dict(result.extras)
+    extras["memory_bound"] = True
+    extras["memory_stall_cycles"] = stall
+    return replace(result, cycles=bounded, breakdown=breakdown, extras=extras)
+
+
+def simulate_fpga(
+    spec: ConvLayerSpec,
+    scheme: str,
+    cfg: HardwareConfig = FPGA_CONFIG,
+    seed: int = 0,
+    data=None,
+    work=None,
+) -> LayerResult:
+    """Simulate one layer on the FPGA prototype under *scheme*.
+
+    Schemes are the Figure 15-17 set: ``dense``, ``one_sided``,
+    ``sparten_no_gb``, ``sparten`` (GB-H).
+    """
+    if scheme not in FPGA_SCHEMES:
+        raise ValueError(f"scheme must be one of {FPGA_SCHEMES}, got {scheme!r}")
+    if cfg.memory_bytes_per_cycle is None:
+        raise ValueError("FPGA simulation needs memory_bytes_per_cycle in the config")
+    if scheme == "dense":
+        result = simulate_dense(spec, cfg, seed=seed, data=data, work=work)
+    elif scheme == "one_sided":
+        result = simulate_sparten(
+            spec, cfg, sided="one", data=data, work=work, seed=seed
+        )
+    elif scheme == "sparten_no_gb":
+        result = simulate_sparten(
+            spec, cfg, variant="no_gb", data=data, work=work, seed=seed
+        )
+    else:
+        result = simulate_sparten(
+            spec, cfg, variant="gb_h", data=data, work=work, seed=seed
+        )
+
+    # The single cluster's buffers hold only filter chunks, so the input
+    # map is re-streamed once per resident filter group (64 filters with
+    # collocation, else 32). Rebuild the traffic with that refetch factor.
+    group_width = 2 * cfg.units_per_cluster if scheme == "sparten" else cfg.units_per_cluster
+    n_groups = max(1, -(-spec.n_filters // group_width))
+    traffic_scheme = {
+        "dense": "dense",
+        "one_sided": "one_sided",
+        "sparten_no_gb": "two_sided",
+        "sparten": "two_sided",
+    }[scheme]
+    traffic = layer_traffic(
+        spec, traffic_scheme, chunk_size=cfg.chunk_size, input_refetch=n_groups
+    )
+    result = replace(result, traffic=traffic)
+    return apply_roofline(result, cfg.memory_bytes_per_cycle)

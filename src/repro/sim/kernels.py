@@ -1,0 +1,194 @@
+"""Vectorised chunk-level work kernels shared by the simulators.
+
+The cycle models need, for every output position and every chunk of the
+linearised filter/window vectors, the *match count* -- the number of
+positions non-zero in both the input window chunk and a filter chunk.
+That count is exactly the compute unit's busy cycles for that chunk
+(one multiply-accumulate per matched pair), so the simulators reduce over
+these arrays instead of walking the step-wise functional model; tests
+assert both paths agree.
+
+The key identity: the match count between a binary window row and a
+binary filter row is their integer dot product, so a chunked
+im2col-matmul over the masks yields every (chunk, position, filter)
+match count at BLAS speed.
+
+Positions can be *sampled* (evenly spaced within each cluster's slice,
+with exact rescaling weights) to bound the cost of very large layers;
+``position_sample=None`` is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nets.synthesis import LayerData
+from repro.sim.config import HardwareConfig
+from repro.tensor.sparsemap import padded_length
+from repro.tensor.storage import even_slices
+
+__all__ = ["PositionAssignment", "ChunkWork", "assign_positions", "compute_chunk_work"]
+
+
+@dataclass(frozen=True)
+class PositionAssignment:
+    """Which output positions each cluster owns, and which are simulated.
+
+    Attributes:
+        indices: flat (row-major) output-position indices simulated.
+        cluster_of: owning cluster of each simulated position.
+        weight_of: rescale weight of each simulated position (1.0 when
+            exact; cluster_positions/sampled when sampled).
+        cluster_positions: true position counts per cluster.
+    """
+
+    indices: np.ndarray
+    cluster_of: np.ndarray
+    weight_of: np.ndarray
+    cluster_positions: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.cluster_positions.size)
+
+
+def assign_positions(
+    n_positions: int, n_clusters: int, position_sample: int | None
+) -> PositionAssignment:
+    """Slice output positions across clusters; optionally sample each slice.
+
+    Positions are row-major over the output map, sliced contiguously (the
+    paper's X/Y output slicing); sampling takes evenly spaced positions
+    within each slice so spatial structure is preserved.
+    """
+    if n_positions < 1:
+        raise ValueError(f"need at least one output position, got {n_positions}")
+    slices = even_slices(n_positions, n_clusters)
+    counts = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
+    index_blocks = []
+    cluster_blocks = []
+    weight_blocks = []
+    for cluster, (lo, hi) in enumerate(slices):
+        n = hi - lo
+        if n == 0:
+            continue
+        if position_sample is not None and n > position_sample:
+            picks = lo + np.unique(
+                np.linspace(0, n - 1, position_sample).round().astype(np.int64)
+            )
+        else:
+            picks = np.arange(lo, hi, dtype=np.int64)
+        index_blocks.append(picks)
+        cluster_blocks.append(np.full(picks.size, cluster, dtype=np.int64))
+        weight_blocks.append(np.full(picks.size, n / picks.size, dtype=np.float64))
+    return PositionAssignment(
+        indices=np.concatenate(index_blocks),
+        cluster_of=np.concatenate(cluster_blocks),
+        weight_of=np.concatenate(weight_blocks),
+        cluster_positions=counts,
+    )
+
+
+@dataclass(frozen=True)
+class ChunkWork:
+    """Per-chunk work counts at the simulated output positions.
+
+    Attributes:
+        counts: (n_chunks, n_sel, F) uint8 match counts, or ``None`` when
+            the caller only needs one-sided/dense quantities.
+        input_pop: (n_chunks, n_sel) non-zero input-window counts per
+            chunk (one-sided work; identical for every compute unit).
+        match_sums: (n_sel,) total matches across all chunks and filters
+            (the layer's useful MACs at each position).
+        assignment: the position assignment the arrays are indexed by.
+        n_chunks: chunks per linearised filter/window vector.
+        filter_chunk_nnz: (F, n_chunks) filter chunk non-zero counts
+            (greedy balancing's density proxy).
+    """
+
+    counts: np.ndarray | None
+    input_pop: np.ndarray
+    match_sums: np.ndarray
+    assignment: PositionAssignment
+    n_chunks: int
+    filter_chunk_nnz: np.ndarray
+
+
+def compute_chunk_work(
+    data: LayerData,
+    cfg: HardwareConfig,
+    need_counts: bool = True,
+) -> ChunkWork:
+    """Compute all chunk-level work arrays for one layer workload.
+
+    Chunks follow the storage layout: Z-first, each kernel position's
+    channels padded to whole chunks, so chunk
+    ``(ky*k + kx) * cpc + cz`` covers channels ``[cz*n, (cz+1)*n)`` at
+    kernel position (ky, kx).
+    """
+    spec = data.spec
+    chunk = cfg.chunk_size
+    padded_c = padded_length(spec.in_channels, chunk)
+    cpc = padded_c // chunk
+    n_chunks = spec.kernel * spec.kernel * cpc
+
+    assignment = assign_positions(
+        spec.out_positions, cfg.n_clusters, cfg.position_sample
+    )
+    sel = assignment.indices
+    oy = sel // spec.out_width
+    ox = sel % spec.out_width
+
+    in_mask = data.input_mask
+    if spec.padding:
+        p = spec.padding
+        padded = np.zeros(
+            (spec.in_height + 2 * p, spec.in_width + 2 * p, spec.in_channels),
+            dtype=bool,
+        )
+        padded[p : p + spec.in_height, p : p + spec.in_width] = in_mask
+    else:
+        padded = in_mask
+
+    filt = data.filter_masks  # (F, k, k, C)
+    n_filters = spec.n_filters
+    n_sel = sel.size
+
+    counts = (
+        np.zeros((n_chunks, n_sel, n_filters), dtype=np.uint8) if need_counts else None
+    )
+    input_pop = np.zeros((n_chunks, n_sel), dtype=np.int32)
+    match_sums = np.zeros(n_sel, dtype=np.float64)
+    filter_chunk_nnz = np.zeros((n_filters, n_chunks), dtype=np.int64)
+
+    rows = oy * spec.stride
+    cols = ox * spec.stride
+    for ky in range(spec.kernel):
+        for kx in range(spec.kernel):
+            window = padded[rows + ky, cols + kx, :]  # (n_sel, C)
+            for cz in range(cpc):
+                lo = cz * chunk
+                hi = min(lo + chunk, spec.in_channels)
+                c_idx = (ky * spec.kernel + kx) * cpc + cz
+                if lo >= spec.in_channels:
+                    continue  # pure padding chunk: zero work
+                a = window[:, lo:hi].astype(np.float32)
+                b = filt[:, ky, kx, lo:hi].astype(np.float32)
+                filter_chunk_nnz[:, c_idx] = b.sum(axis=1).astype(np.int64)
+                input_pop[c_idx] = a.sum(axis=1).astype(np.int32)
+                if need_counts:
+                    counts[c_idx] = np.rint(a @ b.T).astype(np.uint8)
+                    match_sums += counts[c_idx].sum(axis=1, dtype=np.int64)
+                else:
+                    match_sums += a @ b.sum(axis=0)
+
+    return ChunkWork(
+        counts=counts,
+        input_pop=input_pop,
+        match_sums=match_sums,
+        assignment=assignment,
+        n_chunks=n_chunks,
+        filter_chunk_nnz=filter_chunk_nnz,
+    )

@@ -1,0 +1,195 @@
+"""The SCNN simulator (paper Sections 2.1, 2.1.1 and 4).
+
+SCNN is *input stationary*: the input map is tiled in X-Y across a grid
+of PEs (8x8 large, 4x4 small); each PE holds its tile for all channels.
+Filters are broadcast in output groups (8 filters), channel by channel;
+per channel, a PE's 4x4 multiplier array computes the Cartesian product
+of the tile-channel's non-zero inputs with the group-channel's non-zero
+weights -- 4 inputs x 4 weights per cycle, so a channel costs
+``ceil(I/4) * ceil(W/4)`` cycles and wastes the fractional remainder
+(intra-PE loss). Each broadcast imposes an inter-PE barrier, exposing
+load imbalance from (1) varying tile sparsity, (2) truncated edge tiles,
+and (3) the leftover tile remainder -- all reproduced here because tiles
+are cut with the methodology's 6x6 cap and assigned round-robin.
+
+Non-unit stride: the Cartesian product assumes every input meets every
+weight, true only for stride 1. For stride s only ~1/s^2 of products land
+on valid outputs; the rest are computed and discarded (counted as zero /
+ineffectual computation), which is why SCNN collapses on AlexNet Layer 0.
+
+Variants: ``two`` (SCNN proper), ``one`` (SCNN-one-sided: dense weights),
+``dense`` (SCNN-dense: dense inputs and weights) -- the paper's sanity
+checks that inherit SCNN's overheads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.memory import layer_traffic
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.results import Breakdown, LayerResult
+
+__all__ = ["simulate_scnn", "scnn_tile_plan"]
+
+
+def scnn_tile_plan(
+    spec: ConvLayerSpec, cfg: HardwareConfig
+) -> tuple[int, int, int, int]:
+    """SCNN's input tiling: (tile_h, tile_w, n_tiles_y, n_tiles_x).
+
+    Tile side is the methodology's 6 (the best point of the paper's tile
+    search under 1K accumulators and output-group 8), shrunk to
+    ``ceil(extent / grid)`` on small maps so the PE grid stays coverable.
+    """
+    gh, gw = cfg.scnn_pe_grid
+    tile_h = max(1, min(cfg.scnn_max_tile, int(np.ceil(spec.in_height / gh))))
+    tile_w = max(1, min(cfg.scnn_max_tile, int(np.ceil(spec.in_width / gw))))
+    n_ty = int(np.ceil(spec.in_height / tile_h))
+    n_tx = int(np.ceil(spec.in_width / tile_w))
+    return tile_h, tile_w, n_ty, n_tx
+
+
+def simulate_scnn(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    variant: str = "two",
+    data: LayerData | None = None,
+    seed: int = 0,
+) -> LayerResult:
+    """Simulate one layer on SCNN (or its dense/one-sided variants)."""
+    if variant not in ("two", "one", "dense"):
+        raise ValueError(f"variant must be 'two', 'one' or 'dense', got {variant!r}")
+    scheme = {"two": "scnn", "one": "scnn_one_sided", "dense": "scnn_dense"}[variant]
+    n_pes = cfg.scnn_n_pes
+    mult_in = cfg.scnn_mult_rows
+    mult_w = cfg.scnn_mult_cols
+    macs_per_pe = cfg.scnn_macs_per_pe
+
+    cycles_total = 0.0
+    useful = 0.0
+    issued = 0.0
+    inter = 0.0
+    stride_waste = 0.0
+    operand_zero = 0.0
+
+    batch_items = [data] if data is not None else [None] * cfg.batch
+    for image, img_data in enumerate(batch_items):
+        if img_data is None:
+            img_data = synthesize_layer(spec, seed=seed + image)
+        s = _scnn_image_stats(img_data, cfg, variant, n_pes, mult_in, mult_w)
+        cycles_total += s["cycles"]
+        useful += s["useful"]
+        issued += s["issued"]
+        inter += s["inter"]
+        stride_waste += s["stride_waste"]
+        operand_zero += s["operand_zero"]
+
+    intra = issued - useful - stride_waste - operand_zero
+    breakdown = Breakdown(
+        nonzero_macs=useful,
+        zero_macs=stride_waste + operand_zero,
+        intra_loss=intra,
+        inter_loss=inter,
+    )
+    traffic_scheme = {"two": "two_sided", "one": "one_sided", "dense": "dense"}[variant]
+    return LayerResult(
+        scheme=scheme,
+        layer_name=spec.name,
+        cycles=cycles_total,
+        compute_cycles=cycles_total,
+        total_macs=n_pes * macs_per_pe,
+        breakdown=breakdown,
+        traffic=layer_traffic(spec, scheme=traffic_scheme, chunk_size=cfg.chunk_size),
+        extras={"variant": variant},
+    )
+
+
+def _scnn_image_stats(
+    data: LayerData,
+    cfg: HardwareConfig,
+    variant: str,
+    n_pes: int,
+    mult_in: int,
+    mult_w: int,
+) -> dict:
+    """Cycle/work statistics for one image on SCNN."""
+    spec = data.spec
+    tile_h, tile_w, n_ty, n_tx = scnn_tile_plan(spec, cfg)
+    c = spec.in_channels
+    group = cfg.scnn_output_group
+    n_groups = int(np.ceil(spec.n_filters / group))
+
+    # Per-tile, per-channel non-zero input counts (dense variant: cells).
+    in_mask = data.input_mask
+    tile_nnz = np.zeros((n_ty * n_tx, c), dtype=np.int64)
+    tile_cells = np.zeros(n_ty * n_tx, dtype=np.int64)
+    for ty in range(n_ty):
+        for tx in range(n_tx):
+            block = in_mask[
+                ty * tile_h : (ty + 1) * tile_h,
+                tx * tile_w : (tx + 1) * tile_w,
+                :,
+            ]
+            idx = ty * n_tx + tx
+            tile_nnz[idx] = block.sum(axis=(0, 1))
+            tile_cells[idx] = block.shape[0] * block.shape[1]
+    if variant == "dense":
+        tile_counts = np.broadcast_to(tile_cells[:, None], tile_nnz.shape)
+    else:
+        tile_counts = tile_nnz
+
+    # Per-group, per-channel weight counts.
+    filt_mask = data.filter_masks  # (F, k, k, C)
+    w_nnz_per_filter = filt_mask.sum(axis=(1, 2))  # (F, C)
+    w_dense_per_filter = spec.kernel * spec.kernel
+    group_w_nnz = np.zeros((n_groups, c), dtype=np.int64)
+    group_w_all = np.zeros((n_groups, c), dtype=np.int64)
+    for g in range(n_groups):
+        members = range(g * group, min((g + 1) * group, spec.n_filters))
+        group_w_nnz[g] = w_nnz_per_filter[list(members)].sum(axis=0)
+        group_w_all[g] = len(list(members)) * w_dense_per_filter
+    group_weights = group_w_nnz if variant == "two" else group_w_all
+
+    # Round-robin tile -> PE assignment; per-PE ceil'd input work.
+    pe_of_tile = np.arange(n_ty * n_tx) % n_pes
+    ceil_in = np.ceil(tile_counts / mult_in).astype(np.int64)  # (tiles, C)
+    pe_ceil = np.zeros((n_pes, c), dtype=np.int64)
+    np.add.at(pe_ceil, pe_of_tile, ceil_in)
+
+    ceil_w = np.ceil(group_weights / mult_w).astype(np.int64)  # (G, C)
+    sum_ceil_w = ceil_w.sum(axis=0)  # (C,)
+
+    # Barrier per (group, channel): the weight factor is common to all
+    # PEs, so the barrier maximum factorises.
+    max_pe = pe_ceil.max(axis=0)  # (C,)
+    cycles = float(np.dot(max_pe, sum_ceil_w))
+    issued = float(np.dot(pe_ceil.sum(axis=0), sum_ceil_w)) * (mult_in * mult_w)
+    inter = (
+        float(np.dot(n_pes * max_pe - pe_ceil.sum(axis=0), sum_ceil_w))
+        * mult_in
+        * mult_w
+    )
+
+    # Product counts (exact, before the multiplier-array ceil).
+    in_total = tile_counts.sum(axis=0).astype(np.float64)  # (C,)
+    in_nz_total = tile_nnz.sum(axis=0).astype(np.float64)
+    w_total = group_weights.sum(axis=0).astype(np.float64)
+    w_nz_total = group_w_nnz.sum(axis=0).astype(np.float64)
+    products = float(np.dot(in_total, w_total))
+    both_nz = float(np.dot(in_nz_total, w_nz_total))
+    operand_zero = products - both_nz
+    stride_factor = 1.0 / (spec.stride * spec.stride)
+    useful = both_nz * stride_factor
+    stride_waste = both_nz - useful
+
+    return {
+        "cycles": cycles,
+        "useful": useful,
+        "issued": issued,
+        "inter": inter,
+        "stride_waste": stride_waste,
+        "operand_zero": operand_zero,
+    }

@@ -1,0 +1,338 @@
+"""The SparTen cycle-level simulator (paper Sections 3.2-3.3, 4).
+
+Models a machine of ``n_clusters`` clusters of ``units_per_cluster``
+asynchronous compute units. Output positions are sliced contiguously
+across clusters; within a cluster, every filter group is processed for
+every owned position, chunk by chunk, with an implicit barrier at each
+input-chunk broadcast: the cluster's time for a chunk is the slowest
+unit's match count (what greedy balancing equalises).
+
+Variants (all through one code path, selected by arguments):
+
+- ``sided="two"`` with ``variant`` in {"no_gb", "gb_s", "gb_h"} -- the
+  SparTen family. GB-S/GB-H collocate filter pairs per unit (groups of
+  ``2 x units``); GB-H re-pairs per chunk and pays the (hidable)
+  permutation-network latency.
+- ``sided="one"`` -- only the feature map is sparse (filters dense), the
+  proxy for Cnvlutin / Cambricon-X / EIE idling: every unit's chunk work
+  is the input chunk's non-zero count, so there is no imbalance, but
+  filter zeros burn multiplies.
+
+The simulator also captures residual load imbalance after GB (the paper's
+"any residual load imbalance even after greedy balancing") because the
+barrier maxima are computed from the *actual* per-position match counts,
+while GB pairs by the offline density proxy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.memory import layer_traffic
+from repro.arch.permute import PermutationNetwork
+from repro.balance.greedy import (
+    BalancePlan,
+    collocation_helps,
+    gb_h_plan,
+    gb_s_plan,
+    no_gb_plan,
+)
+from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.results import Breakdown, LayerResult
+
+__all__ = ["simulate_sparten", "sparten_variant_plan", "SCHEME_NAMES"]
+
+#: Scheme label per (sided, variant).
+SCHEME_NAMES = {
+    ("one", None): "one_sided",
+    ("two", "no_gb"): "sparten_no_gb",
+    ("two", "gb_s"): "sparten_gb_s",
+    ("two", "gb_h"): "sparten",
+}
+
+
+def sparten_variant_plan(
+    data: LayerData, cfg: HardwareConfig, variant: str
+) -> BalancePlan:
+    """Build the greedy-balancing plan for a variant.
+
+    Collocation is part of the GB plans regardless of filter count; the
+    paper's static too-few-filters check is applied (optionally) by the
+    simulator via ``auto_disable_collocation``, not here, so the plan
+    always reflects the variant's mechanics.
+    """
+    units = cfg.units_per_cluster
+    masks = data.filter_masks
+    if variant == "no_gb":
+        return no_gb_plan(masks, units)
+    if variant not in ("gb_s", "gb_h"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if variant == "gb_s":
+        return gb_s_plan(masks, units)
+    return gb_h_plan(masks, units, chunk_size=cfg.chunk_size)
+
+
+def simulate_sparten(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    variant: str = "gb_h",
+    sided: str = "two",
+    data: LayerData | None = None,
+    work: ChunkWork | None = None,
+    seed: int = 0,
+    auto_disable_collocation: bool = False,
+) -> LayerResult:
+    """Simulate one layer on SparTen (or its one-sided configuration).
+
+    Args:
+        spec: the layer. A workload is synthesised from (spec, seed) per
+            batch image unless *data*/*work* supply it (single image).
+        cfg: hardware configuration; ``cfg.batch`` images are simulated
+            and their cluster cycles accumulate (clusters process the
+            batch's images back to back).
+        variant: ``"no_gb"``, ``"gb_s"`` or ``"gb_h"`` (two-sided only).
+        sided: ``"two"`` or ``"one"``.
+        data / work: pre-synthesised workload and its chunk work (reuse
+            across variants -- they share the expensive mask matmuls).
+        seed: base image seed for the batch.
+        auto_disable_collocation: apply the paper's *static check* and
+            fall back to sorted-but-unpaired execution when the layer has
+            too few filters for pairing (Section 3.3). The paper's own
+            evaluation runs with the check off -- Figure 8's 5x5-reduce
+            layers show the resulting half-idle clusters -- so the
+            default here is ``False``; the ablation bench sweeps it.
+    """
+    if sided not in ("one", "two"):
+        raise ValueError(f"sided must be 'one' or 'two', got {sided!r}")
+    scheme = SCHEME_NAMES[(sided, variant if sided == "two" else None)]
+    units = cfg.units_per_cluster
+    n_clusters = cfg.n_clusters
+
+    cluster_cycles = np.zeros(n_clusters, dtype=np.float64)
+    nonzero = 0.0
+    zero = 0.0
+    intra = 0.0
+    permute_total = 0.0
+    barriers_total = 0.0
+
+    batch_items = (
+        [(data, work)]
+        if data is not None
+        else [(None, None)] * cfg.batch
+    )
+    for image, (img_data, img_work) in enumerate(batch_items):
+        if img_data is None:
+            img_data = synthesize_layer(spec, seed=seed + image)
+        if img_work is None:
+            img_work = compute_chunk_work(img_data, cfg, need_counts=(sided == "two"))
+        if sided == "two":
+            stats = _two_sided_cluster_cycles(
+                img_data, img_work, cfg, variant, auto_disable_collocation
+            )
+        else:
+            stats = _one_sided_cluster_cycles(img_data, img_work, cfg)
+        cluster_cycles += stats["cluster_cycles"]
+        nonzero += stats["nonzero"]
+        zero += stats["zero"]
+        intra += stats["intra"]
+        permute_total += stats.get("permute", 0.0)
+        barriers_total += stats.get("barriers", 0.0)
+
+    layer_cycles = float(cluster_cycles.max())
+    inter = float(np.sum((layer_cycles - cluster_cycles) * units))
+    breakdown = Breakdown(
+        nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
+    )
+    traffic = layer_traffic(
+        spec,
+        scheme="one_sided" if sided == "one" else "two_sided",
+        chunk_size=cfg.chunk_size,
+    )
+    return LayerResult(
+        scheme=scheme,
+        layer_name=spec.name,
+        cycles=layer_cycles,
+        compute_cycles=layer_cycles,
+        total_macs=cfg.total_macs,
+        breakdown=breakdown,
+        traffic=traffic,
+        extras={
+            "permute_cycles": permute_total,
+            "barriers": barriers_total,
+            "variant": variant if sided == "two" else None,
+        },
+    )
+
+
+def _two_sided_cluster_cycles(
+    data: LayerData,
+    work: ChunkWork,
+    cfg: HardwareConfig,
+    variant: str,
+    auto_disable_collocation: bool = False,
+) -> dict:
+    """Cluster cycle totals and breakdown terms for the SparTen variants."""
+    assert work.counts is not None
+    units = cfg.units_per_cluster
+    counts = work.counts  # (n_chunks, n_sel, F)
+    n_chunks, n_sel, n_filters = counts.shape
+    weights = work.assignment.weight_of  # (n_sel,)
+    cluster_of = work.assignment.cluster_of
+
+    plan = sparten_variant_plan(data, cfg, variant)
+    collocate = plan.collocated
+    if auto_disable_collocation and not collocation_helps(n_filters, units):
+        collocate = False
+
+    # GB-H routes partial sums through the thinned, pipelined network.
+    # A unit only ships its accumulated partials when its pair assignment
+    # *changes* for the next chunk (unchanged pairs accumulate locally);
+    # all 2 x units sums flush after the last chunk. Stage latency hides
+    # under the next chunk's compute; what cannot hide is *throughput*:
+    # about half the shipped values cross the bisection, so a chunk that
+    # ships ``m`` values needs ``ceil(m / 2 / bisection_width)`` cycles --
+    # the paper's "8 4-value batches" example for 32 values at width 4.
+    use_gb_h_network = collocate and plan.variant == "gb_h" and units >= 2
+    if use_gb_h_network:
+        PermutationNetwork(units, bisection_width=cfg.bisection_width)  # validates
+
+    # Build the per-chunk unit-work array (n_chunks, n_sel, n_unit_rows)
+    # for each filter group, then reduce: barrier = max over unit rows.
+    per_pos_barrier = np.zeros(n_sel, dtype=np.float64)  # sum over groups+chunks
+    per_pos_busy = np.zeros(n_sel, dtype=np.float64)  # sum of unit work
+    barriers = 0
+    permute_unhidden = 0.0
+
+    if collocate and plan.variant == "gb_s":
+        pair_a = plan.pairing[:, 0]
+        pair_b = plan.pairing[:, 1]
+        group_starts = range(0, plan.pairing.shape[0], units)
+        for base in group_starts:
+            a_idx = pair_a[base : base + units]
+            b_idx = pair_b[base : base + units]
+            group_work = _gather_pair_work(counts, a_idx, b_idx)
+            barrier = np.maximum(group_work.max(axis=2), 1)
+            per_pos_barrier += barrier.sum(axis=0)
+            per_pos_busy += group_work.sum(axis=(0, 2))
+            barriers += n_chunks
+    elif collocate and plan.variant == "gb_h":
+        n_pairs = plan.chunk_pairing.shape[1]
+        for base in range(0, n_pairs, units):
+            pair_slice = plan.chunk_pairing[:, base : base + units, :]
+            # Values shipped per chunk: 2 per unit whose pairing changes
+            # before the next chunk, plus a final full flush.
+            shipped = np.zeros(n_chunks, dtype=np.float64)
+            if n_chunks > 1:
+                changed = pair_slice[1:] != pair_slice[:-1]
+                shipped[:-1] = changed.sum(axis=(1, 2))
+            shipped[-1] = 2.0 * units
+            route_floor = np.ceil(shipped / 2.0 / cfg.bisection_width)
+            barrier = np.zeros((n_chunks, n_sel), dtype=np.float64)
+            busy = np.zeros((n_chunks, n_sel), dtype=np.float64)
+            for c in range(n_chunks):
+                a_idx = pair_slice[c, :, 0]
+                b_idx = pair_slice[c, :, 1]
+                group_work = _gather_pair_work(counts[c : c + 1], a_idx, b_idx)[0]
+                barrier[c] = np.maximum(group_work.max(axis=1), 1)
+                busy[c] = group_work.sum(axis=1)
+            if use_gb_h_network:
+                # Each chunk's routing hides under the next chunk's
+                # compute; the shortfall stalls the whole cluster (the
+                # resulting idle falls into intra-cluster loss).
+                floor = route_floor[:, None]
+                permute_unhidden += float(np.sum(np.maximum(0.0, floor - barrier)))
+                barrier = np.maximum(barrier, floor)
+            per_pos_barrier += barrier.sum(axis=0)
+            per_pos_busy += busy.sum(axis=0)
+            barriers += n_chunks
+    else:
+        order = plan.order
+        for base in range(0, n_filters, units):
+            group = order[base : base + units]
+            group_work = counts[:, :, group].astype(np.float64)
+            barrier = np.maximum(group_work.max(axis=2), 1)
+            per_pos_barrier += barrier.sum(axis=0)
+            per_pos_busy += group_work.sum(axis=2).sum(axis=0)
+            barriers += n_chunks
+
+    # Per-cluster wall cycles: weighted sum of per-position barriers.
+    cluster_cycles = np.bincount(
+        cluster_of, weights=per_pos_barrier * weights, minlength=cfg.n_clusters
+    )
+    nonzero = float(np.sum(per_pos_busy * weights))
+    intra = float(np.sum((per_pos_barrier * units - per_pos_busy) * weights))
+
+    return {
+        "cluster_cycles": cluster_cycles,
+        "nonzero": nonzero,
+        "zero": 0.0,
+        "intra": intra,
+        "permute": permute_unhidden,
+        "barriers": float(barriers),
+    }
+
+
+def _gather_pair_work(
+    counts: np.ndarray, a_idx: np.ndarray, b_idx: np.ndarray
+) -> np.ndarray:
+    """Unit work for collocated pairs: counts[a] + counts[b], -1 = absent.
+
+    *counts* is (n_chunks, n_sel, F); returns (n_chunks, n_sel, n_units)
+    float64 where absent filters contribute 0.
+    """
+    n_chunks, n_sel, _ = counts.shape
+    out = np.zeros((n_chunks, n_sel, a_idx.size), dtype=np.float64)
+    valid_a = a_idx >= 0
+    if np.any(valid_a):
+        out[:, :, valid_a] += counts[:, :, a_idx[valid_a]]
+    valid_b = b_idx >= 0
+    if np.any(valid_b):
+        out[:, :, valid_b] += counts[:, :, b_idx[valid_b]]
+    return out
+
+
+def _one_sided_cluster_cycles(
+    data: LayerData, work: ChunkWork, cfg: HardwareConfig
+) -> dict:
+    """Cluster cycle totals for the one-sided configuration.
+
+    Every unit processes the input chunk's non-zero count regardless of
+    its filter (filters are dense), so units are perfectly balanced; the
+    cost is multiplying non-zero inputs with zero filter weights.
+    """
+    spec = data.spec
+    units = cfg.units_per_cluster
+    pop = work.input_pop.astype(np.float64)  # (n_chunks, n_sel)
+    weights = work.assignment.weight_of
+    cluster_of = work.assignment.cluster_of
+    n_filters = spec.n_filters
+    n_groups = int(np.ceil(n_filters / units))
+    last_group = n_filters - (n_groups - 1) * units
+
+    per_pos_chunkwork = np.maximum(pop, 1).sum(axis=0)  # barrier per group pass
+    per_pos_pop = pop.sum(axis=0)
+    per_pos_barrier = per_pos_chunkwork * n_groups
+
+    cluster_cycles = np.bincount(
+        cluster_of, weights=per_pos_barrier * weights, minlength=cfg.n_clusters
+    )
+    # Ops: each of the n_filters filters processes every input non-zero.
+    total_ops = float(np.sum(per_pos_pop * weights)) * n_filters
+    nonzero = float(np.sum(work.match_sums * weights))
+    zero = total_ops - nonzero
+    # Intra loss: idle units in the last (partial) filter group, plus the
+    # min-1-cycle broadcast slots.
+    busy = total_ops
+    total_slots = float(np.sum(per_pos_barrier * weights)) * units
+    intra = total_slots - busy
+    n_chunks = pop.shape[0]
+    return {
+        "cluster_cycles": cluster_cycles,
+        "nonzero": nonzero,
+        "zero": zero,
+        "intra": intra,
+        "barriers": float(n_groups * n_chunks),
+    }

@@ -1,0 +1,87 @@
+"""Machine-scaling study: where SparTen's parallelism stops paying.
+
+The paper fixes two machine sizes (Table 2); this study sweeps the
+machine and shows the scaling cliffs the breakdowns of Figures 10-12
+hint at:
+
+- more clusters than output positions leave whole clusters idle
+  (inter-cluster loss; the GoogLeNet Inception 5a effect),
+- more units per cluster than filters leave units idle within the
+  groups (intra-cluster loss; the 5x5-reduce effect),
+- and barrier granularity means the speedup of adding units saturates
+  before the MAC count does.
+
+Each sweep point reports speedup over an equal-MAC dense machine and the
+loss split, so the scaling efficiency is attributable.
+"""
+
+from __future__ import annotations
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.dense import simulate_dense
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.sparten import simulate_sparten
+
+__all__ = ["machine_scaling_sweep"]
+
+
+def machine_scaling_sweep(
+    spec: ConvLayerSpec,
+    geometries: tuple[tuple[int, int], ...] = (
+        (4, 8),
+        (8, 16),
+        (16, 32),
+        (32, 32),
+        (64, 32),
+    ),
+    variant: str = "gb_h",
+    position_sample: int | None = 200,
+    seed: int = 0,
+) -> dict:
+    """Sweep (clusters, units) geometries over one layer.
+
+    Returns, per geometry: total MACs, SparTen speedup over the same-size
+    dense machine, machine utilisation (useful MACs / MAC-cycles), and
+    the loss fractions. Scaling efficiency = utilisation relative to the
+    smallest machine's.
+    """
+    out: dict[tuple[int, int], dict[str, float]] = {}
+    data = synthesize_layer(spec, seed=seed)
+    for n_clusters, units in geometries:
+        cfg = HardwareConfig(
+            name=f"sweep_{n_clusters}x{units}",
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            position_sample=position_sample,
+        )
+        work = compute_chunk_work(data, cfg, need_counts=True)
+        dense = simulate_dense(spec, cfg, data=data, work=work)
+        sparse = simulate_sparten(spec, cfg, variant=variant, data=data, work=work)
+        total = sparse.breakdown.total
+        out[(n_clusters, units)] = {
+            "total_macs": float(cfg.total_macs),
+            "speedup_vs_dense": dense.cycles / sparse.cycles,
+            "cycles": sparse.cycles,
+            "utilization": sparse.breakdown.nonzero_macs / total if total else 0.0,
+            "intra_fraction": sparse.breakdown.intra_loss / total if total else 0.0,
+            "inter_fraction": sparse.breakdown.inter_loss / total if total else 0.0,
+        }
+    return out
+
+
+def render_scaling(sweep: dict, layer_name: str) -> str:
+    """Table view of a machine-scaling sweep."""
+    lines = [
+        f"Machine scaling on {layer_name} (SparTen GB-H vs equal-MAC dense)",
+        f"{'clusters':>9s} {'units':>6s} {'MACs':>6s} {'speedup':>8s} "
+        f"{'util':>6s} {'intra':>6s} {'inter':>6s}",
+    ]
+    for (clusters, units), row in sweep.items():
+        lines.append(
+            f"{clusters:9d} {units:6d} {row['total_macs']:6.0f} "
+            f"{row['speedup_vs_dense']:7.2f}x {row['utilization']:6.1%} "
+            f"{row['intra_fraction']:6.1%} {row['inter_fraction']:6.1%}"
+        )
+    return "\n".join(lines)

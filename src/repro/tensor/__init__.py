@@ -1,0 +1,33 @@
+"""Sparse tensor substrate: SparseMap bit-mask representation and friends.
+
+The modules here implement Section 3.1 of the paper:
+
+- :mod:`repro.tensor.bitmask`   -- bit-mask kernels (popcount, AND-match,
+  prefix-sum offsets, priority encoding).
+- :mod:`repro.tensor.sparsemap` -- the chunked (SparseMap, values) two-tuple
+  representation and Z-first tensor linearisation.
+- :mod:`repro.tensor.inner_join`-- sparse vector-vector dot product via
+  bit-mask inner join, and the CSR merge baseline it replaces.
+- :mod:`repro.tensor.formats`   -- baseline HPC formats (CSR, CSC, RLE
+  pointers) with storage accounting.
+- :mod:`repro.tensor.storage`   -- the memory-layout model (chunk arrays,
+  per-cluster output regions, watermark allocation).
+- :mod:`repro.tensor.analysis`  -- representation-size analysis and density
+  statistics.
+"""
+
+from repro.tensor.sparsemap import CHUNK_SIZE, SparseMap, SparseTensor3D, linearize_zfirst
+from repro.tensor.inner_join import bitmask_dot, csr_dot, InnerJoinStats
+from repro.tensor.serialize import deserialize_tensor, serialize_tensor
+
+__all__ = [
+    "CHUNK_SIZE",
+    "SparseMap",
+    "SparseTensor3D",
+    "linearize_zfirst",
+    "bitmask_dot",
+    "csr_dot",
+    "InnerJoinStats",
+    "serialize_tensor",
+    "deserialize_tensor",
+]

@@ -1,0 +1,180 @@
+"""Bit-mask kernels: the software analogue of SparTen's inner-join circuits.
+
+SparTen's compute unit (paper Section 3.1, Figure 3) finds matching non-zero
+positions in two sparse vectors by ANDing their bit masks, then walks the
+matches with a priority encoder while a prefix-sum circuit converts each
+matched bit position into an offset into the packed value arrays.
+
+This module provides those primitives on plain numpy boolean arrays:
+
+- :func:`popcount`             -- number of set bits.
+- :func:`and_match`            -- positions set in both masks.
+- :func:`prefix_offsets`       -- exclusive prefix-sum of set bits; the value
+  offset of each position (Figure 3's "count of 1s above").
+- :func:`priority_encode`      -- index of the highest-priority set bit.
+- :func:`iter_matches`         -- the full Figure 3 loop: yields, one match
+  at a time, the matched position and both value offsets, exactly as the
+  hardware would.
+- :func:`match_offsets`        -- vectorised equivalent of draining
+  :func:`iter_matches` completely.
+
+Masks are boolean numpy arrays with index 0 being the *highest* priority
+position (the "topmost" bit in the paper's Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "and_match",
+    "prefix_offsets",
+    "priority_encode",
+    "iter_matches",
+    "match_offsets",
+    "pack_mask",
+    "unpack_mask",
+    "packed_popcount",
+    "packed_match_count",
+]
+
+
+def _as_mask(mask: np.ndarray) -> np.ndarray:
+    """Validate and coerce *mask* to a 1-D boolean array."""
+    arr = np.asarray(mask)
+    if arr.ndim != 1:
+        raise ValueError(f"mask must be 1-D, got shape {arr.shape}")
+    return arr.astype(bool, copy=False)
+
+
+def popcount(mask: np.ndarray) -> int:
+    """Return the number of set bits in *mask*."""
+    return int(np.count_nonzero(_as_mask(mask)))
+
+
+def and_match(mask_a: np.ndarray, mask_b: np.ndarray) -> np.ndarray:
+    """Return the AND of two masks: positions non-zero in both vectors.
+
+    This is the first inner-join step of Figure 3. The two masks must have
+    equal length (equal chunk size in hardware).
+    """
+    a = _as_mask(mask_a)
+    b = _as_mask(mask_b)
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    return a & b
+
+
+def prefix_offsets(mask: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of set bits: offset of each position's value.
+
+    ``prefix_offsets(m)[i]`` is the number of set bits strictly before
+    position ``i``. For a set bit it is the index of the corresponding
+    entry in the packed value array -- precisely what the hardware
+    prefix-sum circuit computes to address the data buffer.
+    """
+    m = _as_mask(mask)
+    offsets = np.zeros(m.shape, dtype=np.int64)
+    if m.size > 1:
+        np.cumsum(m[:-1], out=offsets[1:])
+    return offsets
+
+
+def priority_encode(mask: np.ndarray) -> int:
+    """Index of the highest-priority (lowest-index) set bit, or -1 if none.
+
+    Models the priority encoder that selects the next match to process
+    (priority decreases from top to bottom in Figure 3).
+    """
+    m = _as_mask(mask)
+    hits = np.flatnonzero(m)
+    if hits.size == 0:
+        return -1
+    return int(hits[0])
+
+
+def iter_matches(
+    mask_a: np.ndarray, mask_b: np.ndarray
+) -> Iterator[Tuple[int, int, int]]:
+    """Walk the inner-join matches exactly as SparTen's circuit does.
+
+    Yields ``(position, offset_a, offset_b)`` triples in priority order:
+    *position* is the matched bit index; *offset_a*/*offset_b* index the
+    packed value arrays of the two operands. The implementation mirrors
+    the hardware loop: AND the masks, priority-encode the next set bit,
+    prefix-sum both operand masks up to it, then clear the bit.
+    """
+    remaining = and_match(mask_a, mask_b).copy()
+    off_a = prefix_offsets(mask_a)
+    off_b = prefix_offsets(mask_b)
+    while True:
+        pos = priority_encode(remaining)
+        if pos < 0:
+            return
+        yield pos, int(off_a[pos]), int(off_b[pos])
+        remaining[pos] = False
+
+
+def match_offsets(
+    mask_a: np.ndarray, mask_b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised drain of :func:`iter_matches`.
+
+    Returns ``(positions, offsets_a, offsets_b)`` arrays covering every
+    match in priority order. Equivalent to (and tested against) the
+    step-wise iterator, but computed with numpy in one pass.
+    """
+    matches = and_match(mask_a, mask_b)
+    positions = np.flatnonzero(matches)
+    off_a = prefix_offsets(mask_a)[positions]
+    off_b = prefix_offsets(mask_b)[positions]
+    return positions, off_a, off_b
+
+
+# ---------------------------------------------------------------------------
+# Packed (word-level) mask helpers.
+#
+# The simulators mostly operate on boolean arrays, but storage accounting and
+# the memory model work on the packed representation the hardware actually
+# stores: 1 bit per position, padded to whole bytes.
+# ---------------------------------------------------------------------------
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean mask into bytes (big-endian bit order, like packbits)."""
+    return np.packbits(_as_mask(mask))
+
+
+def unpack_mask(packed: np.ndarray, length: int) -> np.ndarray:
+    """Unpack bytes produced by :func:`pack_mask` back to *length* bools."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    bits = np.unpackbits(packed)
+    if length > bits.size:
+        raise ValueError(f"requested length {length} exceeds packed capacity {bits.size}")
+    return bits[:length].astype(bool)
+
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def packed_popcount(packed: np.ndarray) -> int:
+    """Popcount over a packed byte mask via an 8-bit lookup table."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    return int(_POPCOUNT_TABLE[packed].sum())
+
+
+def packed_match_count(packed_a: np.ndarray, packed_b: np.ndarray) -> int:
+    """Match count between two packed masks: popcount(a AND b).
+
+    The word-level form of the inner join's first step -- what the
+    hardware computes in one gate level per word. Equivalent to
+    ``popcount(and_match(a, b))`` on the unpacked masks.
+    """
+    a = np.asarray(packed_a, dtype=np.uint8)
+    b = np.asarray(packed_b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"packed shapes differ: {a.shape} vs {b.shape}")
+    return int(_POPCOUNT_TABLE[a & b].sum())

@@ -1,0 +1,205 @@
+"""Baseline sparse formats: CSR, CSC, and EIE-style run-length pointers.
+
+SparTen's bit-mask representation competes with the pointer formats used by
+prior accelerators (paper Section 3.1): SCNN, Cnvlutin and Cambricon-X use
+CSR; EIE uses a CSC variant whose column pointers are run-length encoded
+with a fixed-width run field, which forces *redundant* zero-valued entries
+whenever a zero run exceeds the encodable length -- both extra storage and
+extra (wasted) compute.
+
+These implementations exist (a) as substrates for the comparison
+architectures, (b) for the storage-size analysis of Section 3.1, and (c) as
+golden baselines for the inner-join tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+__all__ = ["CSRMatrix", "CSCMatrix", "RunLengthVector"]
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed Sparse Row matrix (indices per row, sorted)."""
+
+    shape: tuple[int, int]
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
+        rows, cols = dense.shape
+        row_ptr = np.zeros(rows + 1, dtype=np.int64)
+        col_chunks = []
+        val_chunks = []
+        for r in range(rows):
+            nz = np.flatnonzero(dense[r])
+            col_chunks.append(nz)
+            val_chunks.append(dense[r, nz])
+            row_ptr[r + 1] = row_ptr[r] + nz.size
+        col_idx = np.concatenate(col_chunks) if col_chunks else np.zeros(0, np.int64)
+        values = np.concatenate(val_chunks) if val_chunks else np.zeros(0)
+        return cls(shape=(rows, cols), row_ptr=row_ptr, col_idx=col_idx, values=values)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def row(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, values) of row *r*."""
+        lo, hi = self.row_ptr[r], self.row_ptr[r + 1]
+        return self.col_idx[lo:hi], self.values[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.values.dtype if self.nnz else np.float64)
+        for r in range(self.shape[0]):
+            idx, vals = self.row(r)
+            dense[r, idx] = vals
+        return dense
+
+    def storage_bits(self, value_bits: int = 8) -> int:
+        """Index bits (log2 of column count per entry) + row pointers + values."""
+        rows, cols = self.shape
+        idx_bits = max(1, ceil(log2(max(cols, 2))))
+        ptr_bits = 32
+        return self.nnz * (idx_bits + value_bits) + (rows + 1) * ptr_bits
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix - dense vector product (reference semantics)."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"vector shape {x.shape} incompatible with {self.shape}")
+        out = np.zeros(self.shape[0], dtype=np.result_type(self.values.dtype, x.dtype))
+        for r in range(self.shape[0]):
+            idx, vals = self.row(r)
+            out[r] = np.dot(vals, x[idx])
+        return out
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """Compressed Sparse Column matrix (EIE's base layout)."""
+
+    shape: tuple[int, int]
+    col_ptr: np.ndarray
+    row_idx: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {dense.shape}")
+        csr = CSRMatrix.from_dense(dense.T)
+        return cls(
+            shape=(dense.shape[0], dense.shape[1]),
+            col_ptr=csr.row_ptr,
+            row_idx=csr.col_idx,
+            values=csr.values,
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def column(self, c: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (row indices, values) of column *c*."""
+        lo, hi = self.col_ptr[c], self.col_ptr[c + 1]
+        return self.row_idx[lo:hi], self.values[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.values.dtype if self.nnz else np.float64)
+        for c in range(self.shape[1]):
+            idx, vals = self.column(c)
+            dense[idx, c] = vals
+        return dense
+
+    def storage_bits(self, value_bits: int = 8) -> int:
+        rows, cols = self.shape
+        idx_bits = max(1, ceil(log2(max(rows, 2))))
+        ptr_bits = 32
+        return self.nnz * (idx_bits + value_bits) + (cols + 1) * ptr_bits
+
+
+@dataclass(frozen=True)
+class RunLengthVector:
+    """EIE-style vector with fixed-width zero-run-length deltas.
+
+    Each stored entry is ``(run, value)`` where *run* counts the zeros
+    since the previous entry, encoded in ``run_bits`` bits. A zero run
+    longer than ``2**run_bits - 1`` forces a *redundant* entry: a stored
+    zero value with the maximal run, which costs storage and -- on EIE-like
+    hardware -- a wasted multiply. :attr:`redundant_entries` counts them.
+    """
+
+    length: int
+    runs: np.ndarray
+    values: np.ndarray
+    run_bits: int
+    redundant_entries: int
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, run_bits: int = 4) -> "RunLengthVector":
+        dense = np.asarray(dense)
+        if dense.ndim != 1:
+            raise ValueError(f"expected 1-D vector, got shape {dense.shape}")
+        if run_bits < 1:
+            raise ValueError(f"run_bits must be >= 1, got {run_bits}")
+        max_run = (1 << run_bits) - 1
+        runs: list[int] = []
+        values: list[float] = []
+        redundant = 0
+        gap = 0
+        for v in dense:
+            if v == 0:
+                gap += 1
+                continue
+            while gap > max_run:
+                # Insert a padding zero entry: max run + explicit 0 value.
+                runs.append(max_run)
+                values.append(0.0)
+                redundant += 1
+                gap -= max_run + 1
+            runs.append(gap)
+            values.append(float(v))
+            gap = 0
+        return cls(
+            length=dense.size,
+            runs=np.asarray(runs, dtype=np.int64),
+            values=np.asarray(values),
+            run_bits=run_bits,
+            redundant_entries=redundant,
+        )
+
+    @property
+    def stored_entries(self) -> int:
+        """Entries stored, including redundant zero-padding entries."""
+        return int(self.values.size)
+
+    @property
+    def nnz(self) -> int:
+        """True non-zero count (excludes redundant entries)."""
+        return int(np.count_nonzero(self.values))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.length)
+        pos = 0
+        for run, v in zip(self.runs, self.values):
+            pos += int(run)
+            if pos >= self.length:
+                raise ValueError("run-length stream overruns the vector length")
+            dense[pos] = v
+            pos += 1
+        return dense
+
+    def storage_bits(self, value_bits: int = 8) -> int:
+        """Stored bits: every entry (redundant or not) costs run + value bits."""
+        return self.stored_entries * (self.run_bits + value_bits)

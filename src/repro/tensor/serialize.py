@@ -1,0 +1,131 @@
+"""The memory image: SparTen's storage layout as actual bytes.
+
+Section 3.1, "The data is held in two parts": (1) an array of two-tuples,
+each a chunk's SparseMap followed by a pointer to the chunk's non-zero
+values; (2) the packed values themselves. This module serialises a
+:class:`~repro.tensor.sparsemap.SparseTensor3D` into exactly that byte
+layout and reads it back -- what a DMA engine or the FPGA's SDRAM image
+would contain -- with a small header for the geometry.
+
+Layout (little-endian):
+
+    header:   magic 'SPTN' | u16 version | u16 chunk_size |
+              u32 height | u32 width | u32 channels | u32 n_chunks |
+              u32 value_count | u8 value_bytes | 3 pad bytes
+    tuples:   n_chunks x [ chunk_size/8 mask bytes | u32 value offset ]
+    values:   value_count x value_bytes (fp8-like here: float32 for
+              numerical fidelity in Python; the width is a parameter)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.tensor.sparsemap import SparseTensor3D
+
+__all__ = ["serialize_tensor", "deserialize_tensor", "image_summary", "MAGIC"]
+
+MAGIC = b"SPTN"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHIIIIIB3x")
+
+
+def serialize_tensor(tensor: SparseTensor3D, value_dtype=np.float32) -> bytes:
+    """Serialise a sparse tensor into its memory image."""
+    value_dtype = np.dtype(value_dtype)
+    flat = tensor.flat
+    n_chunks = flat.n_chunks
+    mask_bytes = tensor.chunk_size // 8
+    if tensor.chunk_size % 8:
+        raise ValueError(
+            f"chunk size must be a multiple of 8 bits, got {tensor.chunk_size}"
+        )
+    header = _HEADER.pack(
+        MAGIC,
+        _VERSION,
+        tensor.chunk_size,
+        tensor.height,
+        tensor.width,
+        tensor.channels,
+        n_chunks,
+        flat.nnz,
+        value_dtype.itemsize,
+    )
+    parts = [header]
+    for i in range(n_chunks):
+        mask = np.packbits(flat.chunk_mask(i)).tobytes()
+        assert len(mask) == mask_bytes
+        parts.append(mask)
+        parts.append(struct.pack("<I", int(flat.chunk_offsets[i])))
+    parts.append(flat.values.astype(value_dtype).tobytes())
+    return b"".join(parts)
+
+
+def deserialize_tensor(blob: bytes) -> SparseTensor3D:
+    """Reconstruct the sparse tensor from its memory image."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("blob shorter than the header")
+    (magic, version, chunk_size, height, width, channels,
+     n_chunks, value_count, value_bytes) = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+
+    mask_bytes = chunk_size // 8
+    tuple_bytes = mask_bytes + 4
+    tuples_end = _HEADER.size + n_chunks * tuple_bytes
+    values_end = tuples_end + value_count * value_bytes
+    if len(blob) < values_end:
+        raise ValueError(
+            f"blob truncated: need {values_end} bytes, got {len(blob)}"
+        )
+
+    masks = np.zeros(n_chunks * chunk_size, dtype=bool)
+    offsets = np.zeros(n_chunks, dtype=np.int64)
+    for i in range(n_chunks):
+        base = _HEADER.size + i * tuple_bytes
+        packed = np.frombuffer(blob, dtype=np.uint8, count=mask_bytes, offset=base)
+        masks[i * chunk_size : (i + 1) * chunk_size] = np.unpackbits(packed)[
+            :chunk_size
+        ]
+        (offsets[i],) = struct.unpack_from("<I", blob, base + mask_bytes)
+    dtype = {4: np.float32, 8: np.float64, 2: np.float16, 1: np.uint8}[value_bytes]
+    values = np.frombuffer(
+        blob, dtype=dtype, count=value_count, offset=tuples_end
+    ).astype(np.float64)
+
+    # Validate the stored pointers against the masks before trusting them.
+    per_chunk = masks.reshape(n_chunks, chunk_size).sum(axis=1)
+    expected = np.concatenate([[0], np.cumsum(per_chunk)[:-1]])
+    if not np.array_equal(offsets, expected):
+        raise ValueError("chunk pointers inconsistent with the SparseMaps")
+
+    # Rebuild the dense tensor via the masks and re-wrap.
+    padded_c = (n_chunks * chunk_size) // (height * width)
+    dense_flat = np.zeros(n_chunks * chunk_size)
+    dense_flat[masks] = values
+    dense = dense_flat.reshape(height, width, padded_c)[:, :, :channels]
+    return SparseTensor3D(dense, chunk_size=chunk_size)
+
+
+def image_summary(blob: bytes) -> dict:
+    """Header fields plus the two parts' byte extents (for inspection)."""
+    (magic, version, chunk_size, height, width, channels,
+     n_chunks, value_count, value_bytes) = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    tuple_bytes = chunk_size // 8 + 4
+    return {
+        "version": version,
+        "chunk_size": chunk_size,
+        "shape": (height, width, channels),
+        "n_chunks": n_chunks,
+        "value_count": value_count,
+        "value_bytes": value_bytes,
+        "tuple_array_bytes": n_chunks * tuple_bytes,
+        "value_heap_bytes": value_count * value_bytes,
+        "total_bytes": _HEADER.size + n_chunks * tuple_bytes + value_count * value_bytes,
+    }

@@ -1,0 +1,330 @@
+"""The SparseMap representation: chunked bit-mask + packed non-zero values.
+
+Paper Section 3.1: a sparse tensor is a two-tuple of a bit mask (the
+*SparseMap*, 1s at non-zero positions) and the packed non-zero values.
+Tensors are broken into *chunks* of ``n`` positions (``n = 128`` in the
+paper) giving n-bit SparseMaps each paired with a variable number of values.
+
+Layout rules implemented here (all from Section 3.1/3.2):
+
+- Data is stored Z-first (channel fastest), then X, then Y, so that the
+  SparseMaps a compute unit consumes are contiguous.
+- The channel axis is zero-padded to a multiple of the chunk size, so a
+  chunk never straddles two (x, y) positions. Padding adds mask bits but
+  **no** values (the paper's 3-channel input image example: three 1s padded
+  by 125 0s).
+- The representation stores, per chunk, the mask and a pointer (here: an
+  offset) into the value array.
+
+:class:`SparseMap` is the 1-D building block (a linearised vector);
+:class:`SparseTensor3D` wraps an H x W x C feature-map or filter tensor into
+the Z-first chunked form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.tensor import bitmask
+
+__all__ = [
+    "CHUNK_SIZE",
+    "padded_length",
+    "SparseMap",
+    "SparseTensor3D",
+    "linearize_zfirst",
+    "concat_channels",
+]
+
+#: Default chunk size (positions per SparseMap), per the paper.
+CHUNK_SIZE = 128
+
+
+def padded_length(n: int, chunk_size: int = CHUNK_SIZE) -> int:
+    """Round *n* up to a whole number of chunks."""
+    if n < 0:
+        raise ValueError(f"length must be non-negative, got {n}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    return ((n + chunk_size - 1) // chunk_size) * chunk_size
+
+
+@dataclass(frozen=True)
+class SparseMap:
+    """A chunked sparse vector: bit mask + packed non-zero values.
+
+    Attributes:
+        mask: boolean array of length ``n_chunks * chunk_size`` (the
+            logical length padded with 0 bits).
+        values: the non-zero values in mask order, ``values.size`` equals
+            ``mask.sum()``.
+        length: the logical (unpadded) vector length.
+        chunk_size: positions per chunk.
+    """
+
+    mask: np.ndarray
+    values: np.ndarray
+    length: int
+    chunk_size: int = CHUNK_SIZE
+    #: Per-chunk offsets into ``values`` (the stored "pointer" of each
+    #: chunk's two-tuple); entry ``i`` is where chunk ``i``'s values begin.
+    chunk_offsets: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.mask, dtype=bool)
+        values = np.asarray(self.values)
+        if mask.ndim != 1:
+            raise ValueError(f"mask must be 1-D, got shape {mask.shape}")
+        if mask.size != padded_length(self.length, self.chunk_size):
+            raise ValueError(
+                f"mask size {mask.size} is not length {self.length} padded to "
+                f"chunk size {self.chunk_size}"
+            )
+        if mask[self.length :].any():
+            raise ValueError("padding bits beyond the logical length must be 0")
+        nnz = int(mask.sum())
+        if values.size != nnz:
+            raise ValueError(f"{nnz} set bits but {values.size} values")
+        object.__setattr__(self, "mask", mask)
+        object.__setattr__(self, "values", values)
+        per_chunk = mask.reshape(self.n_chunks, self.chunk_size).sum(axis=1)
+        offsets = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        np.cumsum(per_chunk, out=offsets[1:])
+        object.__setattr__(self, "chunk_offsets", offsets)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, chunk_size: int = CHUNK_SIZE
+    ) -> "SparseMap":
+        """Build a SparseMap from a dense 1-D vector (zeros dropped)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 1:
+            raise ValueError(f"dense vector must be 1-D, got shape {dense.shape}")
+        length = dense.size
+        padded = padded_length(length, chunk_size)
+        mask = np.zeros(padded, dtype=bool)
+        mask[:length] = dense != 0
+        values = dense[dense != 0]
+        return cls(mask=mask, values=values, length=length, chunk_size=chunk_size)
+
+    @classmethod
+    def empty(cls, length: int, chunk_size: int = CHUNK_SIZE) -> "SparseMap":
+        """An all-zero SparseMap of the given logical length."""
+        padded = padded_length(length, chunk_size)
+        return cls(
+            mask=np.zeros(padded, dtype=bool),
+            values=np.zeros(0),
+            length=length,
+            chunk_size=chunk_size,
+        )
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks covering the (padded) vector."""
+        return self.mask.size // self.chunk_size
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero values."""
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero positions over the *logical* length."""
+        if self.length == 0:
+            return 0.0
+        return self.nnz / self.length
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense vector (logical length, padding dropped)."""
+        dense = np.zeros(self.mask.size, dtype=self.values.dtype if self.nnz else np.float64)
+        dense[self.mask] = self.values
+        return dense[: self.length]
+
+    # -- chunk access --------------------------------------------------------
+
+    def chunk_mask(self, i: int) -> np.ndarray:
+        """The i-th chunk's bit mask (length ``chunk_size``)."""
+        self._check_chunk(i)
+        start = i * self.chunk_size
+        return self.mask[start : start + self.chunk_size]
+
+    def chunk_values(self, i: int) -> np.ndarray:
+        """The i-th chunk's packed non-zero values."""
+        self._check_chunk(i)
+        return self.values[self.chunk_offsets[i] : self.chunk_offsets[i + 1]]
+
+    def chunks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(mask, values)`` pairs chunk by chunk."""
+        for i in range(self.n_chunks):
+            yield self.chunk_mask(i), self.chunk_values(i)
+
+    def chunk_nnz(self) -> np.ndarray:
+        """Per-chunk non-zero counts (the chunk densities, unnormalised)."""
+        return np.diff(self.chunk_offsets)
+
+    def _check_chunk(self, i: int) -> None:
+        if not 0 <= i < self.n_chunks:
+            raise IndexError(f"chunk {i} out of range [0, {self.n_chunks})")
+
+    # -- storage accounting ---------------------------------------------------
+
+    def storage_bits(self, value_bits: int = 8, pointer_bits: int = 32) -> int:
+        """Total stored bits: masks + values + one pointer per chunk.
+
+        The paper's accounting (Section 3.1): ``n`` mask bits plus
+        ``f * n * l`` value bits; we also count the per-chunk data pointer
+        of the (SparseMap, pointer) two-tuple, which the paper notes is
+        common to all representations.
+        """
+        return self.mask.size + self.nnz * value_bits + self.n_chunks * pointer_bits
+
+
+class SparseTensor3D:
+    """An H x W x C tensor in Z-first chunked SparseMap form.
+
+    The channel axis is padded to a multiple of the chunk size, so each
+    (x, y) position owns exactly ``channel_chunks`` chunks. Chunk index
+    ``(y * W + x) * channel_chunks + cz`` covers channels
+    ``[cz * chunk_size, (cz + 1) * chunk_size)`` at position ``(x, y)``.
+    """
+
+    def __init__(self, dense: np.ndarray, chunk_size: int = CHUNK_SIZE):
+        dense = np.asarray(dense)
+        if dense.ndim != 3:
+            raise ValueError(f"expected H x W x C tensor, got shape {dense.shape}")
+        self.height, self.width, self.channels = dense.shape
+        self.chunk_size = chunk_size
+        self.padded_channels = padded_length(self.channels, chunk_size)
+        self.channel_chunks = self.padded_channels // chunk_size
+        # Z-first linearisation with channel padding: pad C then flatten so
+        # the channel axis is fastest-varying.
+        padded = np.zeros(
+            (self.height, self.width, self.padded_channels), dtype=dense.dtype
+        )
+        padded[:, :, : self.channels] = dense
+        flat = padded.reshape(-1)
+        self.flat = SparseMap.from_dense(flat, chunk_size=chunk_size)
+        # The logical length already includes channel padding; remember the
+        # true element count separately.
+        self.logical_elements = self.height * self.width * self.channels
+
+    @property
+    def n_chunks(self) -> int:
+        """Total chunks over the tensor."""
+        return self.flat.n_chunks
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zero values."""
+        return self.flat.nnz
+
+    @property
+    def density(self) -> float:
+        """Non-zero fraction over the *logical* (unpadded) element count."""
+        if self.logical_elements == 0:
+            return 0.0
+        return self.nnz / self.logical_elements
+
+    def chunk_index(self, x: int, y: int, cz: int = 0) -> int:
+        """Chunk index for position (x, y) and channel-chunk cz."""
+        if not 0 <= x < self.width:
+            raise IndexError(f"x={x} out of range [0, {self.width})")
+        if not 0 <= y < self.height:
+            raise IndexError(f"y={y} out of range [0, {self.height})")
+        if not 0 <= cz < self.channel_chunks:
+            raise IndexError(f"cz={cz} out of range [0, {self.channel_chunks})")
+        return (y * self.width + x) * self.channel_chunks + cz
+
+    def position_map(self, x: int, y: int) -> SparseMap:
+        """All channels at (x, y) as their own SparseMap."""
+        start = self.chunk_index(x, y, 0) * self.chunk_size
+        stop = start + self.padded_channels
+        mask = self.flat.mask[start:stop]
+        v0 = self.flat.chunk_offsets[self.chunk_index(x, y, 0)]
+        v1 = self.flat.chunk_offsets[self.chunk_index(x, y, self.channel_chunks - 1) + 1]
+        return SparseMap(
+            mask=mask.copy(),
+            values=self.flat.values[v0:v1].copy(),
+            length=self.padded_channels,
+            chunk_size=self.chunk_size,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense H x W x C tensor."""
+        flat = self.flat.to_dense()
+        padded = flat.reshape(self.height, self.width, self.padded_channels)
+        return padded[:, :, : self.channels]
+
+    def mask_3d(self) -> np.ndarray:
+        """The boolean occupancy mask, H x W x C (padding dropped)."""
+        mask = self.flat.mask.reshape(self.height, self.width, self.padded_channels)
+        return mask[:, :, : self.channels]
+
+    def storage_bits(self, value_bits: int = 8, pointer_bits: int = 32) -> int:
+        """Stored bits for the whole tensor (see :meth:`SparseMap.storage_bits`)."""
+        return self.flat.storage_bits(value_bits=value_bits, pointer_bits=pointer_bits)
+
+
+def linearize_zfirst(
+    tensor: np.ndarray, chunk_size: int = CHUNK_SIZE
+) -> SparseMap:
+    """Linearise a (k, k, C) window or filter into a chunk-aligned SparseMap.
+
+    Z-first order with per-(ky, kx) channel padding: each kernel position's
+    C channels are padded to a whole number of chunks before the next
+    position starts, so an input window and a filter linearised this way
+    have *aligned* chunks -- chunk i of one joins against chunk i of the
+    other. This is the layout the compute units consume.
+    """
+    tensor = np.asarray(tensor)
+    if tensor.ndim != 3:
+        raise ValueError(f"expected (k, k, C), got shape {tensor.shape}")
+    k1, k2, c = tensor.shape
+    padded_c = padded_length(c, chunk_size)
+    flat = np.zeros(k1 * k2 * padded_c, dtype=tensor.dtype)
+    for ky in range(k1):
+        for kx in range(k2):
+            base = (ky * k2 + kx) * padded_c
+            flat[base : base + c] = tensor[ky, kx, :]
+    return SparseMap.from_dense(flat, chunk_size=chunk_size)
+
+
+def _self_test_roundtrip() -> None:  # pragma: no cover - debugging helper
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((5, 4, 37))
+    dense[rng.random(dense.shape) < 0.6] = 0.0
+    t = SparseTensor3D(dense, chunk_size=16)
+    assert np.array_equal(t.to_dense(), dense)
+    assert bitmask.popcount(t.flat.mask) == np.count_nonzero(dense)
+
+
+def concat_channels(
+    tensors: list["SparseTensor3D"], chunk_size: int | None = None
+) -> "SparseTensor3D":
+    """Concatenate sparse feature maps along the channel (Z) axis.
+
+    The inception-module join: GoogLeNet's branch outputs concatenate
+    channelwise before the next layer consumes them. Spatial geometry
+    must agree; the result is re-chunked (each branch's channel padding
+    disappears into the combined tensor's own padding).
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor")
+    first = tensors[0]
+    for t in tensors[1:]:
+        if (t.height, t.width) != (first.height, first.width):
+            raise ValueError(
+                f"spatial geometry differs: {(t.height, t.width)} vs "
+                f"{(first.height, first.width)}"
+            )
+    chunk = chunk_size if chunk_size is not None else first.chunk_size
+    dense = np.concatenate([t.to_dense() for t in tensors], axis=2)
+    return SparseTensor3D(dense, chunk_size=chunk)

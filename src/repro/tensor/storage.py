@@ -1,0 +1,231 @@
+"""Memory-layout model: chunk arrays and per-cluster output regions.
+
+Paper Section 3.1, "The data is held in two parts": per layer there are
+three arrays of (SparseMap, pointer) two-tuples -- filters, input map,
+output map -- plus the variable-length value storage. Because different
+clusters concurrently emit different sub-tensors of the output map, SparTen
+gives each cluster its own contiguous memory *region* sized for the average
+case plus padding (e.g. 10%), with a watermark-based fallback allocating
+additional space in the background when a region fills.
+
+This module models exactly that: :class:`ClusterRegion` tracks a region's
+capacity, fill level, and watermark-triggered extensions;
+:class:`OutputLayout` slices an output tensor's X or Y extent across
+clusters and owns their regions; :class:`LayerStorage` accounts the full
+footprint (tuple arrays + values) of a layer's three tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.sparsemap import CHUNK_SIZE, padded_length
+
+__all__ = [
+    "ClusterRegion",
+    "OutputLayout",
+    "LayerStorage",
+    "TensorFootprint",
+    "even_slices",
+]
+
+
+class ClusterRegion:
+    """One cluster's output value region with watermark-based growth.
+
+    The region starts at ``base_capacity`` bytes. When the fill level
+    crosses ``watermark`` (a fraction of current capacity) the region is
+    extended by ``extension`` bytes *in the background* -- the cluster
+    keeps working. A write that overflows anyway forces a blocking
+    foreground allocation, counted in :attr:`overflow_stalls` (a
+    mis-tuned watermark shows up there).
+    """
+
+    def __init__(
+        self,
+        base_capacity: int,
+        watermark: float = 0.9,
+        extension: int | None = None,
+    ):
+        if base_capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {base_capacity}")
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError(f"watermark must be in (0, 1], got {watermark}")
+        self.capacity = base_capacity
+        self.watermark = watermark
+        self.extension = extension if extension is not None else base_capacity // 4
+        if self.extension <= 0:
+            raise ValueError("extension must be positive")
+        self.used = 0
+        self.extensions = 0
+        self.overflow_stalls = 0
+        self._pending_extension = False
+
+    def write(self, nbytes: int) -> int:
+        """Append *nbytes* of output values; returns the write offset.
+
+        Models one cluster round's value write. Crossing the watermark
+        schedules a background extension which lands before the *next*
+        write (the cluster keeps working, per the paper). If a write
+        still overflows -- the background allocation did not keep up --
+        the cluster must block for a foreground allocation, counted in
+        :attr:`overflow_stalls` (a mis-tuned watermark shows up there).
+        """
+        if nbytes < 0:
+            raise ValueError(f"write size must be non-negative, got {nbytes}")
+        if self._pending_extension:
+            self.capacity += self.extension
+            self.extensions += 1
+            self._pending_extension = False
+        offset = self.used
+        if self.used + nbytes > self.capacity:
+            shortfall = self.used + nbytes - self.capacity
+            needed = -(-shortfall // self.extension)
+            self.capacity += needed * self.extension
+            self.extensions += needed
+            self.overflow_stalls += 1
+        self.used += nbytes
+        if self.used >= self.watermark * self.capacity:
+            self._pending_extension = True
+        return offset
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of current capacity in use."""
+        return self.used / self.capacity
+
+
+@dataclass
+class OutputLayout:
+    """Per-cluster slicing of an output feature map's value storage.
+
+    The output H x W x N tensor is sliced along X or Y (never Z) into
+    ``n_clusters`` contiguous sub-tensors; each cluster writes its slice's
+    values into its own :class:`ClusterRegion`. Region sizing follows the
+    paper: expected bytes (average density) plus ``padding_fraction``.
+    """
+
+    height: int
+    width: int
+    channels: int
+    n_clusters: int
+    expected_density: float
+    value_bytes: int = 1
+    padding_fraction: float = 0.10
+    slice_axis: str = "y"
+    regions: list[ClusterRegion] = field(init=False)
+    slices: list[tuple[int, int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.slice_axis not in ("x", "y", "flat"):
+            raise ValueError(
+                f"slice_axis must be 'x', 'y' or 'flat', got {self.slice_axis!r}"
+            )
+        if not 0.0 <= self.expected_density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {self.expected_density}")
+        if self.slice_axis == "y":
+            extent, per_unit = self.height, self.width * self.channels
+        elif self.slice_axis == "x":
+            extent, per_unit = self.width, self.height * self.channels
+        else:
+            # Flat row-major position slicing: still a contiguous memory
+            # range in the Z-X-Y layout (position-major), finer-grained
+            # than whole rows.
+            extent, per_unit = self.height * self.width, self.channels
+        self.slices = even_slices(extent, self.n_clusters)
+        self.regions = []
+        for lo, hi in self.slices:
+            cells = (hi - lo) * per_unit
+            expected = max(1, int(cells * self.expected_density * self.value_bytes))
+            capacity = max(1, int(expected * (1.0 + self.padding_fraction)))
+            self.regions.append(ClusterRegion(base_capacity=capacity))
+
+    def cluster_for_position(self, x: int, y: int) -> int:
+        """Which cluster owns output position (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"position ({x}, {y}) outside the output extent")
+        if self.slice_axis == "y":
+            coord = y
+        elif self.slice_axis == "x":
+            coord = x
+        else:
+            coord = y * self.width + x
+        for i, (lo, hi) in enumerate(self.slices):
+            if lo <= coord < hi:
+                return i
+        raise IndexError(f"position ({x}, {y}) outside the output extent")
+
+    def write_cluster_output(self, cluster: int, nnz_values: int) -> int:
+        """Record a cluster writing *nnz_values* output values; returns offset."""
+        return self.regions[cluster].write(nnz_values * self.value_bytes)
+
+    @property
+    def total_extensions(self) -> int:
+        """Watermark extensions across all regions (allocator pressure)."""
+        return sum(r.extensions for r in self.regions)
+
+
+def even_slices(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Split [0, extent) into *parts* contiguous near-equal slices.
+
+    Clusters beyond the extent get empty slices (idle clusters on small
+    layers -- a real inter-cluster loss the simulator accounts for).
+    """
+    if extent < 0 or parts <= 0:
+        raise ValueError(f"bad slicing: extent={extent}, parts={parts}")
+    bounds = np.linspace(0, extent, parts + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]
+
+
+@dataclass(frozen=True)
+class TensorFootprint:
+    """Byte footprint of one tensor in SparTen's layout."""
+
+    mask_bytes: int
+    pointer_bytes: int
+    value_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.mask_bytes + self.pointer_bytes + self.value_bytes
+
+
+class LayerStorage:
+    """Footprint accounting for a layer's filter/input/output arrays.
+
+    Each tensor is an array of (SparseMap, pointer) tuples -- one per
+    chunk -- plus its packed values. Chunk counts follow the Z-first
+    channel-padded chunking of :mod:`repro.tensor.sparsemap`.
+    """
+
+    POINTER_BYTES = 4
+
+    def __init__(self, chunk_size: int = CHUNK_SIZE, value_bytes: int = 1):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.value_bytes = value_bytes
+
+    def tensor_footprint(
+        self, spatial_positions: int, channels: int, nnz: int
+    ) -> TensorFootprint:
+        """Footprint of a tensor with the given geometry and non-zero count."""
+        if spatial_positions < 0 or channels < 0 or nnz < 0:
+            raise ValueError("geometry and nnz must be non-negative")
+        padded_c = padded_length(channels, self.chunk_size)
+        n_chunks = spatial_positions * (padded_c // self.chunk_size)
+        return TensorFootprint(
+            mask_bytes=n_chunks * self.chunk_size // 8,
+            pointer_bytes=n_chunks * self.POINTER_BYTES,
+            value_bytes=nnz * self.value_bytes,
+        )
+
+    def dense_footprint(self, spatial_positions: int, channels: int) -> TensorFootprint:
+        """Footprint of the same tensor stored dense (no masks/pointers)."""
+        return TensorFootprint(
+            mask_bytes=0,
+            pointer_bytes=0,
+            value_bytes=spatial_positions * channels * self.value_bytes,
+        )

@@ -1,0 +1,176 @@
+"""Tests for the public accelerator API (repro.core.accelerator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import SparTenAccelerator
+from repro.nets.pruning import prune_filters
+from repro.nets.reference import conv2d_reference
+from repro.sim.config import HardwareConfig
+
+
+@pytest.fixture
+def cfg():
+    return HardwareConfig(name="api", n_clusters=3, units_per_cluster=4, chunk_size=16)
+
+
+@pytest.fixture
+def workload(rng):
+    x = np.abs(rng.standard_normal((7, 7, 12)))
+    x[rng.random(x.shape) < 0.5] = 0.0
+    f = prune_filters(rng.standard_normal((9, 3, 3, 12)), 0.4, rng=rng)
+    return x, f
+
+
+class TestConv2d:
+    def test_fast_engine_correct(self, cfg, workload):
+        x, f = workload
+        acc = SparTenAccelerator(config=cfg)
+        out, report = acc.conv2d(x, f, padding=1)
+        assert np.allclose(out, conv2d_reference(x, f, padding=1))
+        assert report.cycles > 0
+        assert report.useful_macs > 0
+
+    @pytest.mark.parametrize("variant", ["no_gb", "gb_s", "gb_h"])
+    def test_functional_engine_correct(self, cfg, workload, variant):
+        x, f = workload
+        acc = SparTenAccelerator(config=cfg, variant=variant, engine="functional")
+        out, _ = acc.conv2d(x, f, padding=1)
+        assert np.allclose(out, conv2d_reference(x, f, padding=1))
+
+    def test_any_stride(self, cfg, workload):
+        x, f = workload
+        acc = SparTenAccelerator(config=cfg)
+        out, _ = acc.conv2d(x, f, stride=2, padding=1)
+        assert np.allclose(out, conv2d_reference(x, f, stride=2, padding=1))
+
+    def test_relu(self, cfg, workload):
+        x, f = workload
+        acc = SparTenAccelerator(config=cfg)
+        out, _ = acc.conv2d(x, f, padding=1, apply_relu=True)
+        assert (out >= 0).all()
+
+    def test_report_measures_actual_density(self, cfg, workload):
+        """Cycles reflect this data's zeros, not a nominal density."""
+        x, f = workload
+        acc = SparTenAccelerator(config=cfg)
+        _, report = acc.conv2d(x, f, padding=1)
+        dense_x = np.abs(np.random.default_rng(0).standard_normal(x.shape)) + 0.1
+        _, dense_report = acc.conv2d(dense_x, f, padding=1)
+        assert report.cycles < dense_report.cycles
+
+    def test_shape_validation(self, cfg, rng):
+        acc = SparTenAccelerator(config=cfg)
+        with pytest.raises(ValueError, match="channel mismatch"):
+            acc.conv2d(rng.standard_normal((4, 4, 3)), rng.standard_normal((2, 3, 3, 5)))
+
+
+class TestFCAndBlas:
+    def test_fc(self, cfg, rng):
+        w = rng.standard_normal((8, 30))
+        w[rng.random(w.shape) < 0.6] = 0.0
+        x = rng.standard_normal(30)
+        x[rng.random(30) < 0.4] = 0.0
+        acc = SparTenAccelerator(config=cfg)
+        out, report = acc.fc(w, x)
+        assert np.allclose(out, w @ x)
+        assert report.cycles > 0
+
+    def test_fc_functional(self, cfg, rng):
+        w = rng.standard_normal((8, 32))
+        w[rng.random(w.shape) < 0.5] = 0.0
+        x = rng.standard_normal(32)
+        acc = SparTenAccelerator(config=cfg, variant="gb_s", engine="functional")
+        out, _ = acc.fc(w, x)
+        assert np.allclose(out, w @ x)
+
+    def test_matvec_with_bias(self, cfg, rng):
+        w = rng.standard_normal((6, 20))
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(6)
+        acc = SparTenAccelerator(config=cfg)
+        out, _ = acc.matvec(w, x, y=y)
+        assert np.allclose(out, w @ x + y)
+
+    def test_matmul(self, cfg, rng):
+        a = rng.standard_normal((6, 20))
+        a[rng.random(a.shape) < 0.5] = 0.0
+        b = rng.standard_normal((20, 4))
+        acc = SparTenAccelerator(config=cfg)
+        out, report = acc.matmul(a, b)
+        assert np.allclose(out, a @ b)
+        # Cycle costs accumulate across the four column matvecs.
+        _, one_col = acc.matvec(a, b[:, 0])
+        assert report.cycles > one_col.cycles
+
+    def test_matmul_shape_check(self, cfg, rng):
+        acc = SparTenAccelerator(config=cfg)
+        with pytest.raises(ValueError, match="incompatible"):
+            acc.matmul(rng.standard_normal((3, 4)), rng.standard_normal((5, 2)))
+
+    def test_bias_shape_check(self, cfg, rng):
+        acc = SparTenAccelerator(config=cfg)
+        with pytest.raises(ValueError, match="y shape"):
+            acc.fc(rng.standard_normal((3, 4)), rng.standard_normal(4), y=np.ones(5))
+
+
+class TestRunLayer:
+    def test_conv_spec(self, cfg, tiny_spec):
+        acc = SparTenAccelerator(config=cfg)
+        result = acc.run_layer(tiny_spec, seed=0)
+        assert result.scheme == "sparten"
+        assert result.cycles > 0
+
+    def test_fc_spec(self, cfg):
+        from repro.nets.layers import FCLayerSpec
+
+        acc = SparTenAccelerator(config=cfg)
+        fc = FCLayerSpec("fc", n_inputs=64, n_outputs=12,
+                         input_density=0.4, weight_density=0.3)
+        result = acc.run_layer(fc, seed=0)
+        assert result.cycles > 0
+
+
+class TestConstruction:
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            SparTenAccelerator(variant="magic")
+
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            SparTenAccelerator(engine="quantum")
+
+
+class TestQuickEstimate:
+    def test_estimate_brackets_simulation(self, tiny_spec):
+        """The analytical estimate lands in the measured ballpark."""
+        from repro.core.accelerator import estimate_layer
+        from repro.sim.config import HardwareConfig
+        from repro.sim.dense import simulate_dense
+        from repro.sim.sparten import simulate_sparten
+
+        cfg = HardwareConfig(name="est", n_clusters=3, units_per_cluster=4,
+                             chunk_size=16)
+        estimate = estimate_layer(tiny_spec, config=cfg)
+        dense = simulate_dense(tiny_spec, cfg, seed=0)
+        sparse = simulate_sparten(tiny_spec, cfg, variant="gb_h", seed=0)
+        measured = dense.cycles / sparse.cycles
+        assert measured <= estimate.ceiling_speedup * 1.05
+        assert estimate.estimated_speedup == pytest.approx(
+            estimate.ceiling_speedup * 0.65
+        )
+
+    def test_fc_spec_accepted(self):
+        from repro.core.accelerator import estimate_layer
+        from repro.nets.layers import FCLayerSpec
+
+        fc = FCLayerSpec("fc", n_inputs=100, n_outputs=50,
+                         input_density=0.5, weight_density=0.2)
+        estimate = estimate_layer(fc)
+        assert estimate.ceiling_speedup == pytest.approx(10.0)
+
+    def test_validation(self, tiny_spec):
+        from repro.core.accelerator import estimate_layer
+
+        with pytest.raises(ValueError, match="efficiency"):
+            estimate_layer(tiny_spec, assumed_efficiency=0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the representation-size analysis (Section 3.1's math)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.analysis import (
+    bitmask_bits,
+    crossover_density,
+    density_stats,
+    measure_sizes,
+    pointer_bits,
+)
+
+from tests.conftest import sparse_vector
+
+
+class TestFormulas:
+    def test_pointer_formula(self):
+        # f*n*log2(n) + f*n*l with n=1024, f=0.25, l=8.
+        assert pointer_bits(1024, 0.25, 8) == pytest.approx(0.25 * 1024 * 10 + 0.25 * 1024 * 8)
+
+    def test_bitmask_formula(self):
+        assert bitmask_bits(1024, 0.25, 8) == pytest.approx(1024 + 0.25 * 1024 * 8)
+
+    def test_crossover(self):
+        # Pointers win only below 1/log2(n).
+        n = 1 << 20
+        f = crossover_density(n)
+        assert f == pytest.approx(1 / 20)
+        assert pointer_bits(n, f * 0.5) < bitmask_bits(n, f * 0.5)
+        assert pointer_bits(n, f * 2.0) > bitmask_bits(n, f * 2.0)
+
+    def test_cnn_densities_favor_bitmask(self):
+        """The paper's point: at f ~ 1/3 to 1/2, bit masks win for large n."""
+        n = 1 << 22  # millions of filter values
+        for f in (1 / 3, 1 / 2):
+            assert bitmask_bits(n, f) < pointer_bits(n, f)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError, match="density"):
+            pointer_bits(100, 1.5)
+        with pytest.raises(ValueError, match="density"):
+            bitmask_bits(100, -0.1)
+
+    def test_crossover_needs_n_ge_2(self):
+        with pytest.raises(ValueError):
+            crossover_density(1)
+
+
+class TestMeasureSizes:
+    def test_consistency_with_formats(self, rng):
+        dense = sparse_vector(rng, 512, 0.35)
+        sizes = measure_sizes(dense, value_bits=8, chunk_size=128)
+        assert sizes.length == 512
+        assert sizes.nnz == int(np.count_nonzero(dense))
+        assert sizes.dense == 512 * 8
+        # Bit mask = padded mask bits + nnz values.
+        assert sizes.bitmask == 512 + sizes.nnz * 8
+        # Pointer = (log2(512)=9 + 8) bits per nnz.
+        assert sizes.pointer == sizes.nnz * 17
+
+    def test_bitmask_beats_pointer_at_cnn_density(self, rng):
+        dense = sparse_vector(rng, 4096, 0.4)
+        sizes = measure_sizes(dense)
+        assert sizes.bitmask < sizes.pointer
+        assert sizes.bitmask < sizes.dense
+
+    def test_pointer_beats_bitmask_at_hpc_density(self, rng):
+        dense = np.zeros(4096)
+        dense[rng.choice(4096, size=4, replace=False)] = 1.0  # ~0.1% dense
+        sizes = measure_sizes(dense)
+        assert sizes.pointer < sizes.bitmask
+
+    def test_density_property(self, rng):
+        dense = sparse_vector(rng, 100, 0.5)
+        sizes = measure_sizes(dense)
+        assert sizes.density == pytest.approx(sizes.nnz / 100)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            measure_sizes(np.zeros((3, 3)))
+
+
+class TestDensityStats:
+    def test_summary(self):
+        stats = density_stats(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.median == pytest.approx(0.25)
+        assert stats.minimum == 0.1
+        assert stats.maximum == 0.4
+        assert stats.spread == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            density_stats(np.array([]))

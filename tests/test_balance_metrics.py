@@ -1,0 +1,103 @@
+"""Unit tests for load-imbalance metrics and Figure 14 data."""
+
+import numpy as np
+import pytest
+
+from repro.balance.greedy import gb_h_plan, gb_s_plan, no_gb_plan
+from repro.balance.metrics import (
+    figure14_distribution,
+    group_utilization,
+    plan_utilization,
+)
+from repro.nets.pruning import prune_filters
+
+
+@pytest.fixture
+def spread_masks(rng):
+    """A filter bank with strong per-filter density variation."""
+    filters = prune_filters(
+        rng.standard_normal((32, 3, 3, 24)), 0.4, spread=0.5, rng=rng
+    )
+    return filters != 0
+
+
+class TestGroupUtilization:
+    def test_perfect_balance(self):
+        assert group_utilization(np.array([5.0, 5.0, 5.0, 5.0])) == 1.0
+
+    def test_single_worker(self):
+        assert group_utilization(np.array([8.0, 0.0, 0.0, 0.0])) == 0.25
+
+    def test_figure6_example(self):
+        """Utilisation is mean/max -- the shaded fraction of Figure 6(b)."""
+        work = np.array([4.0, 2.0, 3.0, 1.0])
+        assert group_utilization(work) == pytest.approx(10 / 16)
+
+    def test_all_idle_is_perfect(self):
+        assert group_utilization(np.zeros(4)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            group_utilization(np.array([]))
+
+
+class TestPlanUtilization:
+    def test_gb_improves_over_no_gb(self, spread_masks):
+        """The core claim: GB raises utilisation on spread-out filters."""
+        no_gb = plan_utilization(no_gb_plan(spread_masks, 8), spread_masks, chunk_size=16)
+        gb_s = plan_utilization(gb_s_plan(spread_masks, 8), spread_masks, chunk_size=16)
+        gb_h = plan_utilization(gb_h_plan(spread_masks, 8, chunk_size=16), spread_masks, chunk_size=16)
+        assert gb_s > no_gb
+        assert gb_h >= gb_s
+
+    def test_bounded_by_one(self, spread_masks):
+        for plan in (
+            no_gb_plan(spread_masks, 8),
+            gb_s_plan(spread_masks, 8),
+            gb_h_plan(spread_masks, 8, chunk_size=16),
+        ):
+            u = plan_utilization(plan, spread_masks, chunk_size=16)
+            assert 0.0 < u <= 1.0
+
+    def test_uniform_filters_near_perfect(self, rng):
+        masks = np.ones((16, 3, 3, 16), dtype=bool)
+        plan = no_gb_plan(masks, 8)
+        assert plan_utilization(plan, masks, chunk_size=16) == 1.0
+
+
+class TestFigure14:
+    def test_pairing_tightens_distribution(self, spread_masks):
+        plan = gb_h_plan(spread_masks, 8, chunk_size=16)
+        data = figure14_distribution(spread_masks, plan, chunk_index=0, chunk_size=16)
+        assert data.pair_spread < data.filter_spread
+        assert data.pair_densities.size == data.filter_densities.size // 2
+
+    def test_curves_sorted(self, spread_masks):
+        plan = gb_h_plan(spread_masks, 8, chunk_size=16)
+        data = figure14_distribution(spread_masks, plan, chunk_index=1, chunk_size=16)
+        assert np.all(np.diff(data.filter_densities) >= 0)
+        assert np.all(np.diff(data.pair_densities) >= 0)
+
+    def test_gb_s_static_pairing_accepted(self, spread_masks):
+        plan = gb_s_plan(spread_masks, 8)
+        data = figure14_distribution(spread_masks, plan, chunk_index=0, chunk_size=16)
+        assert data.pair_densities.size == 16
+
+    def test_no_gb_plan_rejected(self, spread_masks):
+        with pytest.raises(ValueError, match="no collocation"):
+            figure14_distribution(
+                spread_masks, no_gb_plan(spread_masks, 8), chunk_size=16
+            )
+
+    def test_chunk_index_bounds(self, spread_masks):
+        plan = gb_h_plan(spread_masks, 8, chunk_size=16)
+        with pytest.raises(IndexError):
+            figure14_distribution(spread_masks, plan, chunk_index=999, chunk_size=16)
+
+    def test_mean_density_preserved(self, spread_masks):
+        """Pairing averages cannot change the overall mean density."""
+        plan = gb_h_plan(spread_masks, 8, chunk_size=16)
+        data = figure14_distribution(spread_masks, plan, chunk_index=0, chunk_size=16)
+        assert data.pair_densities.mean() == pytest.approx(
+            data.filter_densities.mean(), abs=1e-9
+        )

@@ -1,0 +1,166 @@
+"""Unit tests for the bit-mask kernels (repro.tensor.bitmask)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import bitmask
+
+
+def mask(bits: str) -> np.ndarray:
+    return np.array([c == "1" for c in bits])
+
+
+class TestPopcount:
+    def test_empty_mask(self):
+        assert bitmask.popcount(np.zeros(8, dtype=bool)) == 0
+
+    def test_full_mask(self):
+        assert bitmask.popcount(np.ones(8, dtype=bool)) == 8
+
+    def test_mixed(self):
+        assert bitmask.popcount(mask("10110001")) == 4
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            bitmask.popcount(np.zeros((2, 2), dtype=bool))
+
+    def test_accepts_int_array(self):
+        assert bitmask.popcount(np.array([0, 1, 2, 0])) == 2
+
+
+class TestAndMatch:
+    def test_basic(self):
+        a = mask("1101")
+        b = mask("1011")
+        assert np.array_equal(bitmask.and_match(a, b), mask("1001"))
+
+    def test_disjoint(self):
+        assert bitmask.and_match(mask("1100"), mask("0011")).sum() == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            bitmask.and_match(mask("111"), mask("11"))
+
+
+class TestPrefixOffsets:
+    def test_known(self):
+        offs = bitmask.prefix_offsets(mask("10110"))
+        assert offs.tolist() == [0, 1, 1, 2, 3]
+
+    def test_single_bit(self):
+        assert bitmask.prefix_offsets(mask("1")).tolist() == [0]
+
+    def test_all_zero(self):
+        assert bitmask.prefix_offsets(np.zeros(5, dtype=bool)).tolist() == [0] * 5
+
+    def test_offset_indexes_packed_values(self, rng):
+        dense = rng.standard_normal(40)
+        dense[rng.random(40) < 0.6] = 0.0
+        m = dense != 0
+        packed = dense[m]
+        offs = bitmask.prefix_offsets(m)
+        for pos in np.flatnonzero(m):
+            assert packed[offs[pos]] == dense[pos]
+
+
+class TestPriorityEncode:
+    def test_first_bit(self):
+        assert bitmask.priority_encode(mask("1000")) == 0
+
+    def test_middle(self):
+        assert bitmask.priority_encode(mask("0010")) == 2
+
+    def test_none(self):
+        assert bitmask.priority_encode(np.zeros(4, dtype=bool)) == -1
+
+
+class TestIterMatches:
+    def test_priority_order(self):
+        a = mask("110101")
+        b = mask("011101")
+        hits = list(bitmask.iter_matches(a, b))
+        positions = [h[0] for h in hits]
+        assert positions == sorted(positions)
+        assert positions == [1, 3, 5]
+
+    def test_offsets_address_values(self, rng):
+        n = 32
+        a = rng.standard_normal(n)
+        a[rng.random(n) < 0.5] = 0.0
+        b = rng.standard_normal(n)
+        b[rng.random(n) < 0.5] = 0.0
+        va, vb = a[a != 0], b[b != 0]
+        total = sum(
+            va[off_a] * vb[off_b]
+            for _pos, off_a, off_b in bitmask.iter_matches(a != 0, b != 0)
+        )
+        assert np.isclose(total, np.dot(a, b))
+
+    def test_matches_vectorised_path(self, rng):
+        a = rng.random(64) < 0.4
+        b = rng.random(64) < 0.4
+        step = [(p, oa, ob) for p, oa, ob in bitmask.iter_matches(a, b)]
+        pos, offa, offb = bitmask.match_offsets(a, b)
+        assert [h[0] for h in step] == pos.tolist()
+        assert [h[1] for h in step] == offa.tolist()
+        assert [h[2] for h in step] == offb.tolist()
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        m = rng.random(37) < 0.3
+        assert np.array_equal(bitmask.unpack_mask(bitmask.pack_mask(m), 37), m)
+
+    def test_packed_popcount(self, rng):
+        m = rng.random(64) < 0.5
+        assert bitmask.packed_popcount(bitmask.pack_mask(m)) == int(m.sum())
+
+    def test_unpack_too_long(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            bitmask.unpack_mask(np.zeros(1, dtype=np.uint8), 9)
+
+
+@given(bits=hnp.arrays(bool, st.integers(1, 200)))
+@settings(max_examples=60, deadline=None)
+def test_prefix_offsets_property(bits):
+    offs = bitmask.prefix_offsets(bits)
+    expected = np.concatenate([[0], np.cumsum(bits)[:-1]]) if bits.size else offs
+    assert np.array_equal(offs, expected)
+
+
+@given(
+    a=hnp.arrays(bool, 96),
+    b=hnp.arrays(bool, 96),
+)
+@settings(max_examples=60, deadline=None)
+def test_match_count_property(a, b):
+    pos, offa, offb = bitmask.match_offsets(a, b)
+    assert pos.size == int(np.sum(a & b))
+    # Offsets never exceed the operand's non-zero count.
+    if pos.size:
+        assert offa.max() < max(1, int(a.sum()))
+        assert offb.max() < max(1, int(b.sum()))
+
+
+class TestPackedMatchCount:
+    def test_equivalent_to_unpacked(self, rng):
+        a = rng.random(128) < 0.4
+        b = rng.random(128) < 0.4
+        packed = bitmask.packed_match_count(bitmask.pack_mask(a), bitmask.pack_mask(b))
+        assert packed == int(np.sum(a & b))
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            bitmask.packed_match_count(
+                np.zeros(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8)
+            )
+
+
+@given(a=hnp.arrays(bool, 128), b=hnp.arrays(bool, 128))
+@settings(max_examples=50, deadline=None)
+def test_packed_match_count_property(a, b):
+    packed = bitmask.packed_match_count(bitmask.pack_mask(a), bitmask.pack_mask(b))
+    assert packed == int(np.sum(bitmask.and_match(a, b)))

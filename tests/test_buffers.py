@@ -1,0 +1,52 @@
+"""Tests asserting the paper's buffer-capacity arithmetic (Sections 3.2-3.3)."""
+
+import pytest
+
+from repro.arch.buffers import dense_buffers, scnn_buffers, sparten_buffers
+
+
+class TestSparTenBuffers:
+    def test_paper_no_collocation_arithmetic(self):
+        """[128B + 128b + 128B + 128b + 32B] x 32 x 2 = 20 KB (640 B/mult)."""
+        spec = sparten_buffers(n_units=32, collocated=False)
+        assert spec.bytes_per_unit == 640
+        assert spec.cluster_kilobytes == pytest.approx(20.0)
+
+    def test_paper_collocated_arithmetic(self):
+        """Collocation doubles filter+output buffers: 31 KB (992 B/mult)."""
+        spec = sparten_buffers(n_units=32, collocated=True)
+        assert spec.bytes_per_unit == 992
+        assert spec.cluster_kilobytes == pytest.approx(31.0)
+
+    def test_table2_buffer_per_mac(self):
+        """Table 2 rounds SparTen to 0.97 KB per MAC."""
+        spec = sparten_buffers(n_units=32, collocated=True)
+        assert spec.bytes_per_unit / 1024 == pytest.approx(0.97, abs=0.01)
+
+    def test_single_buffered_half(self):
+        double = sparten_buffers(collocated=True, double_buffered=True)
+        single = sparten_buffers(collocated=True, double_buffered=False)
+        assert double.bytes_per_unit == 2 * single.bytes_per_unit
+
+    def test_collocation_smaller_than_scnn(self):
+        """The paper: SparTen's buffering stays below SCNN's 1.63 KB/MAC."""
+        assert sparten_buffers(collocated=True).bytes_per_unit < scnn_buffers().bytes_per_unit
+
+    def test_scales_with_chunk_size(self):
+        small = sparten_buffers(chunk_size=64)
+        large = sparten_buffers(chunk_size=256)
+        assert large.bytes_per_unit > small.bytes_per_unit
+
+
+class TestBaselines:
+    def test_scnn_per_mac(self):
+        assert scnn_buffers().bytes_per_unit == pytest.approx(1.625 * 1024)
+
+    def test_scnn_pe_total(self):
+        assert scnn_buffers(n_units=16).cluster_kilobytes == pytest.approx(26.0)
+
+    def test_dense_8_bytes(self):
+        assert dense_buffers().bytes_per_unit == 8
+
+    def test_dense_cluster_total(self):
+        assert dense_buffers(n_units=32).cluster_bytes == 256

@@ -1,0 +1,90 @@
+"""Tests for workload characterisation and the machine-scaling sweep."""
+
+import pytest
+
+from repro.eval.characterize import characterize_layer, render_profile
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.sweeps import machine_scaling_sweep, render_scaling
+
+
+class TestCharacterize:
+    @pytest.fixture
+    def profile(self, tiny_spec, tiny_data, mini_cfg):
+        from repro.sim.kernels import compute_chunk_work
+
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        return characterize_layer(tiny_spec, mini_cfg, data=tiny_data, work=work)
+
+    def test_densities_measured(self, profile, tiny_data):
+        assert profile.measured_input_density == pytest.approx(
+            tiny_data.measured_input_density
+        )
+        assert profile.measured_filter_density == pytest.approx(
+            tiny_data.measured_filter_density
+        )
+
+    def test_match_fraction_bounded_by_density_product(self, profile):
+        """Useful MACs cannot exceed the density product by much (only
+        border-padding effects reduce it further)."""
+        product = profile.measured_input_density * profile.measured_filter_density
+        assert profile.match_fraction <= product * 1.05
+
+    def test_achieved_below_ceiling(self, profile):
+        assert profile.achieved_speedup <= profile.two_sided_ceiling
+        assert 0.0 < profile.sparse_efficiency <= 1.0
+
+    def test_two_sided_ceiling_above_one_sided(self, profile):
+        assert profile.two_sided_ceiling > profile.one_sided_ceiling
+
+    def test_chunk_statistics_ordered(self, profile):
+        assert profile.chunk_work_mean <= profile.chunk_work_p95
+        assert profile.chunk_work_p95 <= profile.chunk_work_max
+
+    def test_imbalance_indicator(self, profile):
+        assert profile.imbalance_indicator >= 1.0
+
+    def test_render(self, profile):
+        text = render_profile(profile)
+        assert "ceiling" in text
+        assert profile.layer_name in text
+
+
+class TestScalingSweep:
+    @pytest.fixture
+    def sweep(self):
+        spec = ConvLayerSpec(
+            name="scale_t", in_height=10, in_width=10, in_channels=32,
+            kernel=3, n_filters=16, padding=1,
+            input_density=0.4, filter_density=0.35,
+        )
+        return spec, machine_scaling_sweep(
+            spec, geometries=((2, 4), (4, 8), (16, 8)), position_sample=None
+        )
+
+    def test_all_geometries_present(self, sweep):
+        _, result = sweep
+        assert set(result) == {(2, 4), (4, 8), (16, 8)}
+
+    def test_cycles_shrink_with_machine(self, sweep):
+        _, result = sweep
+        assert result[(4, 8)]["cycles"] < result[(2, 4)]["cycles"]
+
+    def test_utilization_degrades_at_scale(self, sweep):
+        """The scaling cliff: a 100-position layer on 16 clusters idles."""
+        _, result = sweep
+        assert result[(16, 8)]["utilization"] < result[(2, 4)]["utilization"]
+        assert result[(16, 8)]["inter_fraction"] > result[(2, 4)]["inter_fraction"]
+
+    def test_fractions_sum_below_one(self, sweep):
+        _, result = sweep
+        for row in result.values():
+            assert (
+                row["utilization"] + row["intra_fraction"] + row["inter_fraction"]
+                <= 1.0 + 1e-9
+            )
+
+    def test_render(self, sweep):
+        spec, result = sweep
+        text = render_scaling(result, spec.name)
+        assert "speedup" in text
+        assert spec.name in text

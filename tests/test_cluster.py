@@ -1,0 +1,142 @@
+"""Unit tests for the functional cluster (repro.arch.cluster)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cluster import Cluster
+from repro.balance.greedy import gb_h_plan, gb_s_plan
+from repro.tensor.sparsemap import SparseMap
+
+from tests.conftest import sparse_vector
+
+
+def make_problem(rng, n_rows=10, length=48, chunk=16, row_density=0.4, x_density=0.5):
+    rows_dense = [sparse_vector(rng, length, row_density) for _ in range(n_rows)]
+    x_dense = sparse_vector(rng, length, x_density)
+    rows = [SparseMap.from_dense(r, chunk) for r in rows_dense]
+    x = SparseMap.from_dense(x_dense, chunk)
+    expected = np.array([r @ x_dense for r in rows_dense])
+    masks = np.array([r != 0 for r in rows_dense]).reshape(n_rows, 1, 1, length)
+    return rows, x, expected, masks
+
+
+class TestPlainMode:
+    def test_matvec_correct(self, rng):
+        rows, x, expected, _ = make_problem(rng)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, stats = cluster.matvec(rows, x, mode="plain")
+        assert np.allclose(out.to_dense(), expected)
+        assert stats.useful_macs > 0
+
+    def test_more_rows_than_units(self, rng):
+        rows, x, expected, _ = make_problem(rng, n_rows=11)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, stats = cluster.matvec(rows, x, mode="plain")
+        assert np.allclose(out.to_dense(), expected)
+        # 3 groups x 3 chunks of barriers.
+        assert stats.barriers == 9
+
+    def test_barrier_exposes_imbalance(self, rng):
+        """A dense row forces sparse rows' units to idle at the barrier."""
+        length, chunk = 32, 16
+        dense_row = np.ones(length)
+        sparse_row = np.zeros(length)
+        sparse_row[0] = 1.0
+        rows = [SparseMap.from_dense(dense_row, chunk), SparseMap.from_dense(sparse_row, chunk)]
+        x = SparseMap.from_dense(np.ones(length), chunk)
+        cluster = Cluster(n_units=2, chunk_size=chunk)
+        _, stats = cluster.matvec(rows, x, mode="plain")
+        assert stats.idle_unit_cycles > 0
+        assert stats.total_cycles == 32  # the dense row's matches dominate
+
+    def test_useful_macs_equals_matches(self, rng):
+        rows, x, expected, masks = make_problem(rng)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        x_mask = x.to_dense() != 0
+        want = sum(int(np.sum((m.reshape(-1)) & x_mask)) for m in masks)
+        _, stats = cluster.matvec(rows, x, mode="plain")
+        assert stats.useful_macs == want
+
+    def test_relu_output(self, rng):
+        rows, x, expected, _ = make_problem(rng)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, _ = cluster.matvec(rows, x, mode="plain", apply_relu=True)
+        assert np.allclose(out.to_dense(), np.maximum(expected, 0.0))
+
+
+class TestPairedMode:
+    def test_gb_s_pairing_correct(self, rng):
+        rows, x, expected, masks = make_problem(rng, n_rows=8)
+        plan = gb_s_plan(masks, n_units=4)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, stats = cluster.matvec(rows, x, mode="paired", pairing=plan.pairing)
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_odd_row_count(self, rng):
+        rows, x, expected, masks = make_problem(rng, n_rows=7)
+        plan = gb_s_plan(masks, n_units=4)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, _ = cluster.matvec(rows, x, mode="paired", pairing=plan.pairing)
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_missing_pairing_rejected(self, rng):
+        rows, x, _, _ = make_problem(rng)
+        with pytest.raises(ValueError, match="requires a pairing"):
+            Cluster(n_units=4, chunk_size=16).matvec(rows, x, mode="paired")
+
+    def test_duplicate_row_in_pairing_rejected(self, rng):
+        rows, x, _, _ = make_problem(rng, n_rows=4)
+        pairing = np.array([[0, 1], [1, 2]])
+        with pytest.raises(ValueError, match="twice"):
+            Cluster(n_units=4, chunk_size=16).matvec(
+                rows, x, mode="paired", pairing=pairing
+            )
+
+
+class TestChunkPairedMode:
+    def test_gb_h_pairing_correct(self, rng):
+        rows, x, expected, masks = make_problem(rng, n_rows=8)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        cluster = Cluster(n_units=4, chunk_size=16)
+        out, stats = cluster.matvec(
+            rows, x, mode="chunk_paired", chunk_pairing=plan.chunk_pairing
+        )
+        assert np.allclose(out.to_dense(), expected)
+        assert stats.permute_cycles > 0
+
+    def test_permute_hiding_accounted(self, rng):
+        rows, x, _, masks = make_problem(rng, n_rows=8, row_density=0.9, x_density=0.9)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        cluster = Cluster(n_units=4, chunk_size=16, bisection_width=4)
+        _, stats = cluster.matvec(
+            rows, x, mode="chunk_paired", chunk_pairing=plan.chunk_pairing
+        )
+        # Dense chunks give long barriers; most routing hides under them.
+        assert stats.permute_unhidden_cycles < stats.permute_cycles
+
+    def test_wrong_chunk_count_rejected(self, rng):
+        rows, x, _, masks = make_problem(rng, n_rows=8)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        with pytest.raises(ValueError, match="n_chunks"):
+            Cluster(n_units=4, chunk_size=16).matvec(
+                rows, x, mode="chunk_paired",
+                chunk_pairing=plan.chunk_pairing[:1],
+            )
+
+
+class TestValidation:
+    def test_unknown_mode(self, rng):
+        rows, x, _, _ = make_problem(rng)
+        with pytest.raises(ValueError, match="unknown mode"):
+            Cluster(n_units=4, chunk_size=16).matvec(rows, x, mode="magic")
+
+    def test_chunking_mismatch(self, rng):
+        rows, x, _, _ = make_problem(rng)
+        bad_x = SparseMap.from_dense(np.ones(48), chunk_size=8)
+        with pytest.raises(ValueError, match="chunking"):
+            Cluster(n_units=4, chunk_size=16).matvec(rows, bad_x)
+
+    def test_empty_rows(self, rng):
+        _, x, _, _ = make_problem(rng)
+        with pytest.raises(ValueError, match="at least one"):
+            Cluster(n_units=4, chunk_size=16).matvec([], x)

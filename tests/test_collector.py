@@ -1,0 +1,97 @@
+"""Unit tests for the output collector (Figure 5 compaction)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.collector import OutputCollector
+
+
+class TestCollect:
+    def test_compaction(self):
+        collector = OutputCollector(chunk_size=8)
+        chunk = collector.collect(np.array([0.0, 3.0, 0.0, 0.0, 5.0, 7.0, 0.0, 1.0]))
+        assert np.array_equal(chunk.sparse.values, [3.0, 5.0, 7.0, 1.0])
+        assert np.array_equal(
+            chunk.sparse.mask, [False, True, False, False, True, True, False, True]
+        )
+
+    def test_shift_distances_are_zero_counts(self):
+        """Figure 5: each value shifts left by the number of zeros before it."""
+        collector = OutputCollector(chunk_size=8)
+        dense = np.array([0.0, 3.0, 0.0, 0.0, 5.0, 7.0, 0.0, 1.0])
+        chunk = collector.collect(dense)
+        # Position 5 (value 7) has two zeros to its left... positions 0, 2, 3 -> 3.
+        assert chunk.shifts[5] == 3
+        assert chunk.shifts[1] == 1
+        assert chunk.shifts[7] == 4
+
+    def test_figure5_example(self):
+        """The paper's example: sixth value shifted left by its two zeros."""
+        collector = OutputCollector(chunk_size=8)
+        dense = np.array([1.0, 0.0, 2.0, 3.0, 0.0, 9.0, 4.0, 5.0])
+        chunk = collector.collect(dense)
+        assert chunk.shifts[5] == 2
+        assert chunk.sparse.values[5 - 2] == 9.0
+
+    def test_relu_applied_before_detection(self):
+        collector = OutputCollector(chunk_size=4)
+        chunk = collector.collect(np.array([-1.0, 2.0, -3.0, 4.0]), apply_relu=True)
+        assert np.array_equal(chunk.sparse.values, [2.0, 4.0])
+        assert chunk.sparse.nnz == 2
+
+    def test_roundtrip(self, rng):
+        collector = OutputCollector(chunk_size=16)
+        dense = rng.standard_normal(16)
+        dense[rng.random(16) < 0.5] = 0.0
+        chunk = collector.collect(dense)
+        assert np.array_equal(chunk.sparse.to_dense(), dense)
+
+    def test_short_vector_padded(self):
+        collector = OutputCollector(chunk_size=8)
+        chunk = collector.collect(np.array([1.0, 0.0, 2.0]))
+        assert chunk.sparse.mask.size == 8
+        assert not chunk.sparse.mask[3:].any()
+
+    def test_cycles(self, rng):
+        collector = OutputCollector(chunk_size=16)
+        dense = rng.standard_normal(16)
+        chunk = collector.collect(dense)
+        assert chunk.cycles == int(np.count_nonzero(dense))
+
+    def test_all_zero_costs_one_cycle(self):
+        collector = OutputCollector(chunk_size=8)
+        assert collector.collect(np.zeros(8)).cycles == 1
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            OutputCollector(chunk_size=4).collect(np.ones(5))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            OutputCollector(chunk_size=4).collect(np.ones((2, 2)))
+
+
+class TestChannelVector:
+    def test_multi_chunk_roundtrip(self, rng):
+        collector = OutputCollector(chunk_size=8)
+        dense = rng.standard_normal(20)
+        dense[rng.random(20) < 0.4] = 0.0
+        sparse, cycles = collector.collect_channel_vector(dense)
+        assert np.array_equal(sparse.to_dense(), dense)
+        assert sparse.mask.size == 24  # padded to 3 chunks
+        assert cycles >= 3  # at least one per chunk
+
+    def test_channel_padding_rule(self):
+        """Non-multiple channel counts pad with zero bits (Section 3.2)."""
+        collector = OutputCollector(chunk_size=128)
+        sparse, _ = collector.collect_channel_vector(np.ones(100))
+        assert sparse.mask.size == 128
+        assert sparse.mask[:100].all()
+        assert not sparse.mask[100:].any()
+
+    def test_relu_through_channel_vector(self):
+        collector = OutputCollector(chunk_size=4)
+        sparse, _ = collector.collect_channel_vector(
+            np.array([-1.0, 2.0, -3.0, 4.0, -5.0]), apply_relu=True
+        )
+        assert np.array_equal(sparse.to_dense(), [0.0, 2.0, 0.0, 4.0, 0.0])

@@ -1,0 +1,146 @@
+"""Tests for the architecture comparison harness (repro.core.compare)."""
+
+import pytest
+
+from repro.core.compare import ALL_SCHEMES, compare_architectures
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.models import NetworkSpec
+
+
+@pytest.fixture
+def layer():
+    return ConvLayerSpec(
+        name="cmp", in_height=10, in_width=10, in_channels=20,
+        kernel=3, n_filters=12, padding=1,
+        input_density=0.4, filter_density=0.4,
+    )
+
+
+@pytest.fixture
+def comparison(layer, mini_cfg):
+    # mini_cfg intentionally lacks SCNN MAC parity (12 vs 64); these tests
+    # only compare within architecture families, so silence the
+    # methodology warning the harness rightly emits.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.filterwarnings("ignore", message="resource parity")
+        return compare_architectures(layer, schemes=ALL_SCHEMES, cfg=mini_cfg)
+
+
+class TestStructure:
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.results) == set(ALL_SCHEMES)
+
+    def test_dense_always_included(self, layer, mini_cfg):
+        cmp = compare_architectures(layer, schemes=("sparten",), cfg=mini_cfg)
+        assert "dense" in cmp.results
+        assert cmp.speedup("dense", "cmp") == 1.0
+
+    def test_unknown_scheme_rejected(self, layer, mini_cfg):
+        with pytest.raises(ValueError, match="unknown schemes"):
+            compare_architectures(layer, schemes=("tpu",), cfg=mini_cfg)
+
+
+class TestSpeedups:
+    def test_paper_ordering_on_sparse_layer(self, comparison):
+        """no-GB < GB-S <= GB-H; one-sided < no-GB; all above dense."""
+        sp = {s: comparison.speedup(s, "cmp") for s in ALL_SCHEMES}
+        assert sp["one_sided"] > 1.0
+        assert sp["sparten_no_gb"] > sp["one_sided"]
+        assert sp["sparten_gb_s"] > sp["sparten_no_gb"]
+        assert sp["sparten"] > sp["sparten_no_gb"]
+
+    def test_scnn_variant_ordering(self, comparison):
+        sp = {s: comparison.speedup(s, "cmp") for s in ALL_SCHEMES}
+        assert sp["scnn"] > sp["scnn_one_sided"] > sp["scnn_dense"]
+
+    def test_geomean_single_layer(self, comparison):
+        assert comparison.geomean_speedup("sparten") == pytest.approx(
+            comparison.speedup("sparten", "cmp")
+        )
+
+
+class TestBreakdownFractions:
+    def test_dense_bar_sums_to_one(self, comparison):
+        fractions = comparison.breakdown_fractions("dense", "cmp")
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_faster_scheme_has_smaller_bar(self, comparison):
+        sparten = sum(comparison.breakdown_fractions("sparten", "cmp").values())
+        dense = sum(comparison.breakdown_fractions("dense", "cmp").values())
+        assert sparten < dense
+
+    def test_bar_total_is_inverse_speedup(self, comparison):
+        """MAC-count-equal machines: bar total = 1 / speedup."""
+        for scheme in ("one_sided", "sparten", "sparten_no_gb"):
+            bar = sum(comparison.breakdown_fractions(scheme, "cmp").values())
+            assert bar == pytest.approx(1.0 / comparison.speedup(scheme, "cmp"))
+
+
+class TestNetworkTarget:
+    def test_network_comparison(self, mini_cfg):
+        layers = (
+            ConvLayerSpec("a", 8, 8, 16, kernel=3, n_filters=8, padding=1,
+                          input_density=0.5, filter_density=0.4),
+            ConvLayerSpec("b", 8, 8, 16, kernel=1, n_filters=8,
+                          input_density=0.4, filter_density=0.3),
+        )
+        net = NetworkSpec(name="TinyNet", layers=layers, config_name="large")
+        cmp = compare_architectures(net, schemes=("sparten",), cfg=mini_cfg)
+        assert cmp.layer_names == ("a", "b")
+        assert cmp.geomean_speedup("sparten") > 1.0
+
+    def test_geomean_exclusion(self, mini_cfg):
+        layers = (
+            ConvLayerSpec("a", 8, 8, 16, kernel=3, n_filters=8, padding=1,
+                          input_density=0.5, filter_density=0.4),
+            ConvLayerSpec("b", 8, 8, 16, kernel=1, n_filters=8,
+                          input_density=0.4, filter_density=0.3),
+        )
+        net = NetworkSpec(name="TinyNet", layers=layers, config_name="large")
+        cmp = compare_architectures(net, schemes=("sparten",), cfg=mini_cfg)
+        excluded = cmp.geomean_speedup("sparten", exclude=("a",))
+        assert excluded == pytest.approx(cmp.speedup("sparten", "b"))
+
+
+class TestBatchSharing:
+    def test_batch_images_accumulate(self, layer, mini_cfg):
+        cfg2 = mini_cfg.with_sampling(None, batch=2)
+        one = compare_architectures(layer, schemes=("sparten",), cfg=mini_cfg)
+        two = compare_architectures(layer, schemes=("sparten",), cfg=cfg2)
+        assert two.results["sparten"]["cmp"].cycles > one.results["sparten"]["cmp"].cycles
+
+
+class TestResourceParity:
+    def test_warning_on_mismatched_macs(self, layer, mini_cfg):
+        """mini_cfg has 12 SparTen MACs but 64 SCNN MACs: the methodology
+        check must flag cross-architecture comparisons."""
+        with pytest.warns(UserWarning, match="resource parity"):
+            compare_architectures(layer, schemes=("scnn",), cfg=mini_cfg)
+
+    def test_no_warning_at_parity(self, layer):
+        import warnings
+
+        from repro.sim.config import HardwareConfig
+
+        cfg = HardwareConfig(
+            name="parity", n_clusters=4, units_per_cluster=16,
+            chunk_size=16, scnn_pe_grid=(2, 2),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compare_architectures(layer, schemes=("scnn",), cfg=cfg)
+
+    def test_no_warning_without_scnn(self, layer, mini_cfg):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compare_architectures(layer, schemes=("sparten",), cfg=mini_cfg)
+
+    def test_paper_configs_have_parity(self):
+        from repro.sim.config import LARGE_CONFIG, SMALL_CONFIG
+
+        assert LARGE_CONFIG.scnn_total_macs == LARGE_CONFIG.total_macs
+        assert SMALL_CONFIG.scnn_total_macs == SMALL_CONFIG.total_macs

@@ -1,0 +1,137 @@
+"""Unit tests for the SparTen compute unit (repro.arch.compute_unit)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.compute_unit import ComputeUnit, FilterSlot
+
+from tests.conftest import sparse_vector
+
+
+def make_slot(rng, width, density, output_id=0):
+    dense = sparse_vector(rng, width, density)
+    mask = dense != 0
+    return FilterSlot(mask=mask, values=dense[mask], output_id=output_id), dense
+
+
+class TestSingleFilter:
+    def test_dot_product_accumulates(self, rng):
+        unit = ComputeUnit(chunk_size=16)
+        slot, filt_dense = make_slot(rng, 16, 0.5)
+        unit.load_filters([slot])
+        x = sparse_vector(rng, 16, 0.6)
+        unit.process_input_chunk(x != 0, x[x != 0])
+        assert unit.peek(0) == pytest.approx(np.dot(filt_dense, x))
+
+    def test_accumulates_across_chunks(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        total = 0.0
+        for _ in range(5):
+            slot, filt_dense = make_slot(rng, 8, 0.5)
+            unit.load_filters([slot])
+            x = sparse_vector(rng, 8, 0.5)
+            unit.process_input_chunk(x != 0, x[x != 0])
+            total += np.dot(filt_dense, x)
+        assert unit.peek(0) == pytest.approx(total)
+
+    def test_cycles_equal_matches_min_one(self, rng):
+        unit = ComputeUnit(chunk_size=16)
+        slot, filt_dense = make_slot(rng, 16, 0.5)
+        unit.load_filters([slot])
+        x = sparse_vector(rng, 16, 0.5)
+        outcome = unit.process_input_chunk(x != 0, x[x != 0])
+        matches = int(np.sum((filt_dense != 0) & (x != 0)))
+        assert outcome.matches == matches
+        assert outcome.cycles == max(1, matches)
+
+    def test_empty_chunk_costs_one_cycle(self):
+        unit = ComputeUnit(chunk_size=8)
+        unit.load_filters([FilterSlot(mask=np.zeros(8, bool), values=np.zeros(0), output_id=0)])
+        outcome = unit.process_input_chunk(np.zeros(8, bool), np.zeros(0))
+        assert outcome.cycles == 1
+        assert outcome.matches == 0
+
+
+class TestCollocatedPair:
+    def test_two_outputs(self, rng):
+        unit = ComputeUnit(chunk_size=16)
+        slot_a, dense_a = make_slot(rng, 16, 0.5, output_id=0)
+        slot_b, dense_b = make_slot(rng, 16, 0.3, output_id=1)
+        unit.load_filters([slot_a, slot_b])
+        x = sparse_vector(rng, 16, 0.6)
+        outcome = unit.process_input_chunk(x != 0, x[x != 0])
+        assert unit.peek(0) == pytest.approx(np.dot(dense_a, x))
+        assert unit.peek(1) == pytest.approx(np.dot(dense_b, x))
+        matches = int(np.sum((dense_a != 0) & (x != 0)) + np.sum((dense_b != 0) & (x != 0)))
+        assert outcome.matches == matches
+
+    def test_pair_cycles_are_sum_of_both(self, rng):
+        """Collocation processes the two filters sequentially (Section 3.3)."""
+        unit = ComputeUnit(chunk_size=32)
+        slot_a, dense_a = make_slot(rng, 32, 0.8, output_id=0)
+        slot_b, dense_b = make_slot(rng, 32, 0.8, output_id=1)
+        x = sparse_vector(rng, 32, 0.9)
+        unit.load_filters([slot_a, slot_b])
+        outcome = unit.process_input_chunk(x != 0, x[x != 0])
+        expect = int(np.sum((dense_a != 0) & (x != 0)) + np.sum((dense_b != 0) & (x != 0)))
+        assert outcome.cycles == expect
+
+
+class TestManagement:
+    def test_drain_clears(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        slot, dense = make_slot(rng, 8, 1.0)
+        unit.load_filters([slot])
+        x = np.ones(8)
+        unit.process_input_chunk(x != 0, x)
+        assert unit.drain(0) == pytest.approx(dense.sum())
+        with pytest.raises(KeyError):
+            unit.drain(0)
+
+    def test_reset(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        slot, _ = make_slot(rng, 8, 1.0)
+        unit.load_filters([slot])
+        x = np.ones(8)
+        unit.process_input_chunk(x != 0, x)
+        unit.reset()
+        assert unit.busy_cycles == 0
+        assert unit.partials == {}
+        with pytest.raises(RuntimeError, match="no filter"):
+            unit.process_input_chunk(x != 0, x)
+
+    def test_load_count_validation(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        slot, _ = make_slot(rng, 8, 0.5)
+        with pytest.raises(ValueError, match="1 or 2"):
+            unit.load_filters([])
+        with pytest.raises(ValueError, match="1 or 2"):
+            unit.load_filters([slot, slot, slot])
+
+    def test_chunk_width_validation(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        with pytest.raises(ValueError, match="width"):
+            unit.load_filters([FilterSlot(mask=np.zeros(4, bool), values=np.zeros(0), output_id=0)])
+
+    def test_input_mismatch_validation(self, rng):
+        unit = ComputeUnit(chunk_size=8)
+        slot, _ = make_slot(rng, 8, 0.5)
+        unit.load_filters([slot])
+        with pytest.raises(ValueError, match="mismatch"):
+            unit.process_input_chunk(np.ones(8, bool), np.ones(3))
+
+    def test_accumulator_overflow(self, rng):
+        unit = ComputeUnit(chunk_size=8, n_accumulators=2)
+        x = np.ones(8)
+        for out_id in range(2):
+            slot, _ = make_slot(rng, 8, 1.0, output_id=out_id)
+            unit.load_filters([slot])
+            unit.process_input_chunk(x != 0, x)
+        slot, _ = make_slot(rng, 8, 1.0, output_id=99)
+        unit.load_filters([slot])
+        with pytest.raises(RuntimeError, match="overflow"):
+            unit.process_input_chunk(x != 0, x)
+
+    def test_slot_mask_value_mismatch(self):
+        with pytest.raises(ValueError, match="mask bits"):
+            FilterSlot(mask=np.ones(4, bool), values=np.ones(2), output_id=0)

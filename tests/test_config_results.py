@@ -1,0 +1,124 @@
+"""Unit tests for hardware configs and result records."""
+
+import pytest
+
+from repro.arch.memory import Traffic
+from repro.nets.models import alexnet, googlenet, vggnet
+from repro.sim.config import (
+    FPGA_CONFIG,
+    HardwareConfig,
+    LARGE_CONFIG,
+    SMALL_CONFIG,
+    config_for,
+)
+from repro.sim.results import Breakdown, LayerResult, NetworkResult, geomean
+
+
+class TestHardwareConfig:
+    def test_table2_large(self):
+        assert LARGE_CONFIG.n_clusters == 32
+        assert LARGE_CONFIG.units_per_cluster == 32
+        assert LARGE_CONFIG.total_macs == 1024
+        assert LARGE_CONFIG.scnn_total_macs == 1024  # equal resources
+
+    def test_table2_small(self):
+        assert SMALL_CONFIG.total_macs == 256
+        assert SMALL_CONFIG.scnn_total_macs == 256
+
+    def test_fpga_single_cluster(self):
+        assert FPGA_CONFIG.n_clusters == 1
+        assert FPGA_CONFIG.units_per_cluster == 32
+        assert FPGA_CONFIG.memory_bytes_per_cycle is not None
+
+    def test_config_for(self):
+        assert config_for(alexnet()) is LARGE_CONFIG
+        assert config_for(vggnet()) is LARGE_CONFIG
+        assert config_for(googlenet()) is SMALL_CONFIG
+
+    def test_with_sampling(self):
+        cfg = LARGE_CONFIG.with_sampling(100, batch=4)
+        assert cfg.position_sample == 100
+        assert cfg.batch == 4
+        assert cfg.n_clusters == LARGE_CONFIG.n_clusters
+        assert LARGE_CONFIG.position_sample is None  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(name="bad", n_clusters=0, units_per_cluster=4)
+        with pytest.raises(ValueError):
+            HardwareConfig(name="bad", n_clusters=2, units_per_cluster=2, batch=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(
+                name="bad", n_clusters=2, units_per_cluster=2, position_sample=0
+            )
+
+
+def make_result(name="L", cycles=100.0, scheme="dense", nonzero=50.0):
+    return LayerResult(
+        scheme=scheme,
+        layer_name=name,
+        cycles=cycles,
+        compute_cycles=cycles,
+        total_macs=8,
+        breakdown=Breakdown(nonzero, 100.0, 50.0, cycles * 8 - nonzero - 150.0),
+        traffic=Traffic(10.0, 5.0, 2.0),
+    )
+
+
+class TestLayerResult:
+    def test_speedup(self):
+        base = make_result(cycles=200.0)
+        fast = make_result(cycles=50.0, scheme="sparten")
+        assert fast.speedup_over(base) == 4.0
+
+    def test_speedup_layer_mismatch(self):
+        with pytest.raises(ValueError, match="layer mismatch"):
+            make_result(name="A").speedup_over(make_result(name="B"))
+
+    def test_breakdown_scaled_and_added(self):
+        b = Breakdown(1.0, 2.0, 3.0, 4.0)
+        assert b.scaled(2.0).total == 20.0
+        assert (b + b).nonzero_macs == 2.0
+
+
+class TestNetworkResult:
+    def test_geomean_with_exclusion(self):
+        base = NetworkResult(
+            scheme="dense", network_name="N",
+            layers=(make_result("A", 100.0), make_result("B", 100.0)),
+        )
+        mine = NetworkResult(
+            scheme="sparten", network_name="N",
+            layers=(
+                make_result("A", 10.0, "sparten"),
+                make_result("B", 50.0, "sparten"),
+            ),
+        )
+        assert mine.geomean_speedup_over(base) == pytest.approx((10 * 2) ** 0.5)
+        assert mine.geomean_speedup_over(base, exclude=("A",)) == pytest.approx(2.0)
+
+    def test_layer_lookup(self):
+        net = NetworkResult(scheme="dense", network_name="N",
+                            layers=(make_result("A"),))
+        assert net.layer("A").layer_name == "A"
+        with pytest.raises(KeyError):
+            net.layer("Z")
+
+    def test_exclude_everything_rejected(self):
+        base = NetworkResult(scheme="dense", network_name="N",
+                             layers=(make_result("A"),))
+        with pytest.raises(ValueError, match="no layers"):
+            base.geomean_speedup_over(base, exclude=("A",))
+
+
+class TestGeomean:
+    def test_known(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,79 @@
+"""Tests for the dynamic-dispatch baseline (repro.sim.dynamic)."""
+
+import pytest
+
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.dynamic import simulate_dynamic_dispatch
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.sparten import simulate_sparten
+
+
+@pytest.fixture
+def work(tiny_data, mini_cfg):
+    return compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+
+
+class TestDynamicDispatch:
+    def test_lower_bound_beats_every_static_plan(self, tiny_data, mini_cfg, work):
+        """The makespan bound is unreachable: no static variant is faster."""
+        dyn = simulate_dynamic_dispatch(
+            tiny_data.spec, mini_cfg, data=tiny_data, work=work
+        )
+        for variant in ("no_gb", "gb_s", "gb_h"):
+            static = simulate_sparten(
+                tiny_data.spec, mini_cfg, variant=variant, data=tiny_data, work=work
+            )
+            assert dyn.cycles <= static.cycles
+
+    def test_gb_h_close_to_bound(self, mini_cfg):
+        """GB-H closes most of the gap to the ideal (the paper's point)."""
+        from repro.nets.layers import ConvLayerSpec
+
+        spec = ConvLayerSpec(
+            name="gap", in_height=12, in_width=12, in_channels=48,
+            kernel=3, n_filters=16, padding=1,
+            input_density=0.4, filter_density=0.35,
+        )
+        data = synthesize_layer(spec, seed=0, filter_spread=0.5)
+        work = compute_chunk_work(data, mini_cfg, need_counts=True)
+        dyn = simulate_dynamic_dispatch(spec, mini_cfg, data=data, work=work)
+        no_gb = simulate_sparten(spec, mini_cfg, variant="no_gb", data=data, work=work)
+        gb_h = simulate_sparten(spec, mini_cfg, variant="gb_h", data=data, work=work)
+        gap_no_gb = no_gb.cycles - dyn.cycles
+        gap_gb_h = gb_h.cycles - dyn.cycles
+        assert gap_gb_h < gap_no_gb
+
+    def test_same_useful_macs(self, tiny_data, mini_cfg, work):
+        """Scheduling cannot change the work, only its placement."""
+        dyn = simulate_dynamic_dispatch(
+            tiny_data.spec, mini_cfg, data=tiny_data, work=work
+        )
+        static = simulate_sparten(
+            tiny_data.spec, mini_cfg, variant="gb_h", data=tiny_data, work=work
+        )
+        assert dyn.breakdown.nonzero_macs == pytest.approx(
+            static.breakdown.nonzero_macs
+        )
+
+    def test_movement_traffic_exceeds_static(self, tiny_data, mini_cfg, work):
+        """The paper's other half: dynamic dispatch loses filter reuse."""
+        dyn = simulate_dynamic_dispatch(
+            tiny_data.spec, mini_cfg, data=tiny_data, work=work
+        )
+        assert (
+            dyn.extras["filter_refetch_bytes"]
+            > 5 * dyn.extras["filter_resident_bytes"]
+        )
+
+    def test_breakdown_identity(self, tiny_data, mini_cfg, work):
+        dyn = simulate_dynamic_dispatch(
+            tiny_data.spec, mini_cfg, data=tiny_data, work=work
+        )
+        assert dyn.breakdown.total == pytest.approx(dyn.cycles * mini_cfg.total_macs)
+
+    def test_scheme_label(self, tiny_data, mini_cfg, work):
+        dyn = simulate_dynamic_dispatch(
+            tiny_data.spec, mini_cfg, data=tiny_data, work=work
+        )
+        assert dyn.scheme == "sparten_dynamic"
+        assert dyn.extras["idealised"]

@@ -1,0 +1,135 @@
+"""Unit tests for the energy model (Figure 13 semantics)."""
+
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.dense import simulate_dense
+from repro.sim.energy import (
+    DRAM_PJ_PER_BYTE,
+    EnergyBreakdown,
+    PER_OP_PJ,
+    layer_energy,
+)
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.scnn import simulate_scnn
+from repro.sim.sparten import simulate_sparten
+
+
+@pytest.fixture
+def results(tiny_data, mini_cfg):
+    work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+    spec = tiny_data.spec
+    return spec, {
+        "dense": simulate_dense(spec, mini_cfg, data=tiny_data, work=work),
+        "dense_naive": simulate_dense(
+            spec, mini_cfg, data=tiny_data, work=work, naive_buffers=True
+        ),
+        "one_sided": simulate_sparten(spec, mini_cfg, sided="one", data=tiny_data, work=work),
+        "sparten": simulate_sparten(spec, mini_cfg, variant="gb_h", data=tiny_data, work=work),
+    }
+
+
+class TestComputeEnergy:
+    def test_sparten_has_no_zero_compute_energy(self, results, mini_cfg):
+        spec, res = results
+        e = layer_energy(res["sparten"], spec, chunk_size=mini_cfg.chunk_size)
+        assert e.compute_zero == 0.0
+        assert e.compute_nonzero > 0.0
+
+    def test_dense_zero_energy_dominated_by_zeros(self, results, mini_cfg):
+        spec, res = results
+        e = layer_energy(res["dense"], spec, chunk_size=mini_cfg.chunk_size)
+        # At 0.5 x 0.4 density, most multiplies touch a zero operand.
+        assert e.compute_zero > e.compute_nonzero
+
+    def test_one_sided_reduces_but_keeps_zero_energy(self, results, mini_cfg):
+        spec, res = results
+        dense = layer_energy(res["dense"], spec, chunk_size=mini_cfg.chunk_size)
+        one = layer_energy(res["one_sided"], spec, chunk_size=mini_cfg.chunk_size)
+        # Fewer zero ops, but each op costs more.
+        dense_zero_ops = dense.compute_zero / PER_OP_PJ["dense"]
+        one_zero_ops = one.compute_zero / PER_OP_PJ["one_sided"]
+        assert one_zero_ops < dense_zero_ops
+        assert one.compute_zero > 0.0
+
+    def test_dense_naive_pays_buffering(self, results, mini_cfg):
+        spec, res = results
+        dense = layer_energy(res["dense"], spec, chunk_size=mini_cfg.chunk_size)
+        naive = layer_energy(res["dense_naive"], spec, chunk_size=mini_cfg.chunk_size)
+        ratio = naive.compute_total / dense.compute_total
+        assert ratio == pytest.approx(PER_OP_PJ["dense_naive"] / PER_OP_PJ["dense"])
+
+    def test_nonzero_ops_cost_more_per_op_in_sparse(self, results, mini_cfg):
+        """The paper: sparse overheads cannot be pipelined away in energy."""
+        spec, res = results
+        dense = layer_energy(res["dense"], spec, chunk_size=mini_cfg.chunk_size)
+        sparten = layer_energy(res["sparten"], spec, chunk_size=mini_cfg.chunk_size)
+        dense_per_op = dense.compute_nonzero / res["dense"].breakdown.nonzero_macs
+        sp_per_op = sparten.compute_nonzero / res["sparten"].breakdown.nonzero_macs
+        assert sp_per_op > dense_per_op
+
+
+class TestMemoryEnergy:
+    def test_sparten_memory_below_dense(self):
+        """At realistic scale (128-position chunks, Table 3 densities) the
+        sparse representation's mask/pointer overhead is well below the
+        zeros it removes. (Toy 16-position chunks exaggerate the per-chunk
+        pointer cost, so this check runs at real scale.)"""
+        from repro.sim.config import HardwareConfig
+
+        spec = ConvLayerSpec(
+            name="real", in_height=14, in_width=14, in_channels=256,
+            kernel=3, n_filters=64, padding=1,
+            input_density=0.3, filter_density=0.3,
+        )
+        cfg = HardwareConfig(name="r", n_clusters=4, units_per_cluster=8)
+        data = synthesize_layer(spec, seed=0)
+        work = compute_chunk_work(data, cfg, need_counts=True)
+        dense_r = simulate_dense(spec, cfg, data=data, work=work)
+        sparten_r = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
+        dense = layer_energy(dense_r, spec, chunk_size=cfg.chunk_size)
+        sparten = layer_energy(sparten_r, spec, chunk_size=cfg.chunk_size)
+        assert sparten.memory_total < dense.memory_total
+
+    def test_sparten_memory_has_no_zero_component(self, results, mini_cfg):
+        spec, res = results
+        e = layer_energy(res["sparten"], spec, chunk_size=mini_cfg.chunk_size)
+        assert e.memory_zero == 0.0
+
+    def test_dense_memory_split_by_density(self, results, mini_cfg):
+        spec, res = results
+        e = layer_energy(res["dense"], spec, chunk_size=mini_cfg.chunk_size)
+        assert e.memory_zero > 0.0
+        assert e.memory_nonzero > 0.0
+
+    def test_batch_amortises_filters(self, results, mini_cfg):
+        spec, res = results
+        full = layer_energy(res["sparten"], spec, batch=1, chunk_size=mini_cfg.chunk_size)
+        amortised = layer_energy(
+            res["sparten"], spec, batch=16, chunk_size=mini_cfg.chunk_size
+        )
+        assert amortised.memory_total < full.memory_total
+
+    def test_memory_is_traffic_times_constant(self, results, mini_cfg):
+        from repro.arch.memory import layer_traffic
+
+        spec, res = results
+        e = layer_energy(res["dense"], spec, batch=1, chunk_size=mini_cfg.chunk_size)
+        traffic = layer_traffic(spec, "dense", chunk_size=mini_cfg.chunk_size)
+        assert e.memory_total == pytest.approx(traffic.total_bytes * DRAM_PJ_PER_BYTE)
+
+
+class TestValidation:
+    def test_scnn_rejected(self, tiny_data, mini_cfg):
+        result = simulate_scnn(tiny_data.spec, mini_cfg, variant="two", data=tiny_data)
+        with pytest.raises(ValueError, match="SCNN"):
+            layer_energy(result, tiny_data.spec)
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = EnergyBreakdown(10.0, 20.0, 30.0, 40.0)
+        c = a + b
+        assert c.total == 110.0
+        assert c.compute_total == 33.0
+        assert c.memory_total == 77.0

@@ -1,0 +1,86 @@
+"""Tests for the extension experiment runners (the fast ones).
+
+The heavier runners (generality, headline, energy over all networks) are
+exercised by the benchmark harness; these are the sub-second ones plus
+sanity shapes.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    chunk_size_sweep,
+    coarse_pruning_table,
+    dataflow_figure,
+    double_buffer_figure,
+    dynamic_dispatch_ablation,
+    hpc_representation_figure,
+    model_storage_figure,
+    rle_compute_waste_figure,
+)
+
+
+class TestChunkSweep:
+    def test_shape_and_monotone_barriers(self):
+        sweep = chunk_size_sweep(chunk_sizes=(64, 128), fast=True)
+        assert set(sweep) == {64, 128}
+        assert sweep[64]["barriers"] > sweep[128]["barriers"]
+
+
+class TestDynamicDispatch:
+    def test_keys_and_bound(self):
+        result = dynamic_dispatch_ablation(fast=True)
+        assert result["dynamic_ideal_speedup"] >= result["gb_h_speedup"] * 0.99
+        assert result["movement_blowup"] > 1.0
+
+
+class TestDataflows:
+    def test_convergence(self):
+        fig = dataflow_figure(sram_sweep=(1e3, 1e9))
+        assert fig[1e9]["winner"] == "tie"
+        assert fig[1e3]["filter_stationary_bytes"] >= fig[1e9]["filter_stationary_bytes"]
+
+
+class TestCoarsePruning:
+    def test_fine_dominates(self):
+        table = coarse_pruning_table(blocks=(8,))
+        row = table[8]
+        assert row["fine_retained_energy"] > row["coarse_retained_energy"]
+
+
+class TestHpcRepresentation:
+    def test_verdict_split(self):
+        rows = hpc_representation_figure(sizes=(256,))
+        assert rows["cnn_filters_d0.35"]["winner"] == "bitmask"
+        assert rows["grid_laplacian_256"]["winner"] == "pointer"
+
+
+class TestDoubleBuffer:
+    def test_depth_helps(self):
+        fig = double_buffer_figure(latencies=(100,), depths=(2, 16), fast=True)
+        assert (
+            fig[(100, 16)]["hiding_efficiency"]
+            > fig[(100, 2)]["hiding_efficiency"]
+        )
+
+
+class TestRleWaste:
+    def test_monotone_in_run_bits(self):
+        fig = rle_compute_waste_figure(run_bits_sweep=(2, 8), densities=(0.1,))
+        rows = fig[0.1]
+        assert rows[2]["wasted_compute_fraction"] >= rows[8]["wasted_compute_fraction"]
+
+
+class TestModelStorage:
+    def test_intro_band_with_fc(self):
+        rows = model_storage_figure()
+        assert 2.0 < rows["AlexNet"]["reduction"] < 5.0
+        assert rows["GoogLeNet"]["reduction"] > 1.3
+
+    def test_conv_only_lower(self):
+        with_fc = model_storage_figure(include_fc=True)
+        conv_only = model_storage_figure(include_fc=False)
+        assert conv_only["AlexNet"]["reduction"] < with_fc["AlexNet"]["reduction"]
+        # GoogLeNet has no FC entries: identical either way.
+        assert conv_only["GoogLeNet"]["reduction"] == pytest.approx(
+            with_fc["GoogLeNet"]["reduction"]
+        )

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+Examples are documentation that executes; these tests keep them from
+rotting. The quick ones run here; the multi-minute ones
+(`alexnet_speedup.py --exact`, `full_alexnet.py --full`) are exercised
+manually / by the benchmark harness equivalents.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestQuickExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "dot product" in out
+        assert "cycles" in out
+        assert "CSR merge baseline" in out
+
+    def test_sparse_gemm(self):
+        out = run_example("sparse_gemm.py")
+        assert "stride 2" in out
+        assert "numerically exact" in out
+        assert "99" in out  # the HPC case
+
+    def test_load_balancing(self):
+        out = run_example("load_balancing.py")
+        assert "utilisation" in out
+        assert "Figure 14" in out
+        assert "gb_h" in out
+
+    def test_network_pipeline(self):
+        out = run_example("network_pipeline.py")
+        assert "unshuffling" in out
+        assert "verified" in out
+
+    def test_hpc_graph_spmv(self):
+        out = run_example("hpc_graph_spmv.py")
+        assert "grid Laplacian" in out
+        assert "residual" in out
+        assert "pointer" in out  # the storage verdict
+
+    def test_inception_branches(self):
+        out = run_example("inception_branches.py")
+        assert "Inception 3a" in out
+        assert "sparse concat" in out
+
+    def test_energy_breakdown(self):
+        out = run_example("energy_breakdown.py")
+        assert "COMPUTE energy" in out
+        assert "Headline relations" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["alexnet_speedup.py", "scnn_anatomy.py", "full_alexnet.py"],
+)
+def test_heavy_examples_importable(name):
+    """The heavy examples at least parse and import their dependencies."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

@@ -1,0 +1,131 @@
+"""Smoke/shape tests for the experiment runners (repro.eval.experiments).
+
+These run the real Table 3 workloads in fast (sampled) mode, so they are
+the slowest tests in the suite; they assert the *shapes* the paper reports
+(orderings, exclusions, known pathologies), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    asic_table,
+    collocation_ablation,
+    design_goals_table,
+    fpga_figure,
+    gb_impact_figure,
+    network_by_name,
+    permute_bandwidth_sweep,
+    speedup_figure,
+    storage_analysis,
+)
+from repro.eval.reporting import (
+    render_asic_table,
+    render_design_goals,
+    render_gb_impact,
+    render_speedups,
+)
+from repro.nets.models import alexnet
+
+
+@pytest.fixture(scope="module")
+def alexnet_fig():
+    return speedup_figure(alexnet(), fast=True)
+
+
+class TestSpeedupFigure:
+    def test_paper_orderings(self, alexnet_fig):
+        geo = alexnet_fig["geomean"]
+        assert geo["sparten"] > geo["sparten_gb_s"] > geo["sparten_no_gb"]
+        assert geo["sparten_no_gb"] > geo["one_sided"] > 1.0
+        assert geo["scnn"] < geo["one_sided"]
+        assert geo["scnn"] > geo["scnn_one_sided"] > geo["scnn_dense"]
+
+    def test_scnn_collapses_on_stride4_layer0(self, alexnet_fig):
+        layers = alexnet_fig["layers"]
+        assert layers["scnn"]["Layer0"] < 0.2
+        # ... and the geomean excludes it (otherwise scnn would be < 1).
+        assert alexnet_fig["geomean"]["scnn"] > 1.0
+
+    def test_headline_band(self, alexnet_fig):
+        """SparTen lands in the right band vs Dense on AlexNet."""
+        assert 3.0 < alexnet_fig["geomean"]["sparten"] < 8.0
+
+    def test_rendering(self, alexnet_fig):
+        text = render_speedups(alexnet_fig, "Figure 7")
+        assert "Layer2" in text
+        assert "geomean" in text
+
+
+class TestGBImpact:
+    def test_figure14_shape(self):
+        data = gb_impact_figure()
+        assert data.filter_densities.size == 384
+        assert data.pair_densities.size == 192
+        assert data.pair_spread < data.filter_spread
+        assert "spread" in render_gb_impact(data)
+
+
+class TestFPGA:
+    def test_figure15_shape(self):
+        fig = fpga_figure(alexnet(), fast=True)
+        geo = fig["geomean"]
+        assert geo["sparten"] > geo["sparten_no_gb"] > geo["one_sided"] > 1.0
+
+    def test_fpga_below_simulation(self):
+        """The paper: FPGA speedups sit slightly below simulation."""
+        sim = speedup_figure(alexnet(), schemes=("sparten",), fast=True)
+        fpga = fpga_figure(alexnet(), fast=True)
+        assert fpga["geomean"]["sparten"] < sim["geomean"]["sparten"] * 1.05
+
+
+class TestTables:
+    def test_asic_table(self):
+        table = asic_table()
+        assert table.total_power_mw == pytest.approx(118.30, abs=0.01)
+        assert "Prefix-sum" in render_asic_table(table)
+
+    def test_design_goals(self):
+        rows = design_goals_table()
+        sparten = [r for r in rows if r.architecture == "SparTen"][0]
+        assert sparten.avoids_zero_transfer
+        assert sparten.efficient_fully_sparse
+        scnn = [r for r in rows if r.architecture == "SCNN"][0]
+        assert scnn.avoids_zero_compute
+        assert not scnn.efficient_fully_sparse
+        assert "N/a" in render_design_goals(rows)
+
+
+class TestAblations:
+    def test_storage_analysis_crossover(self):
+        result = storage_analysis(n=1 << 20)
+        assert result["crossover"] == pytest.approx(1 / 20)
+        below = result["densities"] < result["crossover"]
+        assert np.all(
+            result["pointer_bits"][below] <= result["bitmask_bits"][below]
+        )
+        above = result["densities"] > 2 * result["crossover"]
+        assert np.all(result["pointer_bits"][above] > result["bitmask_bits"][above])
+
+    def test_permute_bandwidth_paper_claim(self):
+        """Width 4 (1/8 provisioning) costs < 5% vs full provisioning."""
+        sweep = permute_bandwidth_sweep(fast=True)
+        assert sweep["slowdown_vs_full"][4] < 1.05
+        assert sweep["slowdown_vs_full"][1] >= sweep["slowdown_vs_full"][4]
+
+    def test_collocation_ablation_googlenet_5x5red(self):
+        """The Figure 8 pathology: GB loses to no-GB on Inc3a_5x5red."""
+        result = collocation_ablation(fast=True)
+        row = result["Inc3a_5x5red"]
+        assert row["gb_h_paper"] < row["no_gb"]
+        assert row["gb_h_static_check"] >= row["gb_h_paper"]
+
+
+class TestNetworkLookup:
+    def test_by_name(self):
+        assert network_by_name("AlexNet").name == "AlexNet"
+        assert network_by_name("vggnet").name == "VGGNet"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            network_by_name("LeNet")

@@ -1,0 +1,119 @@
+"""Tests for the extended (future-work) networks and coarse pruning."""
+
+import numpy as np
+import pytest
+
+from repro.nets.coarse import (
+    coarse_prune,
+    pruning_energy_comparison,
+    retained_energy,
+    shared_mask,
+)
+from repro.nets.extended import lenet_300_100, lstm_cell_layers, resnet18_layers
+
+
+class TestResNet18:
+    def test_contains_strided_layers(self):
+        net = resnet18_layers()
+        strided = [l for l in net.layers if l.stride > 1]
+        assert len(strided) >= 4
+
+    def test_geometry_valid(self):
+        for layer in resnet18_layers().layers:
+            assert layer.out_height >= 1 and layer.out_width >= 1
+
+    def test_downsample_1x1(self):
+        layer = resnet18_layers().layer("downsample_1x1_s2")
+        assert layer.kernel == 1
+        assert layer.stride == 2
+        assert layer.out_height == 28
+
+
+class TestMLP:
+    def test_lenet_300_100_shapes(self):
+        fc1, fc2, fc3 = lenet_300_100()
+        assert (fc1.n_inputs, fc1.n_outputs) == (784, 300)
+        assert (fc2.n_inputs, fc2.n_outputs) == (300, 100)
+        assert (fc3.n_inputs, fc3.n_outputs) == (100, 10)
+
+    def test_deep_compression_densities(self):
+        densities = [fc.weight_density for fc in lenet_300_100()]
+        assert densities == [0.08, 0.09, 0.26]
+
+    def test_as_conv_roundtrip(self):
+        for fc in lenet_300_100():
+            conv = fc.as_conv()
+            assert conv.dense_macs == fc.dense_macs
+
+
+class TestLSTM:
+    def test_four_gates(self):
+        gates = lstm_cell_layers()
+        assert len(gates) == 4
+        names = {g.name for g in gates}
+        assert names == {
+            "lstm_input_gate", "lstm_forget_gate",
+            "lstm_cell_gate", "lstm_output_gate",
+        }
+
+    def test_gate_dimensions(self):
+        gates = lstm_cell_layers(input_size=128, hidden_size=64)
+        for gate in gates:
+            assert gate.n_inputs == 192
+            assert gate.n_outputs == 64
+
+
+class TestCoarsePruning:
+    @pytest.fixture
+    def filters(self, rng):
+        return rng.standard_normal((16, 3, 3, 32))
+
+    def test_density_hit(self, filters):
+        pruned = coarse_prune(filters, 0.4, block=8)
+        density = np.count_nonzero(pruned) / pruned.size
+        assert density == pytest.approx(0.4, abs=0.06)
+
+    def test_block_structure(self, filters):
+        """The live-block set is common to every filter (Cambricon-S's
+        shared mask), unlike fine pruning's independent positions."""
+        pruned = coarse_prune(filters, 0.4, block=8)
+        per_filter = (pruned != 0).reshape(16, -1)
+        flat_len = per_filter.shape[1]
+        pad = np.zeros((16, -(-flat_len // 8) * 8 - flat_len), dtype=bool)
+        blocks_pf = np.concatenate([per_filter, pad], axis=1).reshape(16, -1, 8)
+        live = blocks_pf.any(axis=2)
+        assert np.all(live == live[0])
+        # And the shared mask helper reflects exactly those blocks.
+        assert shared_mask(pruned).sum() > 0
+
+    def test_survivors_keep_values(self, filters):
+        pruned = coarse_prune(filters, 0.5, block=4)
+        mask = pruned != 0
+        assert np.array_equal(pruned[mask], filters[mask])
+
+    def test_fine_beats_coarse_in_energy(self, filters):
+        result = pruning_energy_comparison(filters, 0.35, block=16)
+        assert result["fine_retained_energy"] > result["coarse_retained_energy"]
+        assert result["fine_density"] == pytest.approx(
+            result["coarse_density"], abs=0.06
+        )
+
+    def test_coarse_gap_is_substantial(self, filters):
+        """The structural cost of regularity: a shared block mask loses a
+        large share of the weight energy fine pruning keeps."""
+        for block in (2, 16, 64):
+            result = pruning_energy_comparison(filters, 0.35, block=block)
+            gap = result["fine_retained_energy"] - result["coarse_retained_energy"]
+            assert gap > 0.1
+
+    def test_retained_energy_bounds(self, filters):
+        assert retained_energy(filters, filters) == pytest.approx(1.0)
+        assert retained_energy(filters, np.zeros_like(filters)) == 0.0
+
+    def test_validation(self, filters):
+        with pytest.raises(ValueError, match="density"):
+            coarse_prune(filters, 1.5)
+        with pytest.raises(ValueError, match="block"):
+            coarse_prune(filters, 0.5, block=0)
+        with pytest.raises(ValueError, match="F, k, k, C"):
+            coarse_prune(np.zeros((3, 4)), 0.5)

@@ -1,0 +1,117 @@
+"""Tests for the ASCII figure renderers (repro.eval.figures)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    bar_chart,
+    curve,
+    plot_breakdown_figure,
+    plot_speedup_figure,
+    stacked_chart,
+)
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        text = bar_chart({"G": {"a": 1.0, "b": 4.0}}, width=40)
+        lines = text.splitlines()
+        a_bar = lines[1].split("|")[1].count("#")
+        b_bar = lines[2].split("|")[1].count("#")
+        assert b_bar == 40
+        assert a_bar == 10
+
+    def test_values_printed(self):
+        text = bar_chart({"G": {"a": 2.5}}, unit="x")
+        assert "2.50x" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            bar_chart({"G": {"a": 0.0}})
+
+    def test_minimum_one_cell(self):
+        text = bar_chart({"G": {"tiny": 0.001, "big": 100.0}}, width=20)
+        tiny_line = [l for l in text.splitlines() if "tiny" in l][0]
+        assert tiny_line.split("|")[1].count("#") >= 1
+
+
+class TestStackedChart:
+    def test_component_glyphs(self):
+        groups = {
+            "L": {
+                "dense": {"nonzero": 0.25, "zero": 0.5,
+                          "intra_loss": 0.125, "inter_loss": 0.125},
+            }
+        }
+        text = stacked_chart(groups, width=40)
+        line = [l for l in text.splitlines() if "dense" in l][0]
+        body = line.split("|")[1]
+        assert body.count("#") == 10   # nonzero quarter
+        assert body.count("o") == 20   # zero half
+        assert "legend" in text
+
+    def test_glyph_count_check(self):
+        with pytest.raises(ValueError, match="glyph"):
+            stacked_chart({}, components=("a", "b"), glyphs="#")
+
+
+class TestCurve:
+    def test_monotone_curve_shape(self):
+        text = curve(np.linspace(0, 1, 100), width=20, height=5)
+        rows = text.splitlines()
+        assert rows[-1].startswith("min=0.000")
+        # Top row has fewer filled cells than the bottom row.
+        assert rows[0].count("#") < rows[-3].count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curve(np.array([]))
+
+
+class TestFigurePlots:
+    @pytest.fixture
+    def fig(self):
+        return {
+            "layers": {
+                "dense": {"L0": 1.0, "L1": 1.0},
+                "sparten": {"L0": 3.0, "L1": 5.0},
+            },
+            "geomean": {"dense": 1.0, "sparten": 3.87},
+        }
+
+    def test_speedup_plot(self, fig):
+        text = plot_speedup_figure(fig, "T")
+        assert text.startswith("T")
+        assert "geomean" in text
+        assert "3.87" in text
+
+    def test_breakdown_plot(self):
+        fig = {
+            "breakdown": {
+                "L0": {
+                    "sparten": {"nonzero": 0.1, "zero": 0.0,
+                                "intra_loss": 0.05, "inter_loss": 0.0},
+                }
+            }
+        }
+        text = plot_breakdown_figure(fig, "B")
+        assert text.startswith("B")
+        assert "0.15" in text
+
+
+class TestCliPlotFlag:
+    def test_plot_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig7", "--plot"])
+        assert args.plot
+
+    def test_plot_output_differs_from_table(self, capsys):
+        from repro.cli import main
+
+        main(["run", "table4"])  # sanity: table path unaffected by flag absence
+        capsys.readouterr()

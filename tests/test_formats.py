@@ -1,0 +1,153 @@
+"""Unit tests for the baseline sparse formats (CSR, CSC, RLE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.formats import CSCMatrix, CSRMatrix, RunLengthVector
+
+
+def sparse_matrix(rng, rows, cols, density):
+    m = rng.standard_normal((rows, cols))
+    m[rng.random(m.shape) >= density] = 0.0
+    return m
+
+
+class TestCSR:
+    def test_roundtrip(self, rng):
+        m = sparse_matrix(rng, 7, 11, 0.3)
+        assert np.array_equal(CSRMatrix.from_dense(m).to_dense(), m)
+
+    def test_row_access(self, rng):
+        m = sparse_matrix(rng, 5, 8, 0.4)
+        csr = CSRMatrix.from_dense(m)
+        for r in range(5):
+            idx, vals = csr.row(r)
+            assert np.array_equal(idx, np.flatnonzero(m[r]))
+            assert np.array_equal(vals, m[r, idx])
+
+    def test_matvec(self, rng):
+        m = sparse_matrix(rng, 6, 9, 0.5)
+        x = rng.standard_normal(9)
+        assert np.allclose(CSRMatrix.from_dense(m).matvec(x), m @ x)
+
+    def test_matvec_shape_check(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError, match="incompatible"):
+            csr.matvec(np.ones(4))
+
+    def test_nnz(self):
+        csr = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert csr.nnz == 2
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((3, 4)))
+        assert csr.nnz == 0
+        assert np.array_equal(csr.to_dense(), np.zeros((3, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CSRMatrix.from_dense(np.zeros(3))
+
+    def test_storage_bits_scale_with_nnz(self, rng):
+        sparse = CSRMatrix.from_dense(sparse_matrix(rng, 10, 64, 0.1))
+        dense = CSRMatrix.from_dense(sparse_matrix(rng, 10, 64, 0.9))
+        assert sparse.storage_bits() < dense.storage_bits()
+
+
+class TestCSC:
+    def test_roundtrip(self, rng):
+        m = sparse_matrix(rng, 9, 6, 0.35)
+        assert np.array_equal(CSCMatrix.from_dense(m).to_dense(), m)
+
+    def test_column_access(self, rng):
+        m = sparse_matrix(rng, 8, 5, 0.4)
+        csc = CSCMatrix.from_dense(m)
+        for c in range(5):
+            idx, vals = csc.column(c)
+            assert np.array_equal(idx, np.flatnonzero(m[:, c]))
+            assert np.array_equal(vals, m[idx, c])
+
+    def test_storage_bits_positive(self, rng):
+        csc = CSCMatrix.from_dense(sparse_matrix(rng, 8, 8, 0.3))
+        assert csc.storage_bits() > 0
+
+
+class TestRunLength:
+    def test_roundtrip(self, rng):
+        dense = np.zeros(100)
+        nz = rng.choice(100, size=20, replace=False)
+        dense[nz] = rng.standard_normal(20)
+        rle = RunLengthVector.from_dense(dense, run_bits=4)
+        assert np.array_equal(rle.to_dense(), dense)
+
+    def test_no_redundancy_for_short_runs(self):
+        dense = np.array([1.0, 0.0, 0.0, 2.0, 3.0])
+        rle = RunLengthVector.from_dense(dense, run_bits=4)
+        assert rle.redundant_entries == 0
+        assert rle.stored_entries == 3
+
+    def test_long_run_forces_redundant_entry(self):
+        """A zero run longer than 2^run_bits - 1 stores an explicit zero."""
+        dense = np.zeros(20)
+        dense[0] = 1.0
+        dense[19] = 2.0  # gap of 18 zeros > 15
+        rle = RunLengthVector.from_dense(dense, run_bits=4)
+        assert rle.redundant_entries == 1
+        assert rle.stored_entries == 3
+        assert np.array_equal(rle.to_dense(), dense)
+
+    def test_many_redundant_entries(self):
+        dense = np.zeros(100)
+        dense[99] = 1.0
+        rle = RunLengthVector.from_dense(dense, run_bits=2)  # max run 3
+        assert rle.redundant_entries == 24  # 99 zeros need 24 paddings of 4
+        assert np.array_equal(rle.to_dense(), dense)
+
+    def test_shorter_runs_cost_more_entries(self, rng):
+        """The paper's trade-off: smaller run fields, more redundancy."""
+        dense = np.zeros(200)
+        nz = rng.choice(200, size=8, replace=False)
+        dense[nz] = 1.0
+        wide = RunLengthVector.from_dense(dense, run_bits=8)
+        narrow = RunLengthVector.from_dense(dense, run_bits=2)
+        assert narrow.redundant_entries >= wide.redundant_entries
+        assert narrow.stored_entries >= wide.stored_entries
+
+    def test_storage_counts_redundant_entries(self):
+        dense = np.zeros(40)
+        dense[39] = 5.0
+        rle = RunLengthVector.from_dense(dense, run_bits=3)
+        assert rle.storage_bits(value_bits=8) == rle.stored_entries * (3 + 8)
+
+    def test_nnz_excludes_redundant(self):
+        dense = np.zeros(40)
+        dense[39] = 5.0
+        rle = RunLengthVector.from_dense(dense, run_bits=3)
+        assert rle.nnz == 1
+        assert rle.stored_entries > 1
+
+    def test_rejects_bad_run_bits(self):
+        with pytest.raises(ValueError, match="run_bits"):
+            RunLengthVector.from_dense(np.ones(4), run_bits=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            RunLengthVector.from_dense(np.zeros((2, 2)))
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(1, 150),
+    density=st.floats(0.0, 1.0),
+    run_bits=st.integers(1, 8),
+)
+@settings(max_examples=50, deadline=None)
+def test_rle_roundtrip_property(seed, n, density, run_bits):
+    gen = np.random.default_rng(seed)
+    dense = gen.standard_normal(n)
+    dense[gen.random(n) >= density] = 0.0
+    rle = RunLengthVector.from_dense(dense, run_bits=run_bits)
+    assert np.array_equal(rle.to_dense(), dense)
+    assert rle.nnz == int(np.count_nonzero(dense))

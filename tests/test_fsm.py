@@ -1,0 +1,90 @@
+"""Tests for the compute unit's state-machine controller."""
+
+import pytest
+
+from repro.arch.fsm import (
+    IllegalTransition,
+    StateMachine,
+    Transition,
+    cu_control_machine,
+)
+
+
+class TestGenericMachine:
+    def test_legal_sequence(self):
+        fsm = cu_control_machine()
+        for event in ("load_filter", "input_chunk", "join_done",
+                      "input_chunk", "join_done", "drain", "drained"):
+            fsm.fire(event)
+        assert fsm.state == "IDLE"
+
+    def test_illegal_event_raises(self):
+        fsm = cu_control_machine()
+        with pytest.raises(IllegalTransition, match="input_chunk"):
+            fsm.fire("input_chunk")  # no filter loaded yet
+
+    def test_cannot_drain_while_joining(self):
+        fsm = cu_control_machine()
+        fsm.fire("load_filter")
+        fsm.fire("input_chunk")
+        with pytest.raises(IllegalTransition):
+            fsm.fire("drain")
+
+    def test_can_predicate(self):
+        fsm = cu_control_machine()
+        assert fsm.can("load_filter")
+        assert not fsm.can("join_done")
+
+    def test_history(self):
+        fsm = cu_control_machine()
+        fsm.fire("load_filter")
+        fsm.fire("input_chunk")
+        assert fsm.history == ["IDLE", "FILTER_LOADED", "JOINING"]
+
+    def test_reset(self):
+        fsm = cu_control_machine()
+        fsm.fire("load_filter")
+        fsm.reset()
+        assert fsm.state == "IDLE"
+        assert fsm.history == ["IDLE"]
+
+    def test_collocated_double_drain(self):
+        fsm = cu_control_machine()
+        fsm.fire("load_filter")
+        fsm.fire("drain")
+        fsm.fire("drain")  # second collocated output
+        fsm.fire("drained")
+        assert fsm.state == "IDLE"
+
+    def test_filter_chunk_swap_allowed(self):
+        """Loading the next filter chunk without draining is legal
+        (partial sums accumulate across chunks)."""
+        fsm = cu_control_machine()
+        fsm.fire("load_filter")
+        fsm.fire("input_chunk")
+        fsm.fire("join_done")
+        fsm.fire("load_filter")
+        assert fsm.state == "FILTER_LOADED"
+
+
+class TestConstruction:
+    def test_unknown_initial(self):
+        with pytest.raises(ValueError, match="initial"):
+            StateMachine(("A",), (), "B")
+
+    def test_unknown_state_in_transition(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            StateMachine(("A",), (Transition("A", "go", "B"),), "A")
+
+    def test_nondeterminism_rejected(self):
+        with pytest.raises(ValueError, match="nondeterministic"):
+            StateMachine(
+                ("A", "B"),
+                (Transition("A", "go", "B"), Transition("A", "go", "A")),
+                "A",
+            )
+
+    def test_reset_to_unknown_state(self):
+        fsm = cu_control_machine()
+        with pytest.raises(ValueError, match="unknown state"):
+            fsm.reset("LIMBO")

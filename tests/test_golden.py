@@ -1,0 +1,67 @@
+"""Golden regression anchors: exact fast-mode results, frozen.
+
+The shape assertions elsewhere allow drift inside the qualitative bands;
+these tests pin the *numbers* of the seed-0 fast-mode runs (AlexNet and
+GoogLeNet speedups) against a frozen JSON. The whole stack is
+deterministic -- integer match counts, seeded synthesis, no wall-clock --
+so any deviation beyond float noise means a model changed; regenerate
+the golden file (see below) only when the change is intentional and
+documented in EXPERIMENTS.md.
+
+Regenerate with::
+
+    python - <<'PY'
+    import json
+    from repro.eval.experiments import speedup_figure
+    from repro.nets.models import alexnet, googlenet
+    golden = {}
+    for net in (alexnet(), googlenet()):
+        fig = speedup_figure(net, fast=True, seed=0)
+        golden[net.name] = {"layers": fig["layers"], "geomean": fig["geomean"]}
+    json.dump(golden, open("tests/golden/speedups_fast_seed0.json", "w"),
+              indent=1, sort_keys=True)
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import speedup_figure
+from repro.nets.models import alexnet, googlenet, vggnet
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "speedups_fast_seed0.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize(
+    "network_fn", [alexnet, googlenet, vggnet],
+    ids=["alexnet", "googlenet", "vggnet"],
+)
+def test_speedups_match_golden(network_fn, golden):
+    network = network_fn()
+    fig = speedup_figure(network, fast=True, seed=0)
+    want = golden[network.name]
+    for scheme, layers in want["layers"].items():
+        for layer, value in layers.items():
+            got = fig["layers"][scheme][layer]
+            assert got == pytest.approx(value, rel=1e-9), (scheme, layer)
+    for scheme, value in want["geomean"].items():
+        assert fig["geomean"][scheme] == pytest.approx(value, rel=1e-9), scheme
+
+
+def test_golden_file_sane(golden):
+    """The frozen numbers themselves stay in the paper's bands."""
+    assert golden["AlexNet"]["geomean"]["sparten"] > 4.0
+    assert golden["AlexNet"]["layers"]["scnn"]["Layer0"] < 0.2
+    assert (
+        golden["GoogLeNet"]["layers"]["sparten_no_gb"]["Inc3a_5x5red"]
+        > golden["GoogLeNet"]["layers"]["sparten"]["Inc3a_5x5red"]
+    )
+    assert golden["VGGNet"]["layers"]["sparten"]["Layer0"] < 1.0  # shallow depth
+    assert golden["VGGNet"]["geomean"]["sparten"] > 5.0

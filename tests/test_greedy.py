@@ -1,0 +1,187 @@
+"""Unit tests for greedy-balancing plan construction (repro.balance.greedy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance.greedy import (
+    collocation_helps,
+    filter_chunk_densities,
+    gb_h_plan,
+    gb_s_plan,
+    no_gb_plan,
+    whole_filter_densities,
+)
+
+
+def random_masks(rng, n_filters=16, k=3, c=20, density=0.4):
+    return rng.random((n_filters, k, k, c)) < density
+
+
+class TestDensities:
+    def test_whole_filter_densities(self, rng):
+        masks = random_masks(rng)
+        d = whole_filter_densities(masks)
+        assert d.shape == (16,)
+        assert np.allclose(d, masks.reshape(16, -1).mean(axis=1))
+
+    def test_chunk_densities_shape(self, rng):
+        masks = random_masks(rng, c=20)  # pads to 32 with chunk 16 -> 2 cpc
+        counts = filter_chunk_densities(masks, chunk_size=16)
+        assert counts.shape == (16, 9 * 2)
+
+    def test_chunk_densities_values(self, rng):
+        masks = random_masks(rng, n_filters=4, k=2, c=10)
+        counts = filter_chunk_densities(masks, chunk_size=16)
+        # Chunk (ky*k + kx) * 1 + 0 covers all 10 channels of that position.
+        for f in range(4):
+            for ky in range(2):
+                for kx in range(2):
+                    assert counts[f, ky * 2 + kx] == masks[f, ky, kx].sum()
+
+    def test_chunk_padding_contributes_zero(self, rng):
+        masks = random_masks(rng, c=10)  # 10 -> padded 16, single chunk
+        counts = filter_chunk_densities(masks, chunk_size=16)
+        assert counts.max() <= 10
+
+    def test_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError, match="F, k, k, C"):
+            filter_chunk_densities(rng.random((4, 9)) < 0.5)
+
+
+class TestNoGB:
+    def test_identity_order(self, rng):
+        plan = no_gb_plan(random_masks(rng), n_units=4)
+        assert np.array_equal(plan.order, np.arange(16))
+        assert not plan.collocated
+        assert plan.variant == "no_gb"
+
+
+class TestGBS:
+    def test_order_is_density_sort(self, rng):
+        masks = random_masks(rng)
+        plan = gb_s_plan(masks, n_units=4)
+        d = whole_filter_densities(masks)
+        assert np.all(np.diff(d[plan.order]) <= 1e-12)
+
+    def test_order_is_permutation(self, rng):
+        plan = gb_s_plan(random_masks(rng), n_units=4)
+        assert np.array_equal(np.sort(plan.order), np.arange(16))
+
+    def test_pairing_covers_each_filter_once(self, rng):
+        plan = gb_s_plan(random_masks(rng), n_units=4)
+        used = plan.pairing[plan.pairing >= 0]
+        assert np.array_equal(np.sort(used), np.arange(16))
+
+    def test_pairs_densest_with_sparsest(self, rng):
+        """Within a group, rank i pairs with rank (2U-1-i) -- Figure 6."""
+        masks = random_masks(rng, n_filters=8)
+        plan = gb_s_plan(masks, n_units=4)
+        d = whole_filter_densities(masks)
+        order = np.argsort(-d, kind="stable")
+        assert plan.pairing[0, 0] == order[0]
+        assert plan.pairing[0, 1] == order[7]
+        assert plan.pairing[3, 0] == order[3]
+        assert plan.pairing[3, 1] == order[4]
+
+    def test_pair_densities_balanced(self, rng):
+        """Pair density sums vary less than individual densities."""
+        masks = random_masks(rng, n_filters=64, c=40)
+        plan = gb_s_plan(masks, n_units=32)
+        d = whole_filter_densities(masks)
+        pair_sums = np.array(
+            [d[a] + (d[b] if b >= 0 else 0.0) for a, b in plan.pairing]
+        )
+        assert pair_sums.std() < (2 * d).std()
+
+    def test_odd_filter_count_leaves_unpaired(self, rng):
+        plan = gb_s_plan(random_masks(rng, n_filters=7), n_units=4)
+        unpaired = np.sum((plan.pairing[:, 0] >= 0) & (plan.pairing[:, 1] < 0))
+        assert unpaired == 1
+
+    def test_idle_units_marked(self, rng):
+        plan = gb_s_plan(random_masks(rng, n_filters=4), n_units=4)
+        idle_rows = np.sum(plan.pairing[:, 0] < 0)
+        assert idle_rows == 2  # 4 filters -> 2 pairs on 4 units
+
+
+class TestGBH:
+    def test_chunk_pairing_shape(self, rng):
+        masks = random_masks(rng, n_filters=16, c=20)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        n_chunks = 9 * 2
+        assert plan.chunk_pairing.shape == (n_chunks, 8, 2)
+
+    def test_each_chunk_covers_all_filters(self, rng):
+        masks = random_masks(rng)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        for c in range(plan.chunk_pairing.shape[0]):
+            used = plan.chunk_pairing[c][plan.chunk_pairing[c] >= 0]
+            assert np.array_equal(np.sort(used), np.arange(16))
+
+    def test_per_chunk_pairs_densest_with_sparsest(self, rng):
+        masks = random_masks(rng, n_filters=8, c=20)
+        plan = gb_h_plan(masks, n_units=4, chunk_size=16)
+        counts = filter_chunk_densities(masks, chunk_size=16)
+        for c in range(plan.chunk_pairing.shape[0]):
+            pair0 = plan.chunk_pairing[c, 0]
+            group_counts = counts[:, c]
+            assert group_counts[pair0[0]] == group_counts.max()
+            assert group_counts[pair0[1]] == group_counts.min()
+
+    def test_pairings_differ_across_chunks(self, rng):
+        """The reason GB-H needs the permutation network."""
+        masks = random_masks(rng, n_filters=32, c=40, density=0.35)
+        plan = gb_h_plan(masks, n_units=16, chunk_size=16)
+        first = plan.chunk_pairing[0]
+        assert any(
+            not np.array_equal(first, plan.chunk_pairing[c])
+            for c in range(1, plan.chunk_pairing.shape[0])
+        )
+
+    def test_groups_follow_whole_filter_sort(self, rng):
+        masks = random_masks(rng, n_filters=16)
+        plan = gb_h_plan(masks, n_units=2, chunk_size=16)
+        d = whole_filter_densities(masks)
+        order = np.argsort(-d, kind="stable")
+        first_group = set(order[:4].tolist())
+        chunk0_group0 = set(plan.chunk_pairing[0, :2].reshape(-1).tolist()) - {-1}
+        assert chunk0_group0 <= first_group
+
+
+class TestCollocationHelps:
+    def test_enough_filters(self):
+        assert collocation_helps(64, 32)
+        assert collocation_helps(384, 32)
+
+    def test_too_few_filters(self):
+        """The paper's GoogLeNet 5x5-reduce case: 16/48 filters, 32 units."""
+        assert not collocation_helps(16, 32)
+        assert not collocation_helps(48, 32)
+
+    def test_boundary(self):
+        assert collocation_helps(8, 4)
+        assert not collocation_helps(7, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            collocation_helps(0, 4)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n_filters=st.integers(1, 40),
+    n_units=st.integers(1, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_gb_s_plan_properties(seed, n_filters, n_units):
+    gen = np.random.default_rng(seed)
+    masks = gen.random((n_filters, 2, 2, 12)) < 0.4
+    plan = gb_s_plan(masks, n_units=n_units)
+    # Order is always a permutation; pairing covers each filter exactly once.
+    assert np.array_equal(np.sort(plan.order), np.arange(n_filters))
+    used = plan.pairing[plan.pairing >= 0]
+    assert np.array_equal(np.sort(used), np.arange(n_filters))
+    # Every group block has exactly n_units rows.
+    assert plan.pairing.shape[0] % n_units == 0

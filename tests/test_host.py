@@ -1,0 +1,109 @@
+"""Integration tests for the functional Host driving full convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.arch.host import Host
+from repro.balance.greedy import gb_h_plan, gb_s_plan
+from repro.nets.reference import conv2d_reference
+from repro.nets.synthesis import synthesize_layer
+
+
+@pytest.fixture
+def host(mini_cfg):
+    return Host(
+        n_clusters=mini_cfg.n_clusters,
+        units_per_cluster=mini_cfg.units_per_cluster,
+        chunk_size=mini_cfg.chunk_size,
+        bisection_width=mini_cfg.bisection_width,
+    )
+
+
+class TestRunConv:
+    def test_plain_matches_reference(self, host, tiny_data):
+        spec = tiny_data.spec
+        ref = conv2d_reference(
+            tiny_data.input_map, tiny_data.filters, stride=spec.stride, padding=spec.padding
+        )
+        out, stats = host.run_conv(tiny_data, mode="plain")
+        assert np.allclose(out, ref)
+        assert stats.wall_cycles > 0
+        assert stats.useful_macs > 0
+
+    def test_gb_s_matches_reference(self, host, tiny_data):
+        spec = tiny_data.spec
+        ref = conv2d_reference(
+            tiny_data.input_map, tiny_data.filters, stride=spec.stride, padding=spec.padding
+        )
+        plan = gb_s_plan(tiny_data.filter_masks, host.units_per_cluster)
+        out, _ = host.run_conv(tiny_data, mode="paired", pairing=plan.pairing)
+        assert np.allclose(out, ref)
+
+    def test_gb_h_matches_reference(self, host, tiny_data):
+        spec = tiny_data.spec
+        ref = conv2d_reference(
+            tiny_data.input_map, tiny_data.filters, stride=spec.stride, padding=spec.padding
+        )
+        plan = gb_h_plan(
+            tiny_data.filter_masks, host.units_per_cluster, chunk_size=host.chunk_size
+        )
+        out, _ = host.run_conv(tiny_data, mode="chunk_paired", chunk_pairing=plan.chunk_pairing)
+        assert np.allclose(out, ref)
+
+    def test_strided_convolution(self, host, strided_spec):
+        """Any-stride support: the Cartesian-product schemes cannot do this."""
+        data = synthesize_layer(strided_spec, seed=1)
+        ref = conv2d_reference(data.input_map, data.filters, stride=2, padding=1)
+        out, _ = host.run_conv(data, mode="plain")
+        assert out.shape == ref.shape
+        assert np.allclose(out, ref)
+
+    def test_relu_output(self, host, tiny_data):
+        spec = tiny_data.spec
+        ref = conv2d_reference(
+            tiny_data.input_map, tiny_data.filters, stride=spec.stride, padding=spec.padding
+        )
+        out, _ = host.run_conv(tiny_data, apply_relu=True)
+        assert np.allclose(out, np.maximum(ref, 0.0))
+
+    def test_wall_cycles_is_busiest_cluster(self, host, tiny_data):
+        _, stats = host.run_conv(tiny_data)
+        assert stats.wall_cycles == max(s.total_cycles for s in stats.per_cluster)
+
+    def test_output_regions_track_writes(self, host, tiny_data):
+        _, stats = host.run_conv(tiny_data)
+        assert stats.output_region_extensions >= 0  # watermark model engaged
+
+
+class TestRunMatvec:
+    def test_blas_semantics(self, host, rng):
+        w = rng.standard_normal((10, 40))
+        w[rng.random(w.shape) < 0.6] = 0.0
+        x = rng.standard_normal(40)
+        x[rng.random(40) < 0.5] = 0.0
+        y = rng.standard_normal(10)
+        out, stats = host.run_matvec(w, x, y=y)
+        assert np.allclose(out, w @ x + y)
+        assert stats.wall_cycles > 0
+
+    def test_without_bias(self, host, rng):
+        w = rng.standard_normal((6, 16))
+        x = rng.standard_normal(16)
+        out, _ = host.run_matvec(w, x)
+        assert np.allclose(out, w @ x)
+
+    def test_shape_validation(self, host, rng):
+        with pytest.raises(ValueError, match="incompatible"):
+            host.run_matvec(rng.standard_normal((3, 4)), rng.standard_normal(5))
+
+    def test_bias_shape_validation(self, host, rng):
+        with pytest.raises(ValueError, match="y shape"):
+            host.run_matvec(
+                rng.standard_normal((3, 4)), rng.standard_normal(4), y=np.ones(2)
+            )
+
+
+class TestConstruction:
+    def test_needs_clusters(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Host(n_clusters=0)

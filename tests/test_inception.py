@@ -1,0 +1,58 @@
+"""Tests for the inception-module substrate (repro.nets.inception)."""
+
+import numpy as np
+import pytest
+
+from repro.nets.inception import inception_3a, inception_5a
+from repro.tensor.sparsemap import SparseTensor3D, concat_channels
+
+
+class TestStructure:
+    def test_3a_channel_arithmetic(self):
+        mod = inception_3a()
+        assert mod.out_channels == 64 + 128 + 32 + 32  # = 256
+
+    def test_5a_channel_arithmetic(self):
+        mod = inception_5a()
+        assert mod.out_channels == 384 + 384 + 128 + 128  # = 1024
+
+    def test_branch_layers_are_table3(self):
+        mod = inception_3a()
+        assert mod.b2_3x3.n_filters == 128
+        assert mod.b3_5x5.kernel == 5
+        assert mod.b3_reduce.input_density == pytest.approx(0.58)
+
+
+class TestForward:
+    @pytest.fixture(scope="class")
+    def output_3a(self):
+        rng = np.random.default_rng(0)
+        x = np.abs(rng.standard_normal((28, 28, 192)))
+        x[rng.random(x.shape) < 0.42] = 0.0  # ~58% dense per Table 3
+        return inception_3a().forward(x, seed=0)
+
+    def test_output_geometry(self, output_3a):
+        assert output_3a.shape == (28, 28, 256)
+
+    def test_relu_applied(self, output_3a):
+        assert (output_3a >= 0.0).all()
+        assert (output_3a == 0.0).any()  # ReLU sparsity exists
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        x = np.abs(rng.standard_normal((28, 28, 192)))
+        a = inception_3a().forward(x, seed=3)
+        b = inception_3a().forward(x, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_input_shape_check(self):
+        with pytest.raises(ValueError, match="input shape"):
+            inception_3a().forward(np.zeros((8, 8, 192)))
+
+    def test_sparse_concat_roundtrips_module_output(self, output_3a):
+        """The inception join through the sparse representation."""
+        parts = np.split(output_3a, [64, 192, 224], axis=2)
+        sparse_parts = [SparseTensor3D(p, chunk_size=128) for p in parts]
+        joined = concat_channels(sparse_parts)
+        assert np.allclose(joined.to_dense(), output_3a)
+        assert joined.channels == 256

@@ -1,0 +1,119 @@
+"""Unit tests for layer specifications (repro.nets.layers)."""
+
+import pytest
+
+from repro.nets.layers import ConvLayerSpec, FCLayerSpec
+
+
+def spec(**kwargs) -> ConvLayerSpec:
+    defaults = dict(
+        name="t", in_height=8, in_width=8, in_channels=4,
+        kernel=3, n_filters=6, stride=1, padding=1,
+    )
+    defaults.update(kwargs)
+    return ConvLayerSpec(**defaults)
+
+
+class TestGeometry:
+    def test_same_padding(self):
+        s = spec(in_height=28, in_width=28, kernel=3, padding=1)
+        assert (s.out_height, s.out_width) == (28, 28)
+
+    def test_valid_convolution(self):
+        s = spec(in_height=10, in_width=12, kernel=3, padding=0)
+        assert (s.out_height, s.out_width) == (8, 10)
+
+    def test_alexnet_conv1_geometry(self):
+        s = spec(in_height=224, in_width=224, in_channels=3, kernel=11,
+                 stride=4, padding=2, n_filters=64)
+        assert (s.out_height, s.out_width) == (55, 55)
+
+    def test_stride_2(self):
+        s = spec(in_height=56, in_width=56, kernel=3, stride=2, padding=1)
+        assert (s.out_height, s.out_width) == (28, 28)
+
+    def test_1x1_kernel(self):
+        s = spec(kernel=1, padding=0)
+        assert (s.out_height, s.out_width) == (8, 8)
+
+    def test_out_channels(self):
+        assert spec(n_filters=17).out_channels == 17
+
+
+class TestWork:
+    def test_dense_macs(self):
+        s = spec(in_height=4, in_width=4, in_channels=2, kernel=3, padding=1, n_filters=5)
+        assert s.dense_macs == 16 * 9 * 2 * 5
+
+    def test_expected_sparse_macs(self):
+        s = spec(input_density=0.5, filter_density=0.4)
+        assert s.expected_sparse_macs == pytest.approx(s.dense_macs * 0.2)
+
+    def test_filter_elements(self):
+        assert spec(kernel=5, in_channels=7).filter_elements == 175
+
+    def test_element_counts(self):
+        s = spec(in_height=6, in_width=7, in_channels=3, n_filters=4, padding=1)
+        assert s.input_elements == 126
+        assert s.output_elements == s.out_positions * 4
+
+
+class TestValidation:
+    def test_negative_padding(self):
+        with pytest.raises(ValueError, match="padding"):
+            spec(padding=-1)
+
+    def test_zero_stride(self):
+        with pytest.raises(ValueError, match="positive"):
+            spec(stride=0)
+
+    def test_density_range(self):
+        with pytest.raises(ValueError, match="density"):
+            spec(input_density=1.2)
+        with pytest.raises(ValueError, match="density"):
+            spec(filter_density=-0.1)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError, match="kernel larger"):
+            spec(in_height=4, in_width=8, kernel=5, padding=0)
+
+    def test_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            spec(in_channels=0)
+
+
+class TestScaled:
+    def test_scales_spatial_only(self):
+        s = spec(in_height=100, in_width=60)
+        scaled = s.scaled(0.5)
+        assert (scaled.in_height, scaled.in_width) == (50, 30)
+        assert scaled.in_channels == s.in_channels
+        assert scaled.kernel == s.kernel
+
+    def test_clamps_to_kernel(self):
+        s = spec(in_height=10, in_width=10, kernel=3, padding=0)
+        scaled = s.scaled(0.01)
+        assert scaled.out_height >= 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            spec().scaled(0)
+
+
+class TestFCLayer:
+    def test_as_conv_geometry(self):
+        fc = FCLayerSpec("fc", n_inputs=100, n_outputs=30,
+                         input_density=0.5, weight_density=0.3)
+        conv = fc.as_conv()
+        assert conv.in_channels == 100
+        assert conv.n_filters == 30
+        assert conv.out_positions == 1
+        assert conv.dense_macs == fc.dense_macs
+        assert conv.input_density == 0.5
+        assert conv.filter_density == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FCLayerSpec("bad", n_inputs=0, n_outputs=3)
+        with pytest.raises(ValueError):
+            FCLayerSpec("bad", n_inputs=2, n_outputs=3, input_density=2.0)

@@ -1,0 +1,129 @@
+"""Unit tests for traffic accounting and the bandwidth model."""
+
+import pytest
+
+from repro.arch.memory import (
+    MemoryInterface,
+    Traffic,
+    layer_traffic,
+    layer_traffic_detailed,
+)
+from repro.nets.layers import ConvLayerSpec
+
+
+def spec(**kwargs) -> ConvLayerSpec:
+    defaults = dict(
+        name="t", in_height=27, in_width=27, in_channels=192,
+        kernel=3, n_filters=384, padding=1,
+        input_density=0.24, filter_density=0.35,
+    )
+    defaults.update(kwargs)
+    return ConvLayerSpec(**defaults)
+
+
+class TestTrafficSchemes:
+    def test_dense_moves_everything(self):
+        t = layer_traffic(spec(), "dense")
+        s = spec()
+        total_values = s.input_elements + s.n_filters * s.filter_elements + s.output_elements
+        assert t.nonzero_bytes + t.zero_bytes == pytest.approx(total_values)
+        assert t.overhead_bytes == 0
+
+    def test_dense_zero_fraction_matches_density(self):
+        s = spec(input_density=0.25, filter_density=0.25)
+        inp, filt, out = layer_traffic_detailed(s, "dense")
+        assert inp.zero_bytes == pytest.approx(0.75 * s.input_elements)
+        assert filt.zero_bytes == pytest.approx(0.75 * s.n_filters * s.filter_elements)
+
+    def test_one_sided_filters_stay_dense(self):
+        s = spec()
+        inp, filt, _out = layer_traffic_detailed(s, "one_sided")
+        assert inp.zero_bytes == 0  # maps compressed
+        assert filt.zero_bytes > 0  # filters still move zeros
+        assert inp.overhead_bytes > 0
+
+    def test_two_sided_moves_no_zeros(self):
+        t = layer_traffic(spec(), "two_sided")
+        assert t.zero_bytes == 0
+        assert t.overhead_bytes > 0
+
+    def test_two_sided_smaller_than_dense_at_cnn_density(self):
+        s = spec()
+        assert layer_traffic(s, "two_sided").total_bytes < layer_traffic(s, "dense").total_bytes
+
+    def test_sparse_ordering(self):
+        s = spec()
+        dense = layer_traffic(s, "dense").total_bytes
+        one = layer_traffic(s, "one_sided").total_bytes
+        two = layer_traffic(s, "two_sided").total_bytes
+        assert two < one < dense
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            layer_traffic(spec(), "magic")
+
+    def test_output_density_defaults_to_input(self):
+        s = spec(input_density=0.3)
+        _inp, _filt, out = layer_traffic_detailed(s, "two_sided")
+        assert out.nonzero_bytes == pytest.approx(s.output_elements * 0.3)
+
+    def test_explicit_output_density(self):
+        s = spec()
+        _i, _f, out = layer_traffic_detailed(s, "two_sided", output_density=0.5)
+        assert out.nonzero_bytes == pytest.approx(s.output_elements * 0.5)
+
+    def test_invalid_output_density(self):
+        with pytest.raises(ValueError, match="output density"):
+            layer_traffic(spec(), "two_sided", output_density=1.5)
+
+
+class TestDenseImageSpecialCase:
+    def test_fully_dense_tensor_has_shared_mask(self):
+        """The 100%-dense input image's identical SparseMaps move once."""
+        s = spec(in_channels=3, input_density=1.0, kernel=3, n_filters=8)
+        inp, _f, _o = layer_traffic_detailed(s, "two_sided")
+        sparse_s = spec(in_channels=3, input_density=0.99, kernel=3, n_filters=8)
+        inp_sparse, _f2, _o2 = layer_traffic_detailed(sparse_s, "two_sided")
+        assert inp.overhead_bytes < inp_sparse.overhead_bytes / 10
+
+
+class TestRefetch:
+    def test_input_refetch_scales_input_only(self):
+        s = spec()
+        base = layer_traffic(s, "two_sided", input_refetch=1)
+        refetched = layer_traffic(s, "two_sided", input_refetch=3)
+        inp, _f, _o = layer_traffic_detailed(s, "two_sided")
+        assert refetched.total_bytes == pytest.approx(
+            base.total_bytes + 2 * inp.total_bytes
+        )
+
+    def test_invalid_refetch(self):
+        with pytest.raises(ValueError, match="refetch"):
+            layer_traffic(spec(), "dense", input_refetch=0)
+
+
+class TestTrafficArithmetic:
+    def test_addition(self):
+        a = Traffic(1.0, 2.0, 3.0)
+        b = Traffic(10.0, 20.0, 30.0)
+        c = a + b
+        assert (c.nonzero_bytes, c.zero_bytes, c.overhead_bytes) == (11.0, 22.0, 33.0)
+        assert c.total_bytes == 66.0
+
+
+class TestMemoryInterface:
+    def test_transfer_cycles(self):
+        interface = MemoryInterface(bytes_per_cycle=4.0)
+        assert interface.transfer_cycles(Traffic(100.0, 0.0, 0.0)) == 25.0
+
+    def test_roofline_compute_bound(self):
+        interface = MemoryInterface(bytes_per_cycle=100.0)
+        assert interface.bound_cycles(1000.0, Traffic(100.0, 0.0, 0.0)) == 1000.0
+
+    def test_roofline_memory_bound(self):
+        interface = MemoryInterface(bytes_per_cycle=0.1)
+        assert interface.bound_cycles(10.0, Traffic(100.0, 0.0, 0.0)) == 1000.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryInterface(bytes_per_cycle=0.0)

@@ -1,0 +1,128 @@
+"""Tests asserting the benchmark networks match the paper's Table 3."""
+
+import pytest
+
+from repro.nets.models import (
+    alexnet,
+    all_networks,
+    googlenet,
+    lstm_fc_layer,
+    strided_resnet_layer,
+    vggnet,
+)
+
+# Table 3 rows: (name, (h, w, c), input density, kernel, n_filters, filter density).
+ALEXNET_TABLE = [
+    ("Layer0", (224, 224, 3), 1.00, 11, 64, 0.84),
+    ("Layer1", (55, 55, 64), 0.38, 5, 192, 0.38),
+    ("Layer2", (27, 27, 192), 0.24, 3, 384, 0.35),
+    ("Layer3", (13, 13, 384), 0.20, 3, 256, 0.37),
+    ("Layer4", (13, 13, 256), 0.24, 3, 256, 0.37),
+]
+
+GOOGLENET_TABLE = [
+    ("Inc3a_1x1", (28, 28, 192), 0.58, 1, 64, 0.38),
+    ("Inc3a_3x3red", (28, 28, 192), 0.58, 1, 96, 0.41),
+    ("Inc3a_3x3", (28, 28, 96), 0.68, 3, 128, 0.43),
+    ("Inc3a_5x5red", (28, 28, 192), 0.58, 1, 16, 0.35),
+    ("Inc3a_5x5", (28, 28, 16), 0.85, 5, 32, 0.33),
+    ("Inc3a_poolprj", (28, 28, 192), 0.58, 1, 32, 0.47),
+    ("Inc5a_1x1", (7, 7, 832), 0.31, 1, 384, 0.37),
+    ("Inc5a_3x3red", (7, 7, 832), 0.31, 1, 192, 0.38),
+    ("Inc5a_3x3", (7, 7, 192), 0.42, 3, 384, 0.39),
+    ("Inc5a_5x5red", (7, 7, 832), 0.31, 1, 48, 0.35),
+    ("Inc5a_5x5", (7, 7, 48), 0.69, 5, 128, 0.38),
+    ("Inc5a_poolprj", (7, 7, 832), 0.31, 1, 128, 0.36),
+]
+
+VGGNET_TABLE = [
+    ("Layer0", (224, 224, 3), 1.00, 3, 64, 0.58),
+    ("Layer1", (224, 224, 64), 0.57, 3, 64, 0.21),
+    ("Layer2", (224, 224, 64), 0.49, 3, 128, 0.34),
+    ("Layer3", (112, 112, 128), 0.52, 3, 128, 0.36),
+    ("Layer4", (112, 112, 128), 0.36, 3, 256, 0.53),
+    ("Layer5", (56, 56, 256), 0.39, 3, 256, 0.24),
+    ("Layer6", (56, 56, 256), 0.49, 3, 256, 0.42),
+    ("Layer7", (56, 56, 256), 0.16, 3, 512, 0.32),
+    ("Layer8", (28, 28, 512), 0.27, 3, 512, 0.27),
+    ("Layer9", (28, 28, 512), 0.30, 3, 512, 0.34),
+    ("Layer10", (28, 28, 512), 0.13, 3, 512, 0.32),
+    ("Layer11", (14, 14, 512), 0.22, 3, 512, 0.29),
+    ("Layer12", (14, 14, 512), 0.28, 3, 512, 0.36),
+]
+
+
+@pytest.mark.parametrize(
+    "network_fn, table",
+    [(alexnet, ALEXNET_TABLE), (googlenet, GOOGLENET_TABLE), (vggnet, VGGNET_TABLE)],
+    ids=["alexnet", "googlenet", "vggnet"],
+)
+def test_table3_rows(network_fn, table):
+    network = network_fn()
+    assert len(network.layers) == len(table)
+    for layer, (name, (h, w, c), in_d, k, f, f_d) in zip(network.layers, table):
+        assert layer.name == name
+        assert (layer.in_height, layer.in_width, layer.in_channels) == (h, w, c)
+        assert layer.input_density == pytest.approx(in_d)
+        assert layer.kernel == k
+        assert layer.n_filters == f
+        assert layer.filter_density == pytest.approx(f_d)
+
+
+class TestConfigurations:
+    def test_config_assignment(self):
+        """AlexNet/VGGNet use the large config, GoogLeNet the small one."""
+        assert alexnet().config_name == "large"
+        assert vggnet().config_name == "large"
+        assert googlenet().config_name == "small"
+
+    def test_scnn_mean_exclusion(self):
+        """SCNN's AlexNet mean excludes the stride-4 Layer0."""
+        assert alexnet().scnn_mean_exclude == ("Layer0",)
+        assert googlenet().scnn_mean_exclude == ()
+
+    def test_vgg_mean_exclusion(self):
+        assert vggnet().mean_exclude == ("Layer0",)
+
+
+class TestGeometrySanity:
+    def test_all_layers_have_valid_outputs(self):
+        for network in all_networks():
+            for layer in network.layers:
+                assert layer.out_height >= 1
+                assert layer.out_width >= 1
+
+    def test_alexnet_conv1_output(self):
+        assert alexnet().layers[0].out_height == 55
+
+    def test_vgg_same_padding(self):
+        for layer in vggnet().layers:
+            assert layer.out_height == layer.in_height
+
+    def test_googlenet_same_padding(self):
+        for layer in googlenet().layers:
+            assert layer.out_height == layer.in_height
+
+
+class TestLookup:
+    def test_layer_by_name(self):
+        assert alexnet().layer("Layer2").n_filters == 384
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            alexnet().layer("LayerX")
+
+    def test_layer_names(self):
+        assert alexnet().layer_names == tuple(f"Layer{i}" for i in range(5))
+
+
+class TestGeneralityExtras:
+    def test_strided_layer(self):
+        layer = strided_resnet_layer()
+        assert layer.stride == 2
+        assert layer.out_height == 28
+
+    def test_lstm_fc_layer(self):
+        fc = lstm_fc_layer()
+        assert fc.as_conv().out_positions == 1
+        assert fc.dense_macs == 1024 * 4096

@@ -1,0 +1,67 @@
+"""Tests for oracle balancing (repro.balance.oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.balance.oracle import oracle_plan, proxy_vs_oracle
+from repro.sim.kernels import compute_chunk_work
+
+
+@pytest.fixture
+def work(tiny_data, mini_cfg):
+    return compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+
+
+class TestOraclePlan:
+    def test_plan_shape(self, work, mini_cfg):
+        plan = oracle_plan(work, mini_cfg.units_per_cluster)
+        assert plan.chunk_pairing is not None
+        assert plan.chunk_pairing.shape[0] == work.n_chunks
+
+    def test_covers_all_filters_per_chunk(self, work, mini_cfg):
+        plan = oracle_plan(work, mini_cfg.units_per_cluster)
+        n_filters = work.counts.shape[2]
+        for c in range(work.n_chunks):
+            used = plan.chunk_pairing[c][plan.chunk_pairing[c] >= 0]
+            assert sorted(used.tolist()) == list(range(n_filters))
+
+    def test_pairs_heaviest_with_lightest(self, work, mini_cfg):
+        plan = oracle_plan(work, mini_cfg.units_per_cluster)
+        mean_work = work.counts.mean(axis=1).T
+        c = 0
+        fa, fb = plan.chunk_pairing[c, 0]
+        group = plan.chunk_pairing[c][plan.chunk_pairing[c] >= 0]
+        assert mean_work[fa, c] == mean_work[group, c].max()
+        assert mean_work[fb, c] == mean_work[group, c].min()
+
+
+class TestProxyVsOracle:
+    def test_oracle_bounds_proxy(self, work, tiny_data, mini_cfg):
+        result = proxy_vs_oracle(
+            work, mini_cfg.units_per_cluster, tiny_data.filter_masks,
+            mini_cfg.chunk_size,
+        )
+        assert result["oracle_cycles"] <= result["proxy_cycles"] * 1.001
+
+    def test_proxy_overhead_small(self, work, tiny_data, mini_cfg):
+        """The paper's claim at toy scale: density is an effective proxy."""
+        result = proxy_vs_oracle(
+            work, mini_cfg.units_per_cluster, tiny_data.filter_masks,
+            mini_cfg.chunk_size,
+        )
+        assert result["proxy_overhead"] < 0.25  # toy scale is noisier
+
+    def test_table3_layer_overhead_tiny(self):
+        """At real scale the proxy is within a few percent of the oracle."""
+        from repro.nets.models import alexnet
+        from repro.nets.synthesis import synthesize_layer
+        from repro.sim.config import LARGE_CONFIG
+
+        spec = alexnet().layer("Layer3")
+        cfg = LARGE_CONFIG.with_sampling(100, batch=1)
+        data = synthesize_layer(spec, seed=0)
+        work = compute_chunk_work(data, cfg, need_counts=True)
+        result = proxy_vs_oracle(
+            work, cfg.units_per_cluster, data.filter_masks, cfg.chunk_size
+        )
+        assert result["proxy_overhead"] < 0.05

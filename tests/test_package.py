@@ -1,0 +1,68 @@
+"""Tests for the top-level package surface (lazy exports, metadata)."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "SparTenAccelerator" in listing
+        assert "LARGE_CONFIG" in listing
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports_match_sources(self):
+        """The lazy table points at real objects with the right names."""
+        from repro.core.accelerator import SparTenAccelerator
+        from repro.sim.config import LARGE_CONFIG
+
+        assert repro.SparTenAccelerator is SparTenAccelerator
+        assert repro.LARGE_CONFIG is LARGE_CONFIG
+
+
+class TestSubpackageSurfaces:
+    def test_sim_surface(self):
+        import repro.sim as sim
+
+        for name in sim.__all__:
+            assert getattr(sim, name) is not None
+
+    def test_arch_surface(self):
+        import repro.arch as arch
+
+        for name in arch.__all__:
+            assert getattr(arch, name) is not None
+
+    def test_tensor_surface(self):
+        import repro.tensor as tensor
+
+        for name in tensor.__all__:
+            assert getattr(tensor, name) is not None
+
+    def test_nets_surface(self):
+        import repro.nets as nets
+
+        for name in nets.__all__:
+            assert getattr(nets, name) is not None
+
+
+class TestCharacterizeNetwork:
+    def test_profiles_every_layer(self):
+        from repro.eval.characterize import characterize_network
+        from repro.nets.models import googlenet
+
+        profiles = characterize_network(googlenet(), fast=True)
+        assert len(profiles) == 12
+        for profile in profiles:
+            assert 0.0 < profile.sparse_efficiency <= 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for the thinned permutation network (repro.arch.permute)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.permute import PermutationNetwork
+
+
+class TestRouting:
+    def test_identity_delivery(self, rng):
+        net = PermutationNetwork(8, bisection_width=4)
+        values = rng.standard_normal(8)
+        result = net.route(np.arange(8), values)
+        assert np.array_equal(result.delivered, values)
+
+    def test_permutation_delivery(self, rng):
+        net = PermutationNetwork(8, bisection_width=4)
+        perm = rng.permutation(8)
+        values = rng.standard_normal(8)
+        result = net.route(perm, values)
+        for src, dst in enumerate(perm):
+            assert result.delivered[dst] == values[src]
+
+    def test_partial_batch(self, rng):
+        net = PermutationNetwork(8, bisection_width=4)
+        dests = np.array([3, -1, -1, 0, -1, -1, -1, -1])
+        values = rng.standard_normal(8)
+        result = net.route(dests, values)
+        assert result.delivered[3] == values[0]
+        assert result.delivered[0] == values[3]
+        assert result.delivered[1] == 0.0
+
+    def test_duplicate_destination_rejected(self):
+        net = PermutationNetwork(4, bisection_width=2)
+        with pytest.raises(ValueError, match="at most one"):
+            net.route(np.array([1, 1, -1, -1]), np.zeros(4))
+
+    def test_out_of_range_destination(self):
+        net = PermutationNetwork(4, bisection_width=2)
+        with pytest.raises(ValueError, match="out of range"):
+            net.route(np.array([4, -1, -1, -1]), np.zeros(4))
+
+    def test_shape_check(self):
+        net = PermutationNetwork(4, bisection_width=2)
+        with pytest.raises(ValueError, match="expected 4"):
+            net.route(np.arange(3), np.zeros(3))
+
+
+class TestCycles:
+    def test_pipeline_latency_floor(self):
+        """An uncongested route takes at least the stage count."""
+        net = PermutationNetwork(16, bisection_width=8)
+        result = net.route(np.arange(16), np.zeros(16))
+        assert result.cycles >= net.n_stages
+
+    def test_bisection_counting(self):
+        net = PermutationNetwork(8, bisection_width=4)
+        # Swap halves: every value crosses the bisection.
+        dests = np.concatenate([np.arange(4, 8), np.arange(0, 4)])
+        result = net.route(dests, np.zeros(8))
+        assert result.bisection_values == 8
+
+    def test_identity_has_no_bisection_traffic(self):
+        net = PermutationNetwork(8, bisection_width=4)
+        result = net.route(np.arange(8), np.zeros(8))
+        assert result.bisection_values == 0
+
+    def test_thinner_network_is_slower_under_crossing_load(self):
+        dests = np.concatenate([np.arange(16, 32), np.arange(0, 16)])
+        wide = PermutationNetwork(32, bisection_width=16).route(dests, np.zeros(32))
+        thin = PermutationNetwork(32, bisection_width=2).route(dests, np.zeros(32))
+        assert thin.cycles > wide.cycles
+
+    def test_paper_provisioning_example(self):
+        """32 values, width 4: about 8 batches fit well under ~18 MAC cycles."""
+        net = PermutationNetwork(32, bisection_width=4)
+        dests = np.concatenate([np.arange(16, 32), np.arange(0, 16)])
+        result = net.route(dests, np.zeros(32))
+        assert result.cycles <= 18
+        assert net.hidden_under(18, dests)
+
+    def test_thinning_factor(self):
+        assert PermutationNetwork(32, bisection_width=2).thinning_factor == pytest.approx(1 / 8)
+        assert PermutationNetwork(32, bisection_width=16).thinning_factor == 1.0
+
+
+class TestConstruction:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            PermutationNetwork(12)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            PermutationNetwork(1)
+
+    def test_bisection_width_positive(self):
+        with pytest.raises(ValueError, match="bisection"):
+            PermutationNetwork(8, bisection_width=0)
+
+    def test_stage_count(self):
+        assert PermutationNetwork(32).n_stages == 5
+        assert PermutationNetwork(2).n_stages == 1

@@ -1,0 +1,125 @@
+"""Tests for whole-network pipelines (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NetworkPipeline, PipelineLayer
+from repro.nets.pruning import prune_filters
+from repro.nets.reference import conv2d_reference, relu
+from repro.sim.config import HardwareConfig
+
+
+@pytest.fixture
+def cfg():
+    return HardwareConfig(name="pipe", n_clusters=2, units_per_cluster=4, chunk_size=16)
+
+
+@pytest.fixture
+def layers(rng):
+    return [
+        PipelineLayer(
+            prune_filters(rng.standard_normal((10, 3, 3, 6)), 0.5, rng=rng),
+            padding=1, name="L0",
+        ),
+        PipelineLayer(
+            prune_filters(rng.standard_normal((8, 3, 3, 10)), 0.4, rng=rng),
+            padding=1, name="L1",
+        ),
+        PipelineLayer(
+            prune_filters(rng.standard_normal((6, 3, 3, 8)), 0.35, rng=rng),
+            padding=1, name="L2",
+        ),
+    ]
+
+
+@pytest.fixture
+def image(rng):
+    return np.abs(rng.standard_normal((6, 6, 6)))
+
+
+def reference_forward(image, layers):
+    x = image
+    for layer in layers:
+        x = relu(conv2d_reference(x, layer.weights, stride=layer.stride,
+                                  padding=layer.padding))
+    return x
+
+
+class TestRun:
+    def test_output_matches_reference(self, cfg, layers, image):
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_h")
+        run = pipe.run(image, simulate=False)
+        assert np.allclose(run.output, reference_forward(image, layers))
+
+    def test_gb_s_unshuffling_preserves_function(self, cfg, layers, image):
+        """The pipeline internally asserts shuffled == reference per layer."""
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_s")
+        run = pipe.run(image, simulate=False)
+        assert np.allclose(run.output, reference_forward(image, layers))
+
+    def test_density_propagation(self, cfg, layers, image):
+        """ReLU creates sparsity: downstream layers see sparser inputs."""
+        pipe = NetworkPipeline(layers, config=cfg, variant="no_gb")
+        run = pipe.run(image, simulate=False)
+        assert run.layer_densities[0] == pytest.approx(1.0)
+        assert all(d < 1.0 for d in run.layer_densities[1:])
+
+    def test_simulation_results_per_layer(self, cfg, layers, image):
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_h")
+        run = pipe.run(image, simulate=True)
+        assert len(run.layer_results) == 3
+        assert all(r.cycles > 0 for r in run.layer_results)
+
+    def test_measured_densities_feed_simulation(self, cfg, layers, image):
+        pipe = NetworkPipeline(layers, config=cfg, variant="no_gb")
+        run = pipe.run(image, simulate=True)
+        # The simulated spec's input density is the measured one.
+        assert run.layer_results[1].traffic.overhead_bytes > 0
+
+
+class TestOfflinePass:
+    def test_prepare_gb_s_weights_shapes(self, cfg, layers):
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_s")
+        banks = pipe.prepare_gb_s_weights()
+        assert [b.shape for b in banks] == [np.asarray(l.weights).shape for l in layers]
+
+    def test_rewritten_weights_are_permutations(self, cfg, layers):
+        """GB-S only permutes filters/channels; no values change."""
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_s")
+        banks = pipe.prepare_gb_s_weights()
+        for original, rewritten in zip(layers, banks):
+            assert np.allclose(
+                np.sort(np.asarray(original.weights).reshape(-1)),
+                np.sort(rewritten.reshape(-1)),
+            )
+
+
+class TestValidation:
+    def test_channel_chaining_checked(self, rng, cfg):
+        bad = [
+            PipelineLayer(rng.standard_normal((4, 3, 3, 6)), padding=1, name="A"),
+            PipelineLayer(rng.standard_normal((4, 3, 3, 5)), padding=1, name="B"),
+        ]
+        with pytest.raises(ValueError, match="input"):
+            NetworkPipeline(bad, config=cfg)
+
+    def test_empty_pipeline(self, cfg):
+        with pytest.raises(ValueError, match="at least one"):
+            NetworkPipeline([], config=cfg)
+
+    def test_bad_image_shape(self, cfg, layers):
+        pipe = NetworkPipeline(layers, config=cfg)
+        with pytest.raises(ValueError, match="H, W, C"):
+            pipe.run(np.zeros((4, 4)))
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ValueError, match="F, k, k, C"):
+            PipelineLayer(np.zeros((3, 2, 3, 4)))
+
+
+class TestFootprint:
+    def test_sparse_footprint_counts_bits(self, cfg, layers, image):
+        pipe = NetworkPipeline(layers, config=cfg)
+        run = pipe.run(image, simulate=False)
+        bits = pipe.sparse_footprint(run.output)
+        assert bits > 0

@@ -1,0 +1,81 @@
+"""Tests for max pooling (repro.nets.pooling) and pooled pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.nets.pooling import max_pool2d, pool_output_shape
+
+
+class TestMaxPool:
+    def test_known_values(self):
+        x = np.arange(16, dtype=float).reshape(4, 4, 1)
+        out = max_pool2d(x, size=2, stride=2)
+        assert out[..., 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_overlapping_alexnet_pool(self):
+        """AlexNet's 3x3 stride-2 pool: 55 -> 27."""
+        x = np.random.default_rng(0).random((55, 55, 3))
+        out = max_pool2d(x, size=3, stride=2)
+        assert out.shape == (27, 27, 3)
+
+    def test_channelwise_independence(self, rng):
+        x = rng.standard_normal((6, 6, 4))
+        out = max_pool2d(x, size=2)
+        for c in range(4):
+            alone = max_pool2d(x[:, :, c:c + 1], size=2)
+            assert np.array_equal(out[:, :, c], alone[:, :, 0])
+
+    def test_commutes_with_channel_permutation(self, rng):
+        """The property GB-S's shuffle relies on."""
+        x = rng.standard_normal((8, 8, 6))
+        perm = rng.permutation(6)
+        assert np.array_equal(
+            max_pool2d(x, 2)[:, :, perm], max_pool2d(x[:, :, perm], 2)
+        )
+
+    def test_increases_density_of_relu_maps(self, rng):
+        """Pooling non-negative sparse maps raises density (a max of any
+        non-zero wins) -- part of why deeper Table 3 densities look as
+        they do."""
+        x = np.maximum(rng.standard_normal((20, 20, 8)), 0.0)
+        x[rng.random(x.shape) < 0.5] = 0.0
+        pooled = max_pool2d(x, 2)
+        assert (pooled != 0).mean() > (x != 0).mean()
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="H, W, C"):
+            max_pool2d(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError, match="window"):
+            pool_output_shape(2, 2, 3, 1)
+        with pytest.raises(ValueError, match="positive"):
+            pool_output_shape(4, 4, 0, 1)
+
+
+class TestPooledPipeline:
+    def test_pipeline_with_pooling_chains_geometry(self, rng):
+        from repro.core.pipeline import NetworkPipeline, PipelineLayer
+        from repro.nets.pruning import prune_filters
+        from repro.sim.config import HardwareConfig
+
+        cfg = HardwareConfig(name="pool", n_clusters=2, units_per_cluster=4,
+                             chunk_size=16)
+        layers = [
+            PipelineLayer(
+                prune_filters(rng.standard_normal((8, 3, 3, 4)), 0.5, rng=rng),
+                padding=1, name="c1", pool=(2, 2),
+            ),
+            PipelineLayer(
+                prune_filters(rng.standard_normal((6, 3, 3, 8)), 0.4, rng=rng),
+                padding=1, name="c2",
+            ),
+        ]
+        pipe = NetworkPipeline(layers, config=cfg, variant="gb_s")
+        run = pipe.run(np.abs(rng.standard_normal((8, 8, 4))), simulate=True)
+        # 8x8 -> conv(pad 1) 8x8 -> pool 4x4 -> conv 4x4.
+        assert run.output.shape == (4, 4, 6)
+
+    def test_pool_validation(self, rng):
+        from repro.core.pipeline import PipelineLayer
+
+        with pytest.raises(ValueError, match="pool"):
+            PipelineLayer(rng.standard_normal((4, 3, 3, 2)), pool=(0, 1))

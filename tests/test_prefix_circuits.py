@@ -1,0 +1,67 @@
+"""Unit tests for the prefix-sum / priority-encoder circuit models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.arch.prefix import PrefixSumCircuit, PriorityEncoderCircuit
+
+
+class TestPrefixSumCircuit:
+    def test_exclusive_prefix(self):
+        circuit = PrefixSumCircuit(8)
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=bool)
+        assert circuit.compute(bits).tolist() == [0, 1, 1, 2, 3, 3, 3, 4]
+
+    def test_inverted_counts_zeros(self):
+        circuit = PrefixSumCircuit(6)
+        bits = np.array([0, 1, 0, 0, 1, 1], dtype=bool)
+        # Zeros before each position: the collector's shift distances.
+        assert circuit.inverted_compute(bits).tolist() == [0, 1, 1, 2, 3, 3]
+
+    def test_width_check(self):
+        with pytest.raises(ValueError, match="8 bits"):
+            PrefixSumCircuit(8).compute(np.zeros(4, dtype=bool))
+
+    def test_logarithmic_delay(self):
+        assert PrefixSumCircuit(128).estimate().delay_levels == 7
+        assert PrefixSumCircuit(16).estimate().delay_levels == 4
+
+    def test_gate_count_grows_superlinearly(self):
+        small = PrefixSumCircuit(16).estimate().gate_count
+        large = PrefixSumCircuit(128).estimate().gate_count
+        assert large > 8 * small  # n log n growth
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PrefixSumCircuit(0)
+
+
+class TestPriorityEncoderCircuit:
+    def test_first_set_bit(self):
+        circuit = PriorityEncoderCircuit(8)
+        bits = np.zeros(8, dtype=bool)
+        bits[3] = True
+        bits[6] = True
+        assert circuit.compute(bits) == 3
+
+    def test_empty(self):
+        assert PriorityEncoderCircuit(4).compute(np.zeros(4, dtype=bool)) == -1
+
+    def test_delay_levels(self):
+        assert PriorityEncoderCircuit(128).estimate().delay_levels == 7
+
+    def test_width_check(self):
+        with pytest.raises(ValueError, match="4 bits"):
+            PriorityEncoderCircuit(4).compute(np.zeros(8, dtype=bool))
+
+
+@given(bits=hnp.arrays(bool, 128))
+@settings(max_examples=50, deadline=None)
+def test_prefix_circuit_matches_cumsum(bits):
+    circuit = PrefixSumCircuit(128)
+    out = circuit.compute(bits)
+    assert np.array_equal(out, np.concatenate([[0], np.cumsum(bits)[:-1]]))
+    inv = circuit.inverted_compute(bits)
+    assert np.array_equal(inv + out, np.arange(128))

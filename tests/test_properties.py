@@ -1,0 +1,219 @@
+"""Cross-module property-based tests (hypothesis): the deep invariants.
+
+Each property here spans multiple subsystems -- representation, balance,
+cluster machinery, simulators -- and holds for *arbitrary* workloads, not
+the fixtures: the strongest guard against silent model drift.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cluster import Cluster
+from repro.balance.greedy import gb_h_plan, gb_s_plan
+from repro.balance.unshuffle import shuffle_outputs, unshuffle_next_layer_weights
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.reference import conv2d_reference
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.sparten import simulate_sparten
+from repro.tensor.sparsemap import SparseMap
+
+
+def _sparse(rng, n, density):
+    v = rng.standard_normal(n)
+    v[rng.random(n) >= density] = 0.0
+    return v
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n_rows=st.integers(1, 10),
+    length=st.integers(4, 60),
+    chunk=st.sampled_from([4, 8, 16]),
+    row_density=st.floats(0.0, 1.0),
+    x_density=st.floats(0.0, 1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_cluster_matvec_equals_numpy(seed, n_rows, length, chunk, row_density, x_density):
+    """The functional cluster is numerically exact for any sparse matvec."""
+    rng = np.random.default_rng(seed)
+    rows_dense = [_sparse(rng, length, row_density) for _ in range(n_rows)]
+    x_dense = _sparse(rng, length, x_density)
+    rows = [SparseMap.from_dense(r, chunk) for r in rows_dense]
+    x = SparseMap.from_dense(x_dense, chunk)
+    cluster = Cluster(n_units=4, chunk_size=chunk)
+    out, stats = cluster.matvec(rows, x, mode="plain")
+    assert np.allclose(out.to_dense(), [r @ x_dense for r in rows_dense])
+    # Useful MACs equal the true match count.
+    matches = sum(int(np.sum((r != 0) & (x_dense != 0))) for r in rows_dense)
+    assert stats.useful_macs == matches
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n_filters=st.integers(2, 24),
+    n_units=st.integers(2, 8),
+)
+@settings(max_examples=25, deadline=None)
+def test_gb_plans_are_conservative(seed, n_filters, n_units):
+    """GB permutes work; it never creates or destroys any."""
+    rng = np.random.default_rng(seed)
+    masks = rng.random((n_filters, 2, 2, 10)) < rng.uniform(0.1, 0.9)
+    s_plan = gb_s_plan(masks, n_units)
+    h_plan = gb_h_plan(masks, n_units, chunk_size=8)
+    # Every filter appears exactly once in GB-S's pairing...
+    used = s_plan.pairing[s_plan.pairing >= 0]
+    assert sorted(used.tolist()) == list(range(n_filters))
+    # ...and exactly once in every chunk of GB-H's pairing.
+    for c in range(h_plan.chunk_pairing.shape[0]):
+        used = h_plan.chunk_pairing[c][h_plan.chunk_pairing[c] >= 0]
+        assert sorted(used.tolist()) == list(range(n_filters))
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    f1=st.integers(2, 8),
+    f2=st.integers(2, 6),
+    channels=st.integers(1, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_unshuffle_identity_property(seed, f1, f2, channels):
+    """For any weights and any GB order, unshuffling restores the network
+    function exactly (up to the final shuffle)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((5, 5, channels))
+    w1 = rng.standard_normal((f1, 3, 3, channels))
+    w2 = rng.standard_normal((f2, 3, 3, f1))
+    order = rng.permutation(f1)
+    mid = conv2d_reference(x, w1, padding=1)
+    ref = conv2d_reference(mid, w2, padding=1)
+    got = conv2d_reference(
+        shuffle_outputs(mid, order), unshuffle_next_layer_weights(w2, order), padding=1
+    )
+    assert np.allclose(got, ref)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    in_d=st.floats(0.05, 1.0),
+    f_d=st.floats(0.05, 1.0),
+    stride=st.sampled_from([1, 2]),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulator_invariants_random_layers(seed, in_d, f_d, stride):
+    """Breakdown identity and GB ordering hold on random layer shapes."""
+    cfg = HardwareConfig(name="prop", n_clusters=2, units_per_cluster=4, chunk_size=16)
+    spec = ConvLayerSpec(
+        name=f"prop{seed % 1000}", in_height=7, in_width=7, in_channels=12,
+        kernel=3, n_filters=8, stride=stride, padding=1,
+        input_density=in_d, filter_density=f_d,
+    )
+    data = synthesize_layer(spec, seed=seed % 97)
+    work = compute_chunk_work(data, cfg, need_counts=True)
+    results = {
+        v: simulate_sparten(spec, cfg, variant=v, data=data, work=work)
+        for v in ("no_gb", "gb_s", "gb_h")
+    }
+    for result in results.values():
+        assert result.breakdown.total == pytest.approx(
+            result.cycles * cfg.total_macs
+        )
+        assert result.breakdown.zero_macs == 0.0
+        assert result.cycles > 0
+    # All variants do identical useful work.
+    macs = {v: r.breakdown.nonzero_macs for v, r in results.items()}
+    assert len(set(macs.values())) == 1
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    length=st.integers(1, 80),
+    density=st.floats(0.0, 1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_collector_roundtrip_property(seed, length, density):
+    """The output collector is lossless for any vector, with or without
+    ReLU applied first."""
+    from repro.arch.collector import OutputCollector
+
+    rng = np.random.default_rng(seed)
+    dense = _sparse(rng, length, density)
+    collector = OutputCollector(chunk_size=16)
+    sparse, _ = collector.collect_channel_vector(dense)
+    assert np.array_equal(sparse.to_dense(), dense)
+    sparse_relu, _ = collector.collect_channel_vector(dense, apply_relu=True)
+    assert np.array_equal(sparse_relu.to_dense(), np.maximum(dense, 0.0))
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    density_lo=st.floats(0.05, 0.45),
+)
+@settings(max_examples=15, deadline=None)
+def test_traffic_monotone_in_density(seed, density_lo):
+    """Sparse traffic grows with density; dense traffic does not change."""
+    from repro.arch.memory import layer_traffic
+
+    density_hi = min(1.0, density_lo + 0.3)
+    lo = ConvLayerSpec(
+        name="lo", in_height=10, in_width=10, in_channels=32, kernel=3,
+        n_filters=16, padding=1, input_density=density_lo, filter_density=density_lo,
+    )
+    hi = ConvLayerSpec(
+        name="hi", in_height=10, in_width=10, in_channels=32, kernel=3,
+        n_filters=16, padding=1, input_density=density_hi, filter_density=density_hi,
+    )
+    assert (
+        layer_traffic(lo, "two_sided").total_bytes
+        <= layer_traffic(hi, "two_sided").total_bytes
+    )
+    assert layer_traffic(lo, "dense").total_bytes == pytest.approx(
+        layer_traffic(hi, "dense").total_bytes
+    )
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n_jobs=st.integers(1, 60),
+    latency=st.integers(0, 100),
+    depth=st.integers(2, 8),
+)
+@settings(max_examples=25, deadline=None)
+def test_trace_accounting_invariant(seed, n_jobs, latency, depth):
+    """total cycles == compute + stalls, for any job stream and buffering."""
+    from repro.sim.trace import ChunkJob, DoubleBufferedCluster
+
+    rng = np.random.default_rng(seed)
+    jobs = [
+        ChunkJob(compute_cycles=int(rng.integers(1, 40)),
+                 fetch_bytes=float(rng.integers(1, 200)))
+        for _ in range(n_jobs)
+    ]
+    cluster = DoubleBufferedCluster(
+        bytes_per_cycle=4.0, fetch_latency=latency, prefetch_depth=depth
+    )
+    result = cluster.run(jobs)
+    assert result.total_cycles == result.compute_cycles + result.stall_cycles
+    assert result.compute_cycles == sum(j.compute_cycles for j in jobs)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    stride=st.sampled_from([1, 2, 3]),
+    padding=st.sampled_from([0, 1]),
+)
+@settings(max_examples=10, deadline=None)
+def test_scnn_pe_exactness_property(seed, stride, padding):
+    """The functional SCNN PE is numerically exact for any workload."""
+    from repro.arch.scnn_pe import run_scnn_functional
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((7, 7, 4))
+    x[rng.random(x.shape) < 0.5] = 0.0
+    f = rng.standard_normal((3, 3, 3, 4))
+    f[rng.random(f.shape) < 0.5] = 0.0
+    out, _ = run_scnn_functional(x, f, tile=3, stride=stride, padding=padding)
+    assert np.allclose(out, conv2d_reference(x, f, stride=stride, padding=padding))

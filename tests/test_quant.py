@@ -1,0 +1,107 @@
+"""Tests for the int8 quantisation substrate (repro.tensor.quant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.quant import (
+    QuantParams,
+    dequantize,
+    quantize,
+    quantized_conv2d,
+    sqnr_db,
+)
+
+
+class TestQuantParams:
+    def test_calibration_covers_peak(self, rng):
+        t = rng.standard_normal(1000) * 3.0
+        params = QuantParams.from_tensor(t)
+        q = quantize(t, params)
+        assert q.max() <= 127
+        assert q.min() >= -128
+
+    def test_zero_tensor(self):
+        params = QuantParams.from_tensor(np.zeros(10))
+        assert params.scale == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            QuantParams(scale=0.0)
+
+
+class TestQuantizeRoundtrip:
+    def test_error_bounded_by_half_scale(self, rng):
+        t = rng.standard_normal(500)
+        params = QuantParams.from_tensor(t)
+        err = np.abs(dequantize(quantize(t, params), params) - t)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_zero_is_exact(self, rng):
+        """Zeros stay exactly zero: sparse masks survive quantisation."""
+        t = rng.standard_normal(200)
+        t[rng.random(200) < 0.5] = 0.0
+        params = QuantParams.from_tensor(t)
+        q = quantize(t, params)
+        assert np.all(q[t == 0.0] == 0)
+
+    def test_symmetric(self, rng):
+        t = np.array([-1.0, 1.0])
+        params = QuantParams.from_tensor(t)
+        q = quantize(t, params)
+        assert q[0] == -q[1]
+
+
+class TestQuantizedConv:
+    def test_high_sqnr(self, rng):
+        x = rng.standard_normal((8, 8, 16))
+        x[rng.random(x.shape) < 0.5] = 0.0
+        w = rng.standard_normal((6, 3, 3, 16))
+        w[rng.random(w.shape) < 0.6] = 0.0
+        out, diag = quantized_conv2d(x, w, padding=1)
+        # Design goal G3: 8-bit compute preserves accuracy (high SQNR).
+        assert diag["sqnr_db"] > 30.0
+
+    def test_output_close_to_reference(self, rng):
+        from repro.nets.reference import conv2d_reference
+
+        x = rng.standard_normal((6, 6, 8))
+        w = rng.standard_normal((4, 3, 3, 8))
+        out, _ = quantized_conv2d(x, w, padding=1)
+        ref = conv2d_reference(x, w, padding=1)
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert rel < 0.05
+
+    def test_masks_preserved_flag(self, rng):
+        x = rng.standard_normal((5, 5, 4))
+        x[rng.random(x.shape) < 0.5] = 0.0
+        w = rng.standard_normal((3, 3, 3, 4))
+        _, diag = quantized_conv2d(x, w, padding=1)
+        assert diag["masks_preserved"]
+
+    def test_more_bits_higher_sqnr(self, rng):
+        x = rng.standard_normal((6, 6, 8))
+        w = rng.standard_normal((4, 3, 3, 8))
+        _, d8 = quantized_conv2d(x, w, bits=8)
+        _, d12 = quantized_conv2d(x, w, bits=12)
+        assert d12["sqnr_db"] > d8["sqnr_db"]
+
+
+class TestSqnr:
+    def test_identical_is_infinite(self):
+        assert sqnr_db(np.ones(4), np.ones(4)) == float("inf")
+
+    def test_known_value(self):
+        ref = np.array([10.0, 0.0])
+        got = np.array([9.0, 0.0])
+        assert sqnr_db(ref, got) == pytest.approx(20.0)
+
+
+@given(seed=st.integers(0, 2**31), scale=st.floats(0.01, 100.0))
+@settings(max_examples=40, deadline=None)
+def test_quantization_error_property(seed, scale):
+    t = np.random.default_rng(seed).standard_normal(64) * scale
+    params = QuantParams.from_tensor(t)
+    restored = dequantize(quantize(t, params), params)
+    assert np.abs(restored - t).max() <= params.scale / 2 + 1e-9

@@ -1,0 +1,125 @@
+"""Unit tests for the golden-reference convolution (repro.nets.reference)."""
+
+import numpy as np
+import pytest
+
+from repro.nets.reference import conv2d_reference, fc_reference, im2col, relu
+
+
+def brute_force_conv(x, filters, stride, padding):
+    """Direct 6-loop convolution for cross-checking im2col."""
+    h, w, c = x.shape
+    nf, k, _, _ = filters.shape
+    if padding:
+        padded = np.zeros((h + 2 * padding, w + 2 * padding, c))
+        padded[padding:padding + h, padding:padding + w] = x
+    else:
+        padded = x
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((out_h, out_w, nf))
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = padded[oy * stride:oy * stride + k, ox * stride:ox * stride + k]
+            for f in range(nf):
+                out[oy, ox, f] = np.sum(window * filters[f])
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1), (4, 2)])
+    def test_matches_brute_force(self, rng, stride, padding):
+        x = rng.standard_normal((9, 9, 3))
+        f = rng.standard_normal((4, 3, 3, 3))
+        got = conv2d_reference(x, f, stride=stride, padding=padding)
+        want = brute_force_conv(x, f, stride, padding)
+        assert got.shape == want.shape
+        assert np.allclose(got, want)
+
+    def test_1x1_kernel(self, rng):
+        x = rng.standard_normal((5, 5, 8))
+        f = rng.standard_normal((6, 1, 1, 8))
+        got = conv2d_reference(x, f)
+        assert got.shape == (5, 5, 6)
+        assert np.allclose(got, np.einsum("hwc,fc->hwf", x, f[:, 0, 0, :]))
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError, match="channel"):
+            conv2d_reference(rng.standard_normal((4, 4, 3)),
+                             rng.standard_normal((2, 3, 3, 5)))
+
+    def test_nonsquare_kernel_rejected(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            conv2d_reference(rng.standard_normal((6, 6, 2)),
+                             rng.standard_normal((2, 3, 2, 2)))
+
+    def test_sparse_inputs(self, rng):
+        """Zeros contribute nothing -- the identity the sparse engines rely on."""
+        x = rng.standard_normal((6, 6, 4))
+        x[rng.random(x.shape) < 0.5] = 0.0
+        f = rng.standard_normal((3, 3, 3, 4))
+        f[rng.random(f.shape) < 0.5] = 0.0
+        assert np.allclose(conv2d_reference(x, f, padding=1),
+                           brute_force_conv(x, f, 1, 1))
+
+
+class TestIm2col:
+    def test_zfirst_patch_order(self, rng):
+        """Patch elements go kernel-position-major, channel-minor."""
+        x = rng.standard_normal((4, 4, 3))
+        cols = im2col(x, kernel=2, stride=1, padding=0)
+        # First output position (0, 0): rows (ky,kx) = (0,0),(0,1),(1,0),(1,1).
+        expected = np.concatenate([x[0, 0], x[0, 1], x[1, 0], x[1, 1]])
+        assert np.allclose(cols[0], expected)
+
+    def test_shape(self, rng):
+        cols = im2col(rng.standard_normal((8, 6, 5)), kernel=3, stride=1, padding=1)
+        assert cols.shape == (48, 45)
+
+    def test_empty_output_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            im2col(rng.standard_normal((2, 2, 1)), kernel=3, stride=1, padding=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="H, W, C"):
+            im2col(np.zeros((4, 4)), kernel=2)
+
+
+class TestFC:
+    def test_matches_matmul(self, rng):
+        w = rng.standard_normal((7, 12))
+        x = rng.standard_normal(12)
+        assert np.allclose(fc_reference(x, w), w @ x)
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValueError, match="incompatible"):
+            fc_reference(rng.standard_normal(5), rng.standard_normal((3, 4)))
+
+
+class TestRelu:
+    def test_clamps_negatives(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_creates_sparsity(self, rng):
+        x = rng.standard_normal(1000)
+        assert 0.3 < np.mean(relu(x) == 0) < 0.7
+
+
+class TestAgainstScipy:
+    """A second independent oracle: scipy's correlate."""
+
+    @pytest.mark.parametrize("padding", [0, 1])
+    def test_matches_scipy_correlate(self, rng, padding):
+        from scipy.signal import correlate
+
+        x = rng.standard_normal((10, 9, 4))
+        f = rng.standard_normal((3, 3, 3, 4))
+        got = conv2d_reference(x, f, stride=1, padding=padding)
+        if padding:
+            padded = np.zeros((10 + 2, 9 + 2, 4))
+            padded[1:-1, 1:-1] = x
+        else:
+            padded = x
+        for j in range(3):
+            want = correlate(padded, f[j], mode="valid")
+            assert np.allclose(got[:, :, j], want[:, :, 0])

@@ -1,0 +1,163 @@
+"""Unit tests for the text renderers (repro.eval.reporting).
+
+The renderers feed the benchmark outputs, the CLI, and the report
+generator; these tests pin their formats on synthetic inputs so figure
+regeneration never silently produces unreadable rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balance.metrics import Figure14Data
+from repro.eval import reporting as rep
+from repro.sim.area import cluster_area_power
+
+
+@pytest.fixture
+def speedup_fixture():
+    return {
+        "layers": {
+            "dense": {"L0": 1.0, "L1": 1.0},
+            "sparten": {"L0": 2.5, "L1": 4.0},
+        },
+        "geomean": {"dense": 1.0, "sparten": 3.16},
+    }
+
+
+class TestSpeedups:
+    def test_rows_and_geomean(self, speedup_fixture):
+        text = rep.render_speedups(speedup_fixture, "T")
+        assert text.startswith("T")
+        assert "2.50x" in text
+        assert "3.16x" in text
+        assert text.count("\n") == 4  # title + header + 2 layers + geomean
+
+    def test_columns_aligned(self, speedup_fixture):
+        lines = rep.render_speedups(speedup_fixture, "T").splitlines()[1:]
+        starts = [line.index("dense") for line in lines if "dense" in line]
+        assert len(set(starts)) == 1
+
+
+class TestBreakdown:
+    def test_components_rendered(self):
+        fig = {
+            "breakdown": {
+                "L0": {
+                    "dense": {
+                        "nonzero": 0.2, "zero": 0.7,
+                        "intra_loss": 0.05, "inter_loss": 0.05,
+                    }
+                }
+            }
+        }
+        text = rep.render_breakdown(fig, "T")
+        assert "zero=0.700" in text
+        assert "total=1.000" in text
+
+
+class TestEnergy:
+    def test_zero_fraction_shown(self):
+        fig = {
+            "Net": {
+                "dense": {
+                    "compute_nonzero": 0.1, "compute_zero": 0.25,
+                    "memory_nonzero": 0.4, "memory_zero": 0.6,
+                }
+            }
+        }
+        text = rep.render_energy(fig)
+        assert "compute=0.350" in text
+        assert "memory=1.000" in text
+
+
+class TestGbImpact:
+    def test_spreads(self):
+        data = Figure14Data(
+            chunk_index=0,
+            filter_densities=np.array([0.1, 0.2, 0.5]),
+            pair_densities=np.array([0.3, 0.35]),
+        )
+        text = rep.render_gb_impact(data)
+        assert "spread=0.400" in text
+        assert "spread=0.050" in text
+
+
+class TestTables:
+    def test_asic_table(self):
+        text = rep.render_asic_table(cluster_area_power())
+        assert "Prefix-sum" in text
+        assert "118.30" in text
+        assert "Total" in text
+
+    def test_design_goals_na(self):
+        from repro.eval.experiments import design_goals_table
+
+        text = rep.render_design_goals(design_goals_table())
+        assert "N/a" in text
+        assert "SparTen" in text
+
+    def test_headline(self):
+        means = {
+            "sim_vs_dense": 5.0, "sim_vs_one_sided": 2.0, "sim_vs_scnn": 2.5,
+            "fpga_vs_dense": 4.0, "fpga_vs_one_sided": 1.9,
+            "paper": {
+                "sim_vs_dense": 4.7, "sim_vs_one_sided": 1.8, "sim_vs_scnn": 3.0,
+                "fpga_vs_dense": 4.3, "fpga_vs_one_sided": 1.9,
+            },
+        }
+        text = rep.render_headline(means)
+        assert "measured=5.00x" in text
+        assert "paper=4.7x" in text
+
+
+class TestExtensionRenderers:
+    def test_generality_na(self):
+        rows = {"ResNet/s2": {"one_sided": 2.0, "sparten": 4.0, "scnn": None}}
+        text = rep.render_generality(rows)
+        assert "n/a" in text
+        assert "4.00x" in text
+
+    def test_chunk_sweep(self):
+        sweep = {64: {"cycles": 100.0, "overhead_bytes": 5.0, "barriers": 10.0}}
+        text = rep.render_chunk_sweep(sweep)
+        assert "64" in text and "100" in text
+
+    def test_dynamic_dispatch(self):
+        text = rep.render_dynamic_dispatch({
+            "gb_h_speedup": 8.0, "dynamic_ideal_speedup": 10.0,
+            "gb_vs_ideal": 0.8, "dynamic_filter_refetch_bytes": 2e7,
+            "static_filter_bytes": 4e5, "movement_blowup": 50.0,
+        })
+        assert "80%" in text
+        assert "50x" in text
+
+    def test_dataflows(self):
+        fig = {1e3: {
+            "filter_stationary_bytes": 10.0, "input_stationary_bytes": 20.0,
+            "winner": "filter_stationary",
+        }}
+        assert "filter_stationary" in rep.render_dataflows(fig)
+
+    def test_coarse_pruning(self):
+        table = {16: {"fine_retained_energy": 0.8, "coarse_retained_energy": 0.4,
+                      "fine_density": 0.35, "coarse_density": 0.35, "block": 16}}
+        text = rep.render_coarse_pruning(table)
+        assert "0.400" in text
+
+    def test_hpc(self):
+        rows = {"grid": {"density": 0.02, "crossover": 0.1,
+                         "bitmask_bits": 1024.0, "pointer_bits": 512.0,
+                         "winner": "pointer"}}
+        assert "pointer" in rep.render_hpc_representation(rows)
+
+    def test_double_buffer(self):
+        fig = {(20, 2): {"total_cycles": 100.0, "stall_cycles": 5.0,
+                         "hiding_efficiency": 0.95}}
+        assert "0.950" in rep.render_double_buffer(fig)
+
+    def test_rle(self):
+        fig = {0.35: {4: {"stored_entries": 100.0, "redundant_entries": 1.0,
+                          "wasted_compute_fraction": 0.01,
+                          "bits_vs_bitmask": 1.1}}}
+        text = rep.render_rle_waste(fig)
+        assert "1.0%" in text

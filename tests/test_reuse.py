@@ -1,0 +1,67 @@
+"""Tests for the dataflow reuse analysis (repro.arch.reuse)."""
+
+import pytest
+
+from repro.arch.reuse import compare_dataflows, dataflow_traffic
+from repro.nets.layers import ConvLayerSpec
+
+
+def spec(**kwargs) -> ConvLayerSpec:
+    defaults = dict(
+        name="df", in_height=27, in_width=27, in_channels=192,
+        kernel=3, n_filters=384, padding=1,
+        input_density=0.24, filter_density=0.35,
+    )
+    defaults.update(kwargs)
+    return ConvLayerSpec(**defaults)
+
+
+class TestDataflowTraffic:
+    def test_filter_stationary_streams_input_per_pass(self):
+        big_budget = dataflow_traffic(spec(), "filter_stationary", 100e6)
+        small_budget = dataflow_traffic(spec(), "filter_stationary", 32e3)
+        assert big_budget.input_passes == 1
+        assert small_budget.input_passes > 1
+        assert small_budget.input_bytes > big_budget.input_bytes
+        # Filters always move exactly once under filter-stationary.
+        assert small_budget.filter_bytes == big_budget.filter_bytes
+
+    def test_input_stationary_streams_filters_per_pass(self):
+        big_budget = dataflow_traffic(spec(), "input_stationary", 100e6)
+        small_budget = dataflow_traffic(spec(), "input_stationary", 16e3)
+        assert small_budget.filter_passes > 1
+        assert small_budget.filter_bytes > big_budget.filter_bytes
+        assert small_budget.input_bytes == big_budget.input_bytes
+
+    def test_generous_budget_converges(self):
+        """The paper's 'seem equivalent in capturing reuse'."""
+        cmp = compare_dataflows(spec(), sram_bytes=100e6)
+        assert cmp["winner"] == "tie"
+        assert cmp["filter_stationary"].total_bytes == pytest.approx(
+            cmp["input_stationary"].total_bytes
+        )
+
+    def test_small_budget_prefers_keeping_the_big_operand_out(self):
+        """With tiny buffers, the dataflow that re-streams the *smaller*
+        operand wins; for filter-heavy layers that is input-stationary --
+        confirming the paper's point that SparTen's filter-stationary
+        choice is about offline balanceability, not raw traffic."""
+        cmp = compare_dataflows(spec(), sram_bytes=16e3)
+        assert cmp["winner"] == "input_stationary"
+
+    def test_input_heavy_layer_prefers_filter_stationary(self):
+        s = spec(in_height=224, in_width=224, in_channels=64,
+                 n_filters=16, input_density=0.5, filter_density=0.3)
+        cmp = compare_dataflows(s, sram_bytes=16e3)
+        assert cmp["winner"] == "filter_stationary"
+
+    def test_output_always_once(self):
+        fs = dataflow_traffic(spec(), "filter_stationary", 32e3)
+        is_ = dataflow_traffic(spec(), "input_stationary", 32e3)
+        assert fs.output_bytes == is_.output_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dataflow"):
+            dataflow_traffic(spec(), "weight_stationary", 1e6)
+        with pytest.raises(ValueError, match="sram"):
+            dataflow_traffic(spec(), "filter_stationary", 0)

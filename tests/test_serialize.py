@@ -1,0 +1,83 @@
+"""Tests for the byte-level memory image (repro.tensor.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.serialize import (
+    MAGIC,
+    deserialize_tensor,
+    image_summary,
+    serialize_tensor,
+)
+from repro.tensor.sparsemap import SparseTensor3D
+
+
+@pytest.fixture
+def tensor(rng):
+    dense = rng.standard_normal((5, 4, 20))
+    dense[rng.random(dense.shape) < 0.6] = 0.0
+    return SparseTensor3D(dense, chunk_size=16)
+
+
+class TestRoundtrip:
+    def test_lossless(self, tensor):
+        blob = serialize_tensor(tensor)
+        restored = deserialize_tensor(blob)
+        assert np.allclose(restored.to_dense(), tensor.to_dense(), atol=1e-6)
+
+    def test_float64_values_exact(self, tensor):
+        blob = serialize_tensor(tensor, value_dtype=np.float64)
+        restored = deserialize_tensor(blob)
+        assert np.array_equal(restored.to_dense(), tensor.to_dense())
+
+    def test_empty_tensor(self):
+        t = SparseTensor3D(np.zeros((2, 2, 4)), chunk_size=8)
+        restored = deserialize_tensor(serialize_tensor(t))
+        assert np.array_equal(restored.to_dense(), np.zeros((2, 2, 4)))
+
+    def test_fully_dense_tensor(self, rng):
+        t = SparseTensor3D(np.abs(rng.standard_normal((3, 3, 8))) + 0.1, chunk_size=8)
+        restored = deserialize_tensor(serialize_tensor(t, value_dtype=np.float64))
+        assert np.array_equal(restored.to_dense(), t.to_dense())
+
+
+class TestLayout:
+    def test_header_magic(self, tensor):
+        assert serialize_tensor(tensor)[:4] == MAGIC
+
+    def test_summary_extents(self, tensor):
+        blob = serialize_tensor(tensor)
+        summary = image_summary(blob)
+        assert summary["shape"] == (5, 4, 20)
+        assert summary["n_chunks"] == tensor.n_chunks
+        assert summary["value_count"] == tensor.nnz
+        assert summary["total_bytes"] == len(blob)
+        # Two parts: the tuple array and the value heap (Section 3.1).
+        assert summary["tuple_array_bytes"] == tensor.n_chunks * (16 // 8 + 4)
+        assert summary["value_heap_bytes"] == tensor.nnz * 4
+
+    def test_pointer_validation(self, tensor):
+        """Corrupt a chunk pointer: deserialisation must reject it."""
+        blob = bytearray(serialize_tensor(tensor))
+        header = 32  # struct size
+        mask_bytes = 16 // 8
+        # Flip the second chunk's offset field.
+        offset_pos = header + 1 * (mask_bytes + 4) + mask_bytes
+        blob[offset_pos] ^= 0xFF
+        with pytest.raises(ValueError, match="pointers inconsistent"):
+            deserialize_tensor(bytes(blob))
+
+    def test_truncation_detected(self, tensor):
+        blob = serialize_tensor(tensor)
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_tensor(blob[:-3])
+
+    def test_bad_magic(self, tensor):
+        blob = b"XXXX" + serialize_tensor(tensor)[4:]
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_tensor(blob)
+
+    def test_chunk_size_must_be_byte_aligned(self, rng):
+        t = SparseTensor3D(rng.standard_normal((2, 2, 3)), chunk_size=12)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            serialize_tensor(t)

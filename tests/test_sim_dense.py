@@ -1,0 +1,106 @@
+"""Unit tests for the dense-accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.dense import simulate_dense
+from repro.sim.kernels import compute_chunk_work
+from repro.tensor.storage import even_slices
+
+
+class TestCycles:
+    def test_cycle_formula(self, tiny_data, mini_cfg):
+        """Cluster time = positions x filter groups x dot length."""
+        spec = tiny_data.spec
+        result = simulate_dense(spec, mini_cfg, data=tiny_data)
+        dot = spec.kernel * spec.kernel * spec.in_channels
+        n_groups = -(-spec.n_filters // mini_cfg.units_per_cluster)
+        # The busiest cluster owns the largest position slice.
+        max_positions = max(
+            hi - lo for lo, hi in even_slices(spec.out_positions, mini_cfg.n_clusters)
+        )
+        assert result.cycles == max_positions * n_groups * dot
+
+    def test_independent_of_sparsity(self, mini_cfg, tiny_spec):
+        """Dense hardware runs the same cycles regardless of data zeros."""
+        a = simulate_dense(tiny_spec, mini_cfg, data=synthesize_layer(tiny_spec, 0))
+        b = simulate_dense(tiny_spec, mini_cfg, data=synthesize_layer(tiny_spec, 9))
+        assert a.cycles == b.cycles
+
+    def test_stride_reduces_positions(self, mini_cfg, strided_spec):
+        data = synthesize_layer(strided_spec, seed=0)
+        result = simulate_dense(strided_spec, mini_cfg, data=data)
+        unit = ConvLayerSpec(
+            name="u", in_height=9, in_width=9, in_channels=6, kernel=3,
+            n_filters=8, stride=1, padding=1,
+            input_density=0.6, filter_density=0.5,
+        )
+        unit_result = simulate_dense(unit, mini_cfg, data=synthesize_layer(unit, 0))
+        assert result.cycles < unit_result.cycles
+
+
+class TestBreakdown:
+    def test_identity(self, tiny_data, mini_cfg):
+        result = simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data)
+        assert result.breakdown.total == pytest.approx(
+            result.cycles * mini_cfg.total_macs
+        )
+
+    def test_nonzero_is_true_matches(self, tiny_data, mini_cfg):
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        result = simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data, work=work)
+        assert result.breakdown.nonzero_macs == pytest.approx(
+            float(work.match_sums.sum())
+        )
+
+    def test_zero_compute_dominates_at_low_density(self, mini_cfg):
+        spec = ConvLayerSpec(
+            name="sparse", in_height=8, in_width=8, in_channels=16,
+            kernel=3, n_filters=8, padding=1,
+            input_density=0.2, filter_density=0.2,
+        )
+        result = simulate_dense(spec, mini_cfg, data=synthesize_layer(spec, 0))
+        assert result.breakdown.zero_macs > 10 * result.breakdown.nonzero_macs
+
+    def test_partial_filter_group_is_intra_loss(self, mini_cfg):
+        spec = ConvLayerSpec(
+            name="odd", in_height=6, in_width=6, in_channels=8,
+            kernel=3, n_filters=5, padding=1,  # 5 filters on 4 units: 2 groups
+            input_density=0.5, filter_density=0.5,
+        )
+        result = simulate_dense(spec, mini_cfg, data=synthesize_layer(spec, 0))
+        # Second group has 1 filter on 4 units: 3 idle units for its pass.
+        assert result.breakdown.intra_loss > 0
+
+    def test_traffic_is_dense(self, tiny_data, mini_cfg):
+        result = simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data)
+        assert result.traffic.zero_bytes > 0
+        assert result.traffic.overhead_bytes == 0
+
+
+class TestNaiveTag:
+    def test_scheme_labels(self, tiny_data, mini_cfg):
+        assert simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data).scheme == "dense"
+        naive = simulate_dense(
+            tiny_data.spec, mini_cfg, data=tiny_data, naive_buffers=True
+        )
+        assert naive.scheme == "dense_naive"
+
+    def test_naive_performance_identical(self, tiny_data, mini_cfg):
+        plain = simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data)
+        naive = simulate_dense(tiny_data.spec, mini_cfg, data=tiny_data, naive_buffers=True)
+        assert plain.cycles == naive.cycles
+
+
+class TestBatch:
+    def test_batch_scales_cycles(self, tiny_spec):
+        cfg1 = HardwareConfig(name="b1", n_clusters=2, units_per_cluster=4,
+                              chunk_size=16, batch=1)
+        cfg3 = HardwareConfig(name="b3", n_clusters=2, units_per_cluster=4,
+                              chunk_size=16, batch=3)
+        one = simulate_dense(tiny_spec, cfg1)
+        three = simulate_dense(tiny_spec, cfg3)
+        assert three.cycles == pytest.approx(3 * one.cycles)

@@ -1,0 +1,107 @@
+"""Unit tests for the FPGA roofline model (repro.sim.fpga)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.memory import Traffic
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import FPGA_CONFIG
+from repro.sim.fpga import FPGA_SCHEMES, apply_roofline, simulate_fpga
+from repro.sim.results import Breakdown, LayerResult
+
+
+def small_spec() -> ConvLayerSpec:
+    return ConvLayerSpec(
+        name="fpga_t", in_height=14, in_width=14, in_channels=32,
+        kernel=3, n_filters=16, padding=1,
+        input_density=0.3, filter_density=0.3,
+    )
+
+
+def fake_result(compute_cycles: float, total_bytes: float) -> LayerResult:
+    return LayerResult(
+        scheme="sparten",
+        layer_name="fake",
+        cycles=compute_cycles,
+        compute_cycles=compute_cycles,
+        total_macs=32,
+        breakdown=Breakdown(compute_cycles * 32, 0.0, 0.0, 0.0),
+        traffic=Traffic(total_bytes, 0.0, 0.0),
+    )
+
+
+class TestApplyRoofline:
+    def test_compute_bound_untouched(self):
+        result = fake_result(compute_cycles=1000.0, total_bytes=10.0)
+        bounded = apply_roofline(result, bytes_per_cycle=1.0)
+        assert bounded.cycles == 1000.0
+        assert "memory_bound" not in bounded.extras
+
+    def test_memory_bound_extends_cycles(self):
+        result = fake_result(compute_cycles=100.0, total_bytes=1000.0)
+        bounded = apply_roofline(result, bytes_per_cycle=1.0)
+        assert bounded.cycles == 1000.0
+        assert bounded.extras["memory_bound"]
+        assert bounded.extras["memory_stall_cycles"] == 900.0
+
+    def test_stall_charged_to_inter_loss(self):
+        result = fake_result(compute_cycles=100.0, total_bytes=500.0)
+        bounded = apply_roofline(result, bytes_per_cycle=1.0)
+        assert bounded.breakdown.inter_loss == pytest.approx(400.0 * 32)
+        # The identity still holds after bounding.
+        assert bounded.breakdown.total == pytest.approx(bounded.cycles * 32)
+
+
+class TestSimulateFpga:
+    def test_all_schemes_run(self):
+        spec = small_spec()
+        results = {s: simulate_fpga(spec, s) for s in FPGA_SCHEMES}
+        assert set(results) == set(FPGA_SCHEMES)
+        for r in results.values():
+            assert r.cycles > 0
+
+    def test_sparten_fastest(self):
+        spec = small_spec()
+        results = {s: simulate_fpga(spec, s) for s in FPGA_SCHEMES}
+        assert results["sparten"].cycles < results["one_sided"].cycles
+        assert results["one_sided"].cycles < results["dense"].cycles
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            simulate_fpga(small_spec(), "scnn")
+
+    def test_requires_bandwidth_config(self):
+        cfg = replace(FPGA_CONFIG, memory_bytes_per_cycle=None)
+        with pytest.raises(ValueError, match="memory_bytes_per_cycle"):
+            simulate_fpga(small_spec(), "dense", cfg=cfg)
+
+    def test_input_refetch_grows_with_filter_groups(self):
+        """More filter groups re-stream the input more times."""
+        few = small_spec()
+        many = ConvLayerSpec(
+            name="many", in_height=14, in_width=14, in_channels=32,
+            kernel=3, n_filters=128, padding=1,
+            input_density=0.3, filter_density=0.3,
+        )
+        t_few = simulate_fpga(few, "dense").traffic
+        t_many = simulate_fpga(many, "dense").traffic
+        # 128 filters = 4 groups of 32 -> input moved 4x; 16 filters = 1x.
+        assert t_many.total_bytes > t_few.total_bytes
+
+    def test_low_bandwidth_compresses_sparse_speedup(self):
+        """The paper's observation: memory-bound FPGA compresses SparTen's
+        advantage more than Dense's (compute shrinks quadratically with
+        sparsity, traffic only linearly)."""
+        spec = small_spec()
+        fast_cfg = replace(FPGA_CONFIG, memory_bytes_per_cycle=1e9)
+        slow_cfg = replace(FPGA_CONFIG, memory_bytes_per_cycle=0.05)
+        fast_speedup = (
+            simulate_fpga(spec, "dense", cfg=fast_cfg).cycles
+            / simulate_fpga(spec, "sparten", cfg=fast_cfg).cycles
+        )
+        slow_speedup = (
+            simulate_fpga(spec, "dense", cfg=slow_cfg).cycles
+            / simulate_fpga(spec, "sparten", cfg=slow_cfg).cycles
+        )
+        assert slow_speedup < fast_speedup

@@ -1,0 +1,124 @@
+"""Unit tests for the vectorised work kernels (repro.sim.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.kernels import assign_positions, compute_chunk_work
+from repro.tensor.sparsemap import linearize_zfirst
+
+
+class TestAssignPositions:
+    def test_exact_covers_all_positions(self):
+        a = assign_positions(100, 4, position_sample=None)
+        assert a.indices.size == 100
+        assert np.allclose(a.weight_of, 1.0)
+        assert a.cluster_positions.sum() == 100
+
+    def test_contiguous_cluster_slices(self):
+        a = assign_positions(40, 4, position_sample=None)
+        # Cluster ids are non-decreasing over row-major positions.
+        assert np.all(np.diff(a.cluster_of) >= 0)
+
+    def test_sampling_caps_and_rescales(self):
+        a = assign_positions(1000, 4, position_sample=50)
+        assert a.indices.size <= 4 * 50
+        # Weights rescale each cluster to its true position count.
+        for cluster in range(4):
+            sel = a.cluster_of == cluster
+            assert a.weight_of[sel].sum() == pytest.approx(250.0)
+
+    def test_small_layer_unsampled(self):
+        a = assign_positions(20, 4, position_sample=50)
+        assert a.indices.size == 20
+        assert np.allclose(a.weight_of, 1.0)
+
+    def test_fewer_positions_than_clusters(self):
+        a = assign_positions(3, 8, position_sample=None)
+        assert a.cluster_positions.sum() == 3
+        assert (a.cluster_positions == 0).sum() == 5  # idle clusters
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            assign_positions(0, 4, None)
+
+
+class TestComputeChunkWork:
+    def brute_force_counts(self, data, cfg):
+        """Count matches per (chunk, position, filter) via linearize_zfirst."""
+        spec = data.spec
+        p = spec.padding
+        padded = np.zeros(
+            (spec.in_height + 2 * p, spec.in_width + 2 * p, spec.in_channels)
+        )
+        padded[p:p + spec.in_height, p:p + spec.in_width] = data.input_map
+        rows = [
+            linearize_zfirst(data.filters[f], chunk_size=cfg.chunk_size)
+            for f in range(spec.n_filters)
+        ]
+        n_chunks = rows[0].n_chunks
+        counts = np.zeros((n_chunks, spec.out_positions, spec.n_filters), dtype=int)
+        pops = np.zeros((n_chunks, spec.out_positions), dtype=int)
+        for oy in range(spec.out_height):
+            for ox in range(spec.out_width):
+                window = padded[
+                    oy * spec.stride:oy * spec.stride + spec.kernel,
+                    ox * spec.stride:ox * spec.stride + spec.kernel,
+                ]
+                x = linearize_zfirst(window, chunk_size=cfg.chunk_size)
+                n = oy * spec.out_width + ox
+                for c in range(n_chunks):
+                    pops[c, n] = int(x.chunk_mask(c).sum())
+                    for f in range(spec.n_filters):
+                        counts[c, n, f] = int(
+                            np.sum(x.chunk_mask(c) & rows[f].chunk_mask(c))
+                        )
+        return counts, pops
+
+    def test_counts_match_functional_linearisation(self, tiny_data, mini_cfg):
+        cfg = mini_cfg
+        work = compute_chunk_work(tiny_data, cfg, need_counts=True)
+        want_counts, want_pops = self.brute_force_counts(tiny_data, cfg)
+        assert work.counts.shape == want_counts.shape
+        assert np.array_equal(work.counts, want_counts)
+        assert np.array_equal(work.input_pop, want_pops)
+
+    def test_counts_with_stride(self, strided_spec, mini_cfg):
+        data = synthesize_layer(strided_spec, seed=2)
+        work = compute_chunk_work(data, mini_cfg, need_counts=True)
+        want_counts, _ = self.brute_force_counts(data, mini_cfg)
+        assert np.array_equal(work.counts, want_counts)
+
+    def test_match_sums_consistent(self, tiny_data, mini_cfg):
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        assert np.allclose(
+            work.match_sums, work.counts.sum(axis=(0, 2), dtype=np.int64)
+        )
+
+    def test_match_sums_without_counts(self, tiny_data, mini_cfg):
+        full = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        cheap = compute_chunk_work(tiny_data, mini_cfg, need_counts=False)
+        assert cheap.counts is None
+        assert np.allclose(full.match_sums, cheap.match_sums)
+
+    def test_filter_chunk_nnz(self, tiny_data, mini_cfg):
+        from repro.balance.greedy import filter_chunk_densities
+
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=False)
+        want = filter_chunk_densities(
+            tiny_data.filter_masks, chunk_size=mini_cfg.chunk_size
+        )
+        assert np.array_equal(work.filter_chunk_nnz, want)
+
+    def test_multi_chunk_channels(self, mini_cfg):
+        spec = ConvLayerSpec(
+            name="deep", in_height=4, in_width=4, in_channels=40,
+            kernel=1, n_filters=6, input_density=0.5, filter_density=0.5,
+        )
+        data = synthesize_layer(spec, seed=0)
+        work = compute_chunk_work(data, mini_cfg, need_counts=True)
+        # 40 channels at chunk 16 -> 3 channel-chunks, 1x1 kernel.
+        assert work.n_chunks == 3
+        want_counts, _ = self.brute_force_counts(data, mini_cfg)
+        assert np.array_equal(work.counts, want_counts)

@@ -1,0 +1,152 @@
+"""Unit tests for the SCNN simulator (Cartesian product, tiling, barriers)."""
+
+import numpy as np
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.dense import simulate_dense
+from repro.sim.scnn import scnn_tile_plan, simulate_scnn
+
+
+def spec(**kwargs) -> ConvLayerSpec:
+    defaults = dict(
+        name="scnn_t", in_height=12, in_width=12, in_channels=16,
+        kernel=3, n_filters=12, padding=1,
+        input_density=0.4, filter_density=0.4,
+    )
+    defaults.update(kwargs)
+    return ConvLayerSpec(**defaults)
+
+
+class TestTilePlan:
+    def test_max_tile_cap(self, mini_cfg):
+        # mini_cfg: grid 2x2, max tile 3; 12/2 = 6 > 3 -> cap at 3.
+        tile_h, tile_w, n_ty, n_tx = scnn_tile_plan(spec(), mini_cfg)
+        assert (tile_h, tile_w) == (3, 3)
+        assert (n_ty, n_tx) == (4, 4)
+
+    def test_small_map_shrinks_tiles(self, mini_cfg):
+        s = spec(in_height=4, in_width=4)
+        tile_h, tile_w, n_ty, n_tx = scnn_tile_plan(s, mini_cfg)
+        assert tile_h == 2  # ceil(4 / 2) < max tile
+        assert n_ty * n_tx == 4
+
+    def test_edge_tiles_truncated(self, mini_cfg):
+        s = spec(in_height=11, in_width=11)
+        tile_h, _tile_w, n_ty, _ = scnn_tile_plan(s, mini_cfg)
+        assert n_ty * tile_h >= 11
+        assert (n_ty - 1) * tile_h < 11  # last row of tiles is partial
+
+
+class TestVariants:
+    @pytest.fixture
+    def data(self):
+        return synthesize_layer(spec(), seed=0)
+
+    def test_variant_ordering(self, data, mini_cfg):
+        """Two-sided < one-sided < dense cycles (each exploits more zeros)."""
+        two = simulate_scnn(spec(), mini_cfg, variant="two", data=data)
+        one = simulate_scnn(spec(), mini_cfg, variant="one", data=data)
+        dense = simulate_scnn(spec(), mini_cfg, variant="dense", data=data)
+        assert two.cycles < one.cycles < dense.cycles
+
+    def test_scheme_names(self, data, mini_cfg):
+        assert simulate_scnn(spec(), mini_cfg, variant="two", data=data).scheme == "scnn"
+        assert (
+            simulate_scnn(spec(), mini_cfg, variant="one", data=data).scheme
+            == "scnn_one_sided"
+        )
+        assert (
+            simulate_scnn(spec(), mini_cfg, variant="dense", data=data).scheme
+            == "scnn_dense"
+        )
+
+    def test_invalid_variant(self, mini_cfg):
+        with pytest.raises(ValueError, match="variant"):
+            simulate_scnn(spec(), mini_cfg, variant="both")
+
+
+class TestBreakdown:
+    def test_identity(self, mini_cfg):
+        data = synthesize_layer(spec(), seed=0)
+        result = simulate_scnn(spec(), mini_cfg, variant="two", data=data)
+        assert result.breakdown.total == pytest.approx(
+            result.cycles * result.total_macs
+        )
+
+    def test_two_sided_unit_stride_has_no_zero_compute(self, mini_cfg):
+        data = synthesize_layer(spec(), seed=0)
+        result = simulate_scnn(spec(), mini_cfg, variant="two", data=data)
+        assert result.breakdown.zero_macs == 0.0
+
+    def test_intra_pe_loss_from_fractional_arrays(self, mini_cfg):
+        """ceil(I/4) x ceil(W/4) wastes multiplier slots (Section 2.1.1)."""
+        data = synthesize_layer(spec(), seed=0)
+        result = simulate_scnn(spec(), mini_cfg, variant="two", data=data)
+        assert result.breakdown.intra_loss > 0
+
+    def test_inter_pe_loss_from_tile_imbalance(self, mini_cfg):
+        data = synthesize_layer(spec(in_height=11, in_width=11), seed=0)
+        result = simulate_scnn(
+            spec(in_height=11, in_width=11), mini_cfg, variant="two", data=data
+        )
+        assert result.breakdown.inter_loss > 0
+
+    def test_useful_macs_close_to_true_matches(self, mini_cfg):
+        """SCNN's Cartesian products = the layer's useful MACs (stride 1)."""
+        from repro.sim.kernels import compute_chunk_work
+
+        s = spec()
+        data = synthesize_layer(s, seed=0)
+        result = simulate_scnn(s, mini_cfg, variant="two", data=data)
+        work = compute_chunk_work(data, mini_cfg, need_counts=False)
+        true_matches = float(work.match_sums.sum())
+        # Tile-edge products can overshoot slightly (halo effects).
+        assert result.breakdown.nonzero_macs == pytest.approx(true_matches, rel=0.35)
+        assert result.breakdown.nonzero_macs >= true_matches
+
+
+class TestStridePenalty:
+    def test_non_unit_stride_wastes_cartesian_products(self, mini_cfg):
+        """For stride s only ~1/s^2 of products are useful (Section 2.1.1)."""
+        s = spec(in_height=12, in_width=12, stride=2)
+        data = synthesize_layer(s, seed=0)
+        result = simulate_scnn(s, mini_cfg, variant="two", data=data)
+        assert result.breakdown.zero_macs > 0
+        waste_fraction = result.breakdown.zero_macs / (
+            result.breakdown.zero_macs + result.breakdown.nonzero_macs
+        )
+        assert waste_fraction == pytest.approx(0.75, abs=0.01)
+
+    def test_scnn_collapses_vs_dense_on_stride(self):
+        """AlexNet Layer0's phenomenon: stride-4 destroys SCNN's advantage.
+
+        Uses a MAC-count-matched configuration (4 clusters x 16 units =
+        2x2 PEs x 16 multipliers) per the paper's equal-resources rule.
+        """
+        cfg = HardwareConfig(
+            name="matched", n_clusters=4, units_per_cluster=16,
+            chunk_size=16, scnn_pe_grid=(2, 2), scnn_max_tile=3,
+        )
+        s = spec(in_height=12, in_width=12, stride=2, input_density=0.9,
+                 filter_density=0.9)
+        data = synthesize_layer(s, seed=0)
+        scnn = simulate_scnn(s, cfg, variant="two", data=data)
+        dense = simulate_dense(s, cfg, data=data)
+        assert scnn.total_macs == cfg.total_macs
+        assert scnn.cycles > dense.cycles
+
+
+class TestBatch:
+    def test_batch_accumulates(self):
+        cfg1 = HardwareConfig(name="b1", n_clusters=2, units_per_cluster=4,
+                              chunk_size=16, scnn_pe_grid=(2, 2),
+                              scnn_max_tile=3, batch=1)
+        cfg2 = HardwareConfig(name="b2", n_clusters=2, units_per_cluster=4,
+                              chunk_size=16, scnn_pe_grid=(2, 2),
+                              scnn_max_tile=3, batch=2)
+        one = simulate_scnn(spec(), cfg1)
+        two = simulate_scnn(spec(), cfg2)
+        assert two.cycles > one.cycles

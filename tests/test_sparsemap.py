@@ -1,0 +1,263 @@
+"""Unit tests for the SparseMap representation (repro.tensor.sparsemap)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.sparsemap import (
+    CHUNK_SIZE,
+    SparseMap,
+    SparseTensor3D,
+    linearize_zfirst,
+    padded_length,
+)
+
+
+class TestPaddedLength:
+    def test_exact_multiple(self):
+        assert padded_length(256, 128) == 256
+
+    def test_rounds_up(self):
+        assert padded_length(3, 128) == 128
+        assert padded_length(129, 128) == 256
+
+    def test_zero(self):
+        assert padded_length(0, 128) == 0
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            padded_length(-1, 128)
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError, match="positive"):
+            padded_length(10, 0)
+
+
+class TestSparseMap:
+    def test_roundtrip(self, rng):
+        dense = rng.standard_normal(300)
+        dense[rng.random(300) < 0.7] = 0.0
+        sm = SparseMap.from_dense(dense, chunk_size=64)
+        assert np.array_equal(sm.to_dense(), dense)
+
+    def test_nnz_and_density(self):
+        sm = SparseMap.from_dense(np.array([0.0, 1.0, 0.0, 2.0]), chunk_size=4)
+        assert sm.nnz == 2
+        assert sm.density == 0.5
+
+    def test_padding_is_zero(self):
+        sm = SparseMap.from_dense(np.ones(5), chunk_size=8)
+        assert sm.mask.size == 8
+        assert not sm.mask[5:].any()
+
+    def test_chunk_access(self, rng):
+        dense = rng.standard_normal(48)
+        dense[rng.random(48) < 0.5] = 0.0
+        sm = SparseMap.from_dense(dense, chunk_size=16)
+        assert sm.n_chunks == 3
+        rebuilt = []
+        for m, v in sm.chunks():
+            piece = np.zeros(16)
+            piece[m] = v
+            rebuilt.append(piece)
+        assert np.array_equal(np.concatenate(rebuilt), dense)
+
+    def test_chunk_offsets_are_pointers(self, rng):
+        dense = rng.standard_normal(64)
+        dense[rng.random(64) < 0.6] = 0.0
+        sm = SparseMap.from_dense(dense, chunk_size=16)
+        for i in range(sm.n_chunks):
+            lo, hi = sm.chunk_offsets[i], sm.chunk_offsets[i + 1]
+            assert np.array_equal(sm.values[lo:hi], sm.chunk_values(i))
+
+    def test_chunk_nnz(self):
+        sm = SparseMap.from_dense(np.array([1.0, 0, 0, 0, 2.0, 3.0, 0, 0]), chunk_size=4)
+        assert sm.chunk_nnz().tolist() == [1, 2]
+
+    def test_chunk_out_of_range(self):
+        sm = SparseMap.empty(8, chunk_size=8)
+        with pytest.raises(IndexError):
+            sm.chunk_mask(1)
+
+    def test_empty_constructor(self):
+        sm = SparseMap.empty(20, chunk_size=16)
+        assert sm.nnz == 0
+        assert sm.n_chunks == 2
+        assert np.array_equal(sm.to_dense(), np.zeros(20))
+
+    def test_mask_value_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            SparseMap(mask=np.ones(4, dtype=bool), values=np.ones(3), length=4, chunk_size=4)
+
+    def test_padding_bit_set_rejected(self):
+        mask = np.zeros(8, dtype=bool)
+        mask[6] = True  # beyond the logical length 5
+        with pytest.raises(ValueError, match="padding"):
+            SparseMap(mask=mask, values=np.ones(1), length=5, chunk_size=8)
+
+    def test_from_dense_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            SparseMap.from_dense(np.zeros((2, 2)))
+
+    def test_storage_bits(self):
+        sm = SparseMap.from_dense(np.array([1.0, 0.0, 2.0, 0.0]), chunk_size=4)
+        # 4 mask bits + 2 values * 8 bits + 1 pointer * 32 bits
+        assert sm.storage_bits(value_bits=8, pointer_bits=32) == 4 + 16 + 32
+
+    def test_default_chunk_size(self):
+        sm = SparseMap.from_dense(np.ones(10))
+        assert sm.chunk_size == CHUNK_SIZE
+        assert sm.mask.size == CHUNK_SIZE
+
+
+class TestSparseTensor3D:
+    def test_roundtrip(self, rng):
+        dense = rng.standard_normal((4, 3, 20))
+        dense[rng.random(dense.shape) < 0.6] = 0.0
+        t = SparseTensor3D(dense, chunk_size=16)
+        assert np.array_equal(t.to_dense(), dense)
+
+    def test_channel_padding(self):
+        t = SparseTensor3D(np.ones((2, 2, 10)), chunk_size=16)
+        assert t.padded_channels == 16
+        assert t.channel_chunks == 1
+        assert t.n_chunks == 4
+
+    def test_multi_chunk_channels(self):
+        t = SparseTensor3D(np.ones((1, 1, 40)), chunk_size=16)
+        assert t.padded_channels == 48
+        assert t.channel_chunks == 3
+
+    def test_chunk_index_layout(self):
+        t = SparseTensor3D(np.ones((2, 3, 20)), chunk_size=16)
+        # Z-first: chunks advance with channel-chunk, then x, then y.
+        assert t.chunk_index(0, 0, 0) == 0
+        assert t.chunk_index(0, 0, 1) == 1
+        assert t.chunk_index(1, 0, 0) == 2
+        assert t.chunk_index(0, 1, 0) == 6
+
+    def test_chunk_index_bounds(self):
+        t = SparseTensor3D(np.ones((2, 2, 4)), chunk_size=16)
+        with pytest.raises(IndexError):
+            t.chunk_index(2, 0)
+        with pytest.raises(IndexError):
+            t.chunk_index(0, 2)
+        with pytest.raises(IndexError):
+            t.chunk_index(0, 0, 1)
+
+    def test_position_map(self, rng):
+        dense = rng.standard_normal((3, 3, 12))
+        dense[rng.random(dense.shape) < 0.5] = 0.0
+        t = SparseTensor3D(dense, chunk_size=8)
+        pm = t.position_map(1, 2)
+        expected = np.zeros(t.padded_channels)
+        expected[:12] = dense[2, 1, :]
+        assert np.array_equal(pm.to_dense(), expected)
+
+    def test_density_uses_logical_elements(self):
+        dense = np.zeros((2, 2, 3))
+        dense[0, 0, 0] = 1.0
+        t = SparseTensor3D(dense, chunk_size=128)
+        assert t.density == pytest.approx(1 / 12)
+
+    def test_mask_3d(self, rng):
+        dense = rng.standard_normal((3, 4, 7))
+        dense[rng.random(dense.shape) < 0.5] = 0.0
+        t = SparseTensor3D(dense, chunk_size=8)
+        assert np.array_equal(t.mask_3d(), dense != 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="H x W x C"):
+            SparseTensor3D(np.zeros((2, 2)))
+
+
+class TestLinearizeZfirst:
+    def test_alignment_with_filters(self, rng):
+        """Window and filter linearised the same way have aligned chunks."""
+        window = rng.standard_normal((3, 3, 10))
+        filt = rng.standard_normal((3, 3, 10))
+        w = linearize_zfirst(window, chunk_size=16)
+        f = linearize_zfirst(filt, chunk_size=16)
+        assert w.mask.size == f.mask.size
+        assert w.n_chunks == 9  # one chunk per kernel position (10 -> 16)
+        # Dot product through aligned chunks equals the dense dot product.
+        total = 0.0
+        for i in range(w.n_chunks):
+            wd = np.zeros(16)
+            wd[w.chunk_mask(i)] = w.chunk_values(i)
+            fd = np.zeros(16)
+            fd[f.chunk_mask(i)] = f.chunk_values(i)
+            total += wd @ fd
+        assert np.isclose(total, np.sum(window * filt))
+
+    def test_per_position_padding(self):
+        t = np.ones((2, 2, 3))
+        sm = linearize_zfirst(t, chunk_size=8)
+        assert sm.mask.size == 4 * 8
+        # Each position contributes exactly 3 set bits at its chunk start.
+        for pos in range(4):
+            chunk = sm.chunk_mask(pos)
+            assert chunk[:3].all()
+            assert not chunk[3:].any()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="k, k, C"):
+            linearize_zfirst(np.zeros((2, 2)))
+
+
+@given(
+    data=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=300
+    ),
+    chunk=st.sampled_from([1, 4, 16, 128]),
+)
+@settings(max_examples=60, deadline=None)
+def test_sparsemap_roundtrip_property(data, chunk):
+    dense = np.asarray(data, dtype=np.float64)
+    sm = SparseMap.from_dense(dense, chunk_size=chunk)
+    assert np.array_equal(sm.to_dense(), dense)
+    assert sm.nnz == int(np.count_nonzero(dense))
+    assert sm.mask.size % chunk == 0
+
+
+class TestConcatChannels:
+    def test_inception_style_join(self, rng):
+        from repro.tensor.sparsemap import concat_channels
+
+        branches = []
+        dense_parts = []
+        for c in (6, 10, 3):
+            dense = rng.standard_normal((4, 5, c))
+            dense[rng.random(dense.shape) < 0.5] = 0.0
+            dense_parts.append(dense)
+            branches.append(SparseTensor3D(dense, chunk_size=16))
+        joined = concat_channels(branches)
+        want = np.concatenate(dense_parts, axis=2)
+        assert joined.channels == 19
+        assert np.array_equal(joined.to_dense(), want)
+
+    def test_branch_padding_does_not_leak(self, rng):
+        """Each branch pads its channels to the chunk size; the joined
+        tensor must pad only once, at its own total channel count."""
+        from repro.tensor.sparsemap import concat_channels
+
+        a = SparseTensor3D(rng.standard_normal((2, 2, 5)), chunk_size=16)
+        b = SparseTensor3D(rng.standard_normal((2, 2, 5)), chunk_size=16)
+        joined = concat_channels([a, b])
+        assert joined.channels == 10
+        assert joined.padded_channels == 16  # not 32
+
+    def test_geometry_mismatch(self, rng):
+        from repro.tensor.sparsemap import concat_channels
+
+        a = SparseTensor3D(rng.standard_normal((2, 2, 3)), chunk_size=8)
+        b = SparseTensor3D(rng.standard_normal((3, 2, 3)), chunk_size=8)
+        with pytest.raises(ValueError, match="spatial geometry"):
+            concat_channels([a, b])
+
+    def test_empty_list(self):
+        from repro.tensor.sparsemap import concat_channels
+
+        with pytest.raises(ValueError, match="at least one"):
+            concat_channels([])

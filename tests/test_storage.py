@@ -1,0 +1,178 @@
+"""Unit tests for the memory-layout model (repro.tensor.storage)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.storage import (
+    ClusterRegion,
+    LayerStorage,
+    OutputLayout,
+    even_slices,
+)
+
+
+class TestClusterRegion:
+    def test_sequential_writes_return_offsets(self):
+        region = ClusterRegion(base_capacity=100)
+        assert region.write(30) == 0
+        assert region.write(20) == 30
+        assert region.used == 50
+
+    def test_watermark_triggers_background_extension(self):
+        region = ClusterRegion(base_capacity=100, watermark=0.5, extension=100)
+        region.write(60)  # crosses 50% -> extension pending
+        assert region.extensions == 0  # lands before the *next* write
+        region.write(10)
+        assert region.extensions == 1
+        assert region.capacity == 200
+
+    def test_overflow_stalls_for_foreground_allocation(self):
+        region = ClusterRegion(base_capacity=50, watermark=1.0)
+        region.write(40)
+        region.write(20)  # background extension missed: foreground stall
+        assert region.overflow_stalls == 1
+        assert region.capacity >= 60
+
+    def test_well_tuned_watermark_avoids_stalls(self):
+        region = ClusterRegion(base_capacity=1000, watermark=0.7, extension=500)
+        for _ in range(100):
+            region.write(30)
+        assert region.overflow_stalls == 0
+
+    def test_repeated_extensions_absorb_growth(self):
+        region = ClusterRegion(base_capacity=100, watermark=0.8, extension=100)
+        for _ in range(30):
+            region.write(20)
+        assert region.used == 600
+        assert region.extensions >= 5
+
+    def test_utilization(self):
+        region = ClusterRegion(base_capacity=200)
+        region.write(50)
+        assert region.utilization == pytest.approx(0.25)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ClusterRegion(base_capacity=0)
+        with pytest.raises(ValueError):
+            ClusterRegion(base_capacity=10, watermark=0.0)
+        with pytest.raises(ValueError):
+            ClusterRegion(base_capacity=2, extension=0)
+
+    def test_negative_write_rejected(self):
+        region = ClusterRegion(base_capacity=10)
+        with pytest.raises(ValueError, match="non-negative"):
+            region.write(-1)
+
+
+class TestEvenSlices:
+    def test_exact_split(self):
+        assert even_slices(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_covers_everything(self):
+        slices = even_slices(10, 3)
+        assert slices[0][0] == 0
+        assert slices[-1][1] == 10
+        for (lo1, hi1), (lo2, _hi2) in zip(slices, slices[1:]):
+            assert hi1 == lo2
+
+    def test_more_parts_than_extent_gives_empty_slices(self):
+        slices = even_slices(3, 8)
+        sizes = [hi - lo for lo, hi in slices]
+        assert sum(sizes) == 3
+        assert 0 in sizes  # idle clusters exist
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_slices(-1, 2)
+        with pytest.raises(ValueError):
+            even_slices(4, 0)
+
+
+class TestOutputLayout:
+    def test_position_ownership_is_contiguous(self):
+        layout = OutputLayout(
+            height=16, width=4, channels=8, n_clusters=4, expected_density=0.5
+        )
+        owners = [layout.cluster_for_position(0, y) for y in range(16)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2, 3}
+
+    def test_x_axis_slicing(self):
+        layout = OutputLayout(
+            height=4, width=12, channels=8, n_clusters=3,
+            expected_density=0.5, slice_axis="x",
+        )
+        assert layout.cluster_for_position(0, 3) == 0
+        assert layout.cluster_for_position(11, 0) == 2
+
+    def test_write_goes_to_owner_region(self):
+        layout = OutputLayout(
+            height=8, width=8, channels=16, n_clusters=2, expected_density=0.5
+        )
+        layout.write_cluster_output(1, 100)
+        assert layout.regions[1].used == 100
+        assert layout.regions[0].used == 0
+
+    def test_average_case_sizing_with_padding(self):
+        layout = OutputLayout(
+            height=10, width=10, channels=10, n_clusters=1,
+            expected_density=0.5, padding_fraction=0.10,
+        )
+        assert layout.regions[0].capacity == int(10 * 10 * 10 * 0.5 * 1.1)
+
+    def test_watermark_fallback_absorbs_dense_output(self):
+        """Denser-than-expected output extends regions instead of failing."""
+        layout = OutputLayout(
+            height=8, width=8, channels=32, n_clusters=2, expected_density=0.3
+        )
+        per_write = 40
+        for _ in range(20):
+            layout.write_cluster_output(0, per_write)
+        assert layout.total_extensions > 0
+
+    def test_position_out_of_range(self):
+        layout = OutputLayout(
+            height=4, width=4, channels=4, n_clusters=2, expected_density=0.5
+        )
+        with pytest.raises(IndexError):
+            layout.cluster_for_position(0, 4)
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError, match="slice_axis"):
+            OutputLayout(
+                height=4, width=4, channels=4, n_clusters=2,
+                expected_density=0.5, slice_axis="z",
+            )
+
+
+class TestLayerStorage:
+    def test_tensor_footprint(self):
+        storage = LayerStorage(chunk_size=128, value_bytes=1)
+        fp = storage.tensor_footprint(spatial_positions=100, channels=192, nnz=5000)
+        # 192 channels pad to 256 -> 2 chunks per position.
+        assert fp.mask_bytes == 100 * 2 * 16
+        assert fp.pointer_bytes == 100 * 2 * 4
+        assert fp.value_bytes == 5000
+        assert fp.total_bytes == fp.mask_bytes + fp.pointer_bytes + fp.value_bytes
+
+    def test_dense_footprint_has_no_overhead(self):
+        storage = LayerStorage()
+        fp = storage.dense_footprint(spatial_positions=10, channels=64)
+        assert fp.mask_bytes == 0
+        assert fp.pointer_bytes == 0
+        assert fp.value_bytes == 640
+
+    def test_sparse_smaller_than_dense_at_cnn_density(self):
+        storage = LayerStorage(chunk_size=128)
+        positions, channels = 729, 256
+        nnz = int(positions * channels * 0.35)
+        sparse = storage.tensor_footprint(positions, channels, nnz)
+        dense = storage.dense_footprint(positions, channels)
+        assert sparse.total_bytes < dense.total_bytes
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LayerStorage(chunk_size=0)
+        with pytest.raises(ValueError):
+            LayerStorage().tensor_footprint(-1, 4, 0)

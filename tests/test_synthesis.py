@@ -1,0 +1,117 @@
+"""Unit tests for workload synthesis (repro.nets.synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import (
+    LayerData,
+    synthesize_filters,
+    synthesize_input,
+    synthesize_layer,
+)
+
+
+def spec(**kwargs) -> ConvLayerSpec:
+    defaults = dict(
+        name="synth", in_height=20, in_width=20, in_channels=32,
+        kernel=3, n_filters=24, padding=1,
+        input_density=0.4, filter_density=0.35,
+    )
+    defaults.update(kwargs)
+    return ConvLayerSpec(**defaults)
+
+
+class TestSynthesizeLayer:
+    def test_densities_near_target(self):
+        data = synthesize_layer(spec(), seed=0)
+        assert data.measured_input_density == pytest.approx(0.4, abs=0.03)
+        assert data.measured_filter_density == pytest.approx(0.35, abs=0.03)
+
+    def test_deterministic(self):
+        a = synthesize_layer(spec(), seed=3)
+        b = synthesize_layer(spec(), seed=3)
+        assert np.array_equal(a.input_map, b.input_map)
+        assert np.array_equal(a.filters, b.filters)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_layer(spec(), seed=0)
+        b = synthesize_layer(spec(), seed=1)
+        assert not np.array_equal(a.input_map, b.input_map)
+
+    def test_filters_shared_across_batch_seeds(self):
+        """Images in a batch share weights (filters depend on the layer only)."""
+        a = synthesize_layer(spec(), seed=0)
+        b = synthesize_layer(spec(), seed=5)
+        assert np.array_equal(a.filters, b.filters)
+
+    def test_different_layers_get_different_filters(self):
+        a = synthesize_layer(spec(name="A"), seed=0)
+        b = synthesize_layer(spec(name="B"), seed=0)
+        assert not np.array_equal(a.filters, b.filters)
+
+    def test_shapes(self):
+        s = spec(in_height=9, in_width=11, in_channels=5, kernel=3, n_filters=7)
+        data = synthesize_layer(s, seed=0)
+        assert data.input_map.shape == (9, 11, 5)
+        assert data.filters.shape == (7, 3, 3, 5)
+
+    def test_dense_input_special_case(self):
+        """The first layer's 100%-dense image stays fully dense."""
+        data = synthesize_layer(spec(input_density=1.0), seed=0)
+        assert data.measured_input_density == 1.0
+
+    def test_masks(self):
+        data = synthesize_layer(spec(), seed=0)
+        assert np.array_equal(data.input_mask, data.input_map != 0)
+        assert np.array_equal(data.filter_masks, data.filters != 0)
+
+
+class TestSynthesizeInput:
+    def test_relu_like_values_nonnegative(self):
+        x = synthesize_input(spec(), np.random.default_rng(0))
+        assert (x >= 0).all()
+
+    def test_correlated_sparsity_is_blobby(self):
+        """Spatial correlation: neighbouring occupancy agrees more than iid."""
+        s = spec(in_height=40, in_width=40, in_channels=8, input_density=0.4)
+        corr = synthesize_input(s, np.random.default_rng(0), correlated=True) != 0
+        iid = synthesize_input(s, np.random.default_rng(0), correlated=False) != 0
+
+        def neighbour_agreement(mask):
+            return float((mask[:-1] == mask[1:]).mean())
+
+        assert neighbour_agreement(corr) > neighbour_agreement(iid) + 0.05
+
+    def test_zero_density(self):
+        x = synthesize_input(spec(input_density=0.0), np.random.default_rng(0))
+        assert np.count_nonzero(x) == 0
+
+    def test_density_accuracy_uncorrelated(self):
+        s = spec(in_height=30, in_width=30, input_density=0.25)
+        x = synthesize_input(s, np.random.default_rng(0), correlated=False)
+        assert np.count_nonzero(x) / x.size == pytest.approx(0.25, abs=0.02)
+
+
+class TestSynthesizeFilters:
+    def test_density(self):
+        f = synthesize_filters(spec(), np.random.default_rng(0))
+        assert np.count_nonzero(f) / f.size == pytest.approx(0.35, abs=0.03)
+
+    def test_dense_filters(self):
+        f = synthesize_filters(spec(filter_density=1.0), np.random.default_rng(0))
+        assert np.count_nonzero(f) == f.size
+
+
+class TestLayerDataValidation:
+    def test_input_shape_mismatch(self):
+        s = spec()
+        with pytest.raises(ValueError, match="input shape"):
+            LayerData(spec=s, input_map=np.zeros((2, 2, 2)),
+                      filters=np.zeros((24, 3, 3, 32)))
+
+    def test_filter_shape_mismatch(self):
+        s = spec()
+        with pytest.raises(ValueError, match="filter shape"):
+            LayerData(spec=s, input_map=np.zeros((20, 20, 32)),
+                      filters=np.zeros((24, 5, 5, 32)))

@@ -1,0 +1,115 @@
+"""Tests for the event-driven double-buffered trace simulator."""
+
+import pytest
+
+from repro.sim.trace import ChunkJob, DoubleBufferedCluster
+
+
+def uniform_jobs(n: int, compute: int, nbytes: float) -> list[ChunkJob]:
+    return [ChunkJob(compute_cycles=compute, fetch_bytes=nbytes) for _ in range(n)]
+
+
+class TestBasics:
+    def test_empty(self):
+        result = DoubleBufferedCluster().run([])
+        assert result.total_cycles == 0
+        assert result.hiding_efficiency == 1.0
+
+    def test_compute_cycles_conserved(self):
+        jobs = uniform_jobs(10, compute=7, nbytes=16)
+        result = DoubleBufferedCluster(fetch_latency=5).run(jobs)
+        assert result.compute_cycles == 70
+
+    def test_total_is_compute_plus_stalls(self):
+        jobs = uniform_jobs(20, compute=5, nbytes=64)
+        result = DoubleBufferedCluster(fetch_latency=30).run(jobs)
+        assert result.total_cycles == result.compute_cycles + result.stall_cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            DoubleBufferedCluster(bytes_per_cycle=0)
+        with pytest.raises(ValueError, match="latency"):
+            DoubleBufferedCluster(fetch_latency=-1)
+        with pytest.raises(ValueError, match="double buffering"):
+            DoubleBufferedCluster(prefetch_depth=1)
+
+
+class TestLatencyHiding:
+    def test_zero_latency_fast_port_hides_everything_after_cold_start(self):
+        jobs = uniform_jobs(100, compute=10, nbytes=8)
+        cluster = DoubleBufferedCluster(bytes_per_cycle=8, fetch_latency=0)
+        result = cluster.run(jobs)
+        # Only the first fetch (1 cycle transfer) is exposed.
+        assert result.stall_cycles <= 2
+        assert result.hiding_efficiency > 0.99
+
+    def test_slow_port_stalls(self):
+        """Fetches longer than compute expose the memory system."""
+        jobs = uniform_jobs(50, compute=2, nbytes=64)
+        cluster = DoubleBufferedCluster(bytes_per_cycle=1, fetch_latency=0)
+        result = cluster.run(jobs)
+        # Steady state: 64-cycle transfers vs 2-cycle computes.
+        assert result.stall_cycles > 40 * 60
+
+    def test_double_buffer_hides_short_latency(self):
+        jobs = uniform_jobs(200, compute=20, nbytes=16)
+        cluster = DoubleBufferedCluster(
+            bytes_per_cycle=16, fetch_latency=15, prefetch_depth=2
+        )
+        result = cluster.run(jobs)
+        assert result.hiding_efficiency > 0.95
+
+    def test_deeper_prefetch_hides_long_latency(self):
+        """The paper's request buffering: depth beats DRAM-class latency."""
+        jobs = uniform_jobs(300, compute=20, nbytes=16)
+        shallow = DoubleBufferedCluster(
+            bytes_per_cycle=16, fetch_latency=150, prefetch_depth=2
+        ).run(jobs)
+        deep = DoubleBufferedCluster(
+            bytes_per_cycle=16, fetch_latency=150, prefetch_depth=16
+        ).run(jobs)
+        assert shallow.hiding_efficiency < 0.5
+        assert deep.hiding_efficiency > 0.9
+
+    def test_bandwidth_bound_cannot_be_hidden_by_depth(self):
+        """Depth hides latency, never bandwidth (roofline still rules)."""
+        jobs = uniform_jobs(100, compute=2, nbytes=64)
+        deep = DoubleBufferedCluster(
+            bytes_per_cycle=1, fetch_latency=0, prefetch_depth=64
+        ).run(jobs)
+        # ~64 cycles of transfer per 2 cycles of compute.
+        assert deep.hiding_efficiency < 0.1
+
+
+class TestEvents:
+    def test_events_recorded_when_asked(self):
+        jobs = uniform_jobs(3, compute=5, nbytes=8)
+        cluster = DoubleBufferedCluster(keep_events=True)
+        result = cluster.run(jobs)
+        kinds = {e.kind for e in result.events}
+        assert "compute" in kinds
+        assert "fetch_done" in kinds
+
+    def test_events_off_by_default(self):
+        result = DoubleBufferedCluster().run(uniform_jobs(3, 5, 8))
+        assert result.events == []
+
+
+class TestRunLayer:
+    def test_layer_trace_matches_chunk_count(self, tiny_data, mini_cfg):
+        from repro.sim.kernels import compute_chunk_work
+
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        cluster = DoubleBufferedCluster(bytes_per_cycle=16, fetch_latency=0)
+        trace = cluster.run_layer(tiny_data, mini_cfg, work=work)
+        busiest_positions = int(work.assignment.cluster_positions.max())
+        assert trace.total_cycles > 0
+        # Compute equals the barrier sum of the busiest cluster's stream.
+        assert trace.compute_cycles >= busiest_positions * work.n_chunks
+
+    def test_latency_sweep_monotone(self, tiny_data, mini_cfg):
+        totals = []
+        for latency in (0, 50, 200):
+            cluster = DoubleBufferedCluster(bytes_per_cycle=16, fetch_latency=latency)
+            totals.append(cluster.run_layer(tiny_data, mini_cfg).total_cycles)
+        assert totals[0] <= totals[1] <= totals[2]

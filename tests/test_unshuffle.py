@@ -1,0 +1,95 @@
+"""Unit tests for GB-S's static unshuffling (repro.balance.unshuffle)."""
+
+import numpy as np
+import pytest
+
+from repro.balance.greedy import gb_s_plan
+from repro.balance.unshuffle import (
+    plan_network_unshuffles,
+    shuffle_outputs,
+    unshuffle_next_layer_weights,
+)
+from repro.nets.reference import conv2d_reference, relu
+
+
+class TestShuffleOutputs:
+    def test_channel_permutation(self, rng):
+        out = rng.standard_normal((4, 4, 6))
+        order = np.array([2, 0, 1, 5, 4, 3])
+        shuffled = shuffle_outputs(out, order)
+        for j, src in enumerate(order):
+            assert np.array_equal(shuffled[..., j], out[..., src])
+
+    def test_invalid_order(self, rng):
+        with pytest.raises(ValueError, match="permutation"):
+            shuffle_outputs(rng.standard_normal((2, 2, 3)), np.array([0, 0, 1]))
+
+    def test_wrong_length(self, rng):
+        with pytest.raises(ValueError, match="entries"):
+            shuffle_outputs(rng.standard_normal((2, 2, 3)), np.array([0, 1]))
+
+
+class TestUnshuffleWeights:
+    def test_function_preserved_one_layer(self, rng):
+        """conv(new_w, shuffled_x) == conv(old_w, x) -- the core invariant."""
+        x = rng.standard_normal((6, 6, 8))
+        w1 = rng.standard_normal((10, 3, 3, 8))
+        w2 = rng.standard_normal((5, 3, 3, 10))
+        order = rng.permutation(10)
+
+        ref = conv2d_reference(conv2d_reference(x, w1, padding=1), w2, padding=1)
+        shuffled_mid = shuffle_outputs(conv2d_reference(x, w1, padding=1), order)
+        new_w2 = unshuffle_next_layer_weights(w2, order)
+        got = conv2d_reference(shuffled_mid, new_w2, padding=1)
+        assert np.allclose(got, ref)
+
+    def test_with_relu_between(self, rng):
+        """ReLU is per-element, so shuffling commutes with it."""
+        x = rng.standard_normal((5, 5, 4))
+        w1 = rng.standard_normal((6, 3, 3, 4))
+        w2 = rng.standard_normal((3, 3, 3, 6))
+        order = rng.permutation(6)
+        ref = conv2d_reference(relu(conv2d_reference(x, w1, padding=1)), w2, padding=1)
+        mid = shuffle_outputs(relu(conv2d_reference(x, w1, padding=1)), order)
+        got = conv2d_reference(mid, unshuffle_next_layer_weights(w2, order), padding=1)
+        assert np.allclose(got, ref)
+
+    def test_rejects_bad_weight_shape(self, rng):
+        with pytest.raises(ValueError, match="F, k, k, C"):
+            unshuffle_next_layer_weights(rng.standard_normal((3, 4)), np.arange(4))
+
+    def test_rejects_wrong_channel_count(self, rng):
+        with pytest.raises(ValueError, match="entries"):
+            unshuffle_next_layer_weights(
+                rng.standard_normal((2, 3, 3, 5)), np.arange(4)
+            )
+
+
+class TestNetworkPlan:
+    def test_layer_by_layer_unshuffling(self, rng):
+        """The full offline pass preserves a 3-layer network's function."""
+        x = rng.standard_normal((6, 6, 4))
+        banks = [
+            rng.standard_normal((8, 3, 3, 4)),
+            rng.standard_normal((6, 3, 3, 8)),
+            rng.standard_normal((5, 3, 3, 6)),
+        ]
+        # Prune so density sorting has something to sort.
+        for i, b in enumerate(banks):
+            b[rng.random(b.shape) < 0.4 + 0.1 * i] = 0.0
+
+        orders = [gb_s_plan(b != 0, n_units=2).order for b in banks]
+        rewritten = plan_network_unshuffles(orders, banks)
+
+        ref = x
+        for b in banks:
+            ref = relu(conv2d_reference(ref, b, padding=1))
+        got = x
+        for b in rewritten:
+            got = relu(conv2d_reference(got, b, padding=1))
+        # The final output is in the last layer's shuffled order.
+        assert np.allclose(got, shuffle_outputs(ref, orders[-1]))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="orders"):
+            plan_network_unshuffles([np.arange(2)], [])

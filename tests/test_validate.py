@@ -1,0 +1,48 @@
+"""Tests for the cross-simulator invariant checker (repro.sim.validate)."""
+
+import pytest
+
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.validate import validate_layer
+
+
+class TestValidateLayer:
+    def test_tiny_layer_passes_all_checks(self, tiny_spec, tiny_data, mini_cfg):
+        report = validate_layer(tiny_spec, mini_cfg, data=tiny_data)
+        assert report.ok, report.failures()
+
+    def test_strided_layer_passes(self, strided_spec, mini_cfg):
+        report = validate_layer(strided_spec, mini_cfg, seed=2)
+        assert report.ok, report.failures()
+        # The unit-stride-only SCNN coverage check is skipped at stride 2.
+        assert "scnn_covers_matches" not in report.checks
+
+    def test_unit_stride_includes_scnn_check(self, tiny_spec, mini_cfg):
+        report = validate_layer(tiny_spec, mini_cfg, seed=0)
+        assert "scnn_covers_matches" in report.checks
+        assert report.checks["scnn_covers_matches"]
+
+    def test_extreme_densities(self, mini_cfg):
+        for in_d, f_d in ((1.0, 1.0), (0.05, 0.05), (0.9, 0.1)):
+            spec = ConvLayerSpec(
+                name=f"val_{in_d}_{f_d}", in_height=8, in_width=8, in_channels=20,
+                kernel=3, n_filters=8, padding=1,
+                input_density=in_d, filter_density=f_d,
+            )
+            report = validate_layer(spec, mini_cfg, seed=1)
+            assert report.ok, (spec.name, report.failures())
+
+    def test_details_populated(self, tiny_spec, tiny_data, mini_cfg):
+        report = validate_layer(tiny_spec, mini_cfg, data=tiny_data)
+        for name in report.checks:
+            assert name in report.details
+
+    def test_table3_layer_sampled(self):
+        """A real Table 3 layer passes under position sampling."""
+        from repro.nets.models import alexnet
+        from repro.sim.config import LARGE_CONFIG
+
+        spec = alexnet().layer("Layer3")
+        cfg = LARGE_CONFIG.with_sampling(100, batch=1)
+        report = validate_layer(spec, cfg)
+        assert report.ok, report.failures()
