@@ -1,0 +1,81 @@
+"""The original per-chunk loop kernel, kept verbatim as a speed baseline.
+
+``compute_chunk_work`` was rewritten around a single im2col gather plus a
+bit-packed popcount kernel; the benchmarks time this frozen copy of the
+original nested ``ky/kx/cz`` GEMM loop to report the speedup (and the
+tests keep their own copy to pin bit-identical results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernels import ChunkWork, assign_positions
+from repro.tensor.sparsemap import padded_length
+
+
+def reference_chunk_work(data, cfg, need_counts: bool = True) -> ChunkWork:
+    spec = data.spec
+    chunk = cfg.chunk_size
+    padded_c = padded_length(spec.in_channels, chunk)
+    cpc = padded_c // chunk
+    n_chunks = spec.kernel * spec.kernel * cpc
+
+    assignment = assign_positions(
+        spec.out_positions, cfg.n_clusters, cfg.position_sample
+    )
+    sel = assignment.indices
+    oy = sel // spec.out_width
+    ox = sel % spec.out_width
+
+    in_mask = data.input_mask
+    if spec.padding:
+        p = spec.padding
+        padded = np.zeros(
+            (spec.in_height + 2 * p, spec.in_width + 2 * p, spec.in_channels),
+            dtype=bool,
+        )
+        padded[p : p + spec.in_height, p : p + spec.in_width] = in_mask
+    else:
+        padded = in_mask
+
+    filt = data.filter_masks  # (F, k, k, C)
+    n_filters = spec.n_filters
+    n_sel = sel.size
+
+    counts = (
+        np.zeros((n_chunks, n_sel, n_filters), dtype=np.uint8) if need_counts else None
+    )
+    input_pop = np.zeros((n_chunks, n_sel), dtype=np.int32)
+    match_sums = np.zeros(n_sel, dtype=np.float64)
+    filter_chunk_nnz = np.zeros((n_filters, n_chunks), dtype=np.int64)
+
+    rows = oy * spec.stride
+    cols = ox * spec.stride
+    for ky in range(spec.kernel):
+        for kx in range(spec.kernel):
+            window = padded[rows + ky, cols + kx, :]  # (n_sel, C)
+            for cz in range(cpc):
+                lo = cz * chunk
+                hi = min(lo + chunk, spec.in_channels)
+                c_idx = (ky * spec.kernel + kx) * cpc + cz
+                if lo >= spec.in_channels:
+                    continue  # pure padding chunk: zero work
+                a = window[:, lo:hi].astype(np.float32)
+                b = filt[:, ky, kx, lo:hi].astype(np.float32)
+                filter_chunk_nnz[:, c_idx] = b.sum(axis=1).astype(np.int64)
+                input_pop[c_idx] = a.sum(axis=1).astype(np.int32)
+                if need_counts:
+                    counts[c_idx] = np.rint(a @ b.T).astype(np.uint8)
+                    match_sums += counts[c_idx].sum(axis=1, dtype=np.int64)
+                else:
+                    match_sums += a @ b.sum(axis=0)
+
+    return ChunkWork(
+        counts=counts,
+        input_pop=input_pop,
+        match_sums=match_sums,
+        assignment=assignment,
+        n_chunks=n_chunks,
+        filter_chunk_nnz=filter_chunk_nnz,
+    )

@@ -1,20 +1,54 @@
-"""Microbenchmark: the vectorised chunk-work kernel on a real layer.
+"""Microbenchmark: the chunk-work kernel on a real layer, vs the seed loop.
 
-This is the simulators' hot loop (mask im2col-matmul); the benchmark
-guards against regressions that would make figure regeneration slow.
+This is the simulators' hot loop (bit-packed AND+popcount match counts,
+with a batched-GEMM fallback); the benchmark guards against regressions
+that would make figure regeneration slow and records the speedup over
+the original per-chunk GEMM loop kept in ``_seed_reference.py``.
 """
 
+import time
+
+import numpy as np
+from _seed_reference import reference_chunk_work
 from conftest import run_once
 
 from repro.nets.models import alexnet
 from repro.nets.synthesis import synthesize_layer
+from repro.sim import native
 from repro.sim.config import LARGE_CONFIG
 from repro.sim.kernels import compute_chunk_work
 
 
-def bench_chunk_kernel_alexnet_layer2(benchmark):
+def bench_chunk_kernel_alexnet_layer2(benchmark, record):
     spec = alexnet().layer("Layer2")
     data = synthesize_layer(spec, seed=0)
+    compute_chunk_work(data, LARGE_CONFIG, need_counts=True)  # warm (native build)
+    t0 = time.perf_counter()
+    ref = reference_chunk_work(data, LARGE_CONFIG, need_counts=True)
+    ref_seconds = time.perf_counter() - t0
     work = run_once(benchmark, compute_chunk_work, data, LARGE_CONFIG, need_counts=True)
     assert work.counts is not None
     assert work.counts.shape[0] == 9 * 2  # 3x3 kernel, 192 -> 2 channel chunks
+    # Bit-identical to the seed loop, on every array.
+    assert np.array_equal(work.counts, ref.counts)
+    assert np.array_equal(work.input_pop, ref.input_pop)
+    assert np.array_equal(work.match_sums, ref.match_sums)
+    assert np.array_equal(work.filter_chunk_nnz, ref.filter_chunk_nnz)
+    new_seconds = min(
+        _time_once(compute_chunk_work, data) for _ in range(3)
+    )
+    speedup = ref_seconds / new_seconds
+    record(
+        "chunk_kernel_speedup",
+        f"seed loop {ref_seconds * 1e3:.2f} ms  "
+        f"new kernel {new_seconds * 1e3:.2f} ms  "
+        f"speedup {speedup:.1f}x  native={native.available()}",
+    )
+    if native.available():
+        assert speedup >= 3.0
+
+
+def _time_once(func, data):
+    t0 = time.perf_counter()
+    func(data, LARGE_CONFIG, need_counts=True)
+    return time.perf_counter() - t0

@@ -1,0 +1,105 @@
+"""Kernel throughput and cache scaling: the perf-trajectory record.
+
+Measures (1) the match-count kernel against the frozen seed loop on an
+AlexNet Layer2-class workload, (2) a cold vs warm-cache regeneration of
+``headline_means(fast=True)``, and (3) the workload/result cache hit
+rates -- and writes everything to ``benchmarks/output/BENCH_kernels.json``
+so future sessions can track the trajectory.
+
+Runs as a pytest-benchmark target or directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_scaling.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from _seed_reference import reference_chunk_work
+
+from repro.core import workload
+from repro.eval.experiments import headline_means
+from repro.nets.models import alexnet
+from repro.nets.synthesis import synthesize_layer
+from repro.sim import native
+from repro.sim.config import LARGE_CONFIG
+from repro.sim.kernels import compute_chunk_work
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def measure() -> dict:
+    """All scaling measurements, as one JSON-ready record."""
+    spec = alexnet().layer("Layer2")
+    data = synthesize_layer(spec, seed=0)
+    work = compute_chunk_work(data, LARGE_CONFIG, need_counts=True)  # warm build
+    t0 = time.perf_counter()
+    reference_chunk_work(data, LARGE_CONFIG, need_counts=True)
+    ref_seconds = time.perf_counter() - t0
+    new_seconds = min(_time_kernel(data) for _ in range(3))
+    kernel = {
+        "seed_loop_seconds": round(ref_seconds, 6),
+        "kernel_seconds": round(new_seconds, 6),
+        "speedup": round(ref_seconds / new_seconds, 2),
+        "match_counts_per_sec": round(work.counts.size / new_seconds),
+        "native": native.available(),
+    }
+
+    workload.clear_caches()
+    t0 = time.perf_counter()
+    cold_fig = headline_means(fast=True)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_fig = headline_means(fast=True)
+    warm = time.perf_counter() - t0
+    cold_fig.pop("extras")
+    warm_fig.pop("extras")
+    assert cold_fig == warm_fig, "warm cache changed figure values"
+    headline = {
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "warm_speedup": round(cold / warm, 1),
+    }
+    return {"kernel": kernel, "headline": headline, "cache": workload.cache_stats()}
+
+
+def _time_kernel(data) -> float:
+    t0 = time.perf_counter()
+    compute_chunk_work(data, LARGE_CONFIG, need_counts=True)
+    return time.perf_counter() - t0
+
+
+def _render(results: dict) -> str:
+    k, h = results["kernel"], results["headline"]
+    return (
+        f"kernel: seed {k['seed_loop_seconds'] * 1e3:.2f} ms -> "
+        f"{k['kernel_seconds'] * 1e3:.2f} ms ({k['speedup']}x, "
+        f"{k['match_counts_per_sec'] / 1e6:.0f}M counts/s, native={k['native']})\n"
+        f"headline_means: cold {h['cold_seconds']:.2f} s -> warm "
+        f"{h['warm_seconds']:.4f} s ({h['warm_speedup']}x)\n"
+        f"workload cache hit rate "
+        f"{results['cache']['workloads']['hit_rate']:.2f}, result memo hit rate "
+        f"{results['cache']['results']['hit_rate']:.2f}"
+    )
+
+
+def bench_kernel_scaling(benchmark, output_dir, record):
+    from conftest import run_once
+
+    results = run_once(benchmark, measure)
+    (output_dir / "BENCH_kernels.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    record("BENCH_kernels", _render(results))
+    if native.available():
+        assert results["kernel"]["speedup"] >= 3.0
+    assert results["headline"]["warm_speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    results = measure()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_kernels.json").write_text(json.dumps(results, indent=2) + "\n")
+    print(_render(results))

@@ -14,7 +14,9 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
@@ -39,5 +41,25 @@ def record(output_dir):
 
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under the benchmark timer."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run an experiment exactly once under the benchmark timer.
+
+    Each run's wall time is appended to ``benchmarks/output/timings.json``
+    (keyed by benchmark name) so per-figure regressions are visible across
+    sessions and warm- vs cold-cache runs can be compared.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    append_timing(getattr(benchmark, "name", func.__name__), time.perf_counter() - start)
+    return result
+
+
+def append_timing(name: str, seconds: float) -> None:
+    """Append one wall-time sample to benchmarks/output/timings.json."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "timings.json"
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError):
+        history = {}
+    history.setdefault(name, []).append(round(seconds, 4))
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")

@@ -5,23 +5,37 @@ SparTen (GB-H), SCNN, SCNN-one-sided and SCNN-dense. This module runs any
 subset of those on a layer or network, sharing the expensive mask work
 across schemes, and returns normalised speedups plus the execution-time
 breakdowns.
+
+Workloads and finished per-layer results are memoised through
+:mod:`repro.core.workload`, so repeated figure regenerations (and the
+runners in :mod:`repro.eval.experiments` that reuse the same layers) skip
+both the mask work and the simulators. Layers fan out across processes
+via :mod:`repro.core.parallel` when ``REPRO_JOBS`` (or the ``jobs``
+argument) asks for it; results are merged in layer order, so parallel
+runs are byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from functools import partial
 
+from repro.core import parallel, timing, workload
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.models import NetworkSpec
-from repro.nets.synthesis import synthesize_layer
 from repro.sim.config import HardwareConfig, LARGE_CONFIG, config_for
 from repro.sim.dense import simulate_dense
-from repro.sim.kernels import compute_chunk_work
 from repro.sim.results import LayerResult, geomean
 from repro.sim.scnn import simulate_scnn
 from repro.sim.sparten import simulate_sparten
 
-__all__ = ["ALL_SCHEMES", "ArchitectureComparison", "compare_architectures"]
+__all__ = [
+    "ALL_SCHEMES",
+    "ArchitectureComparison",
+    "compare_architectures",
+    "run_scheme_cached",
+]
 
 #: Every scheme of Figures 7-9, in the paper's plotting order.
 ALL_SCHEMES = (
@@ -42,12 +56,14 @@ class ArchitectureComparison:
 
     ``results[scheme][layer_name]`` holds the :class:`LayerResult`;
     speedups are relative to the ``dense`` scheme (present whenever any
-    speedup is requested).
+    speedup is requested). ``extras`` carries instrumentation (wall
+    times, cache statistics) and never participates in figure values.
     """
 
     schemes: tuple[str, ...]
     layer_names: tuple[str, ...]
     results: dict[str, dict[str, LayerResult]] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
 
     def speedup(self, scheme: str, layer_name: str) -> float:
         """Speedup of *scheme* over dense on one layer."""
@@ -85,14 +101,16 @@ def compare_architectures(
     schemes: tuple[str, ...] = ALL_SCHEMES,
     cfg: HardwareConfig | None = None,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> ArchitectureComparison:
     """Run *schemes* on a layer or whole network.
 
     For a :class:`NetworkSpec` the paper's configuration for that network
     is used unless *cfg* overrides it. One workload per (layer, batch
-    image) is synthesised once and shared across every scheme, so the
-    comparison isolates architecture differences exactly as the paper's
-    methodology requires.
+    image) is synthesised once (and memoised across calls) and shared
+    across every scheme, so the comparison isolates architecture
+    differences exactly as the paper's methodology requires. *jobs*
+    overrides ``REPRO_JOBS`` for the per-layer fan-out.
     """
     unknown = set(schemes) - set(ALL_SCHEMES)
     if unknown:
@@ -122,18 +140,62 @@ def compare_architectures(
         results={s: {} for s in run_schemes},
     )
     needs_counts = any(s.startswith("sparten") for s in run_schemes)
-    for spec in layers:
-        # Synthesise the batch once; accumulate per scheme.
-        for image in range(cfg.batch):
-            data = synthesize_layer(spec, seed=seed + image)
-            work = compute_chunk_work(data, cfg, need_counts=needs_counts)
-            for scheme in run_schemes:
-                result = _run_scheme(scheme, spec, cfg, data, work, seed + image)
-                prior = comparison.results[scheme].get(spec.name)
-                comparison.results[scheme][spec.name] = (
-                    result if prior is None else _accumulate(prior, result)
-                )
+    t0 = time.perf_counter()
+    worker = partial(
+        _layer_results,
+        schemes=run_schemes,
+        cfg=cfg,
+        seed=seed,
+        need_counts=needs_counts,
+    )
+    per_layer = parallel.parallel_map(worker, layers, jobs=jobs)
+    for spec, layer_results in zip(layers, per_layer):
+        for scheme in run_schemes:
+            comparison.results[scheme][spec.name] = layer_results[scheme]
+    comparison.extras["timings"] = {
+        "compare_seconds": time.perf_counter() - t0,
+        "stages": timing.snapshot(),
+    }
+    comparison.extras["cache"] = workload.cache_stats()
     return comparison
+
+
+def _layer_results(
+    spec: ConvLayerSpec,
+    *,
+    schemes: tuple[str, ...],
+    cfg: HardwareConfig,
+    seed: int,
+    need_counts: bool,
+) -> dict[str, LayerResult]:
+    """All schemes on one layer, accumulated over the batch (picklable)."""
+    out: dict[str, LayerResult] = {}
+    for image in range(cfg.batch):
+        for scheme in schemes:
+            result = run_scheme_cached(
+                scheme, spec, cfg, seed + image, need_counts=need_counts
+            )
+            prior = out.get(scheme)
+            out[scheme] = result if prior is None else _accumulate(prior, result)
+    return out
+
+
+def run_scheme_cached(
+    scheme: str,
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    seed: int,
+    need_counts: bool = True,
+) -> LayerResult:
+    """One scheme on one single-image workload, memoised by content key."""
+    key = workload.result_key(scheme, spec, cfg, seed)
+    result = workload.lookup_result(key)
+    if result is None:
+        data, work = workload.get_workload(spec, cfg, seed, need_counts=need_counts)
+        with timing.stage("simulate"):
+            result = _run_scheme(scheme, spec, cfg, data, work, seed)
+        workload.store_result(key, result)
+    return result
 
 
 def _run_scheme(
@@ -146,6 +208,8 @@ def _run_scheme(
 ) -> LayerResult:
     if scheme == "dense":
         return simulate_dense(spec, cfg, data=data, work=work)
+    if scheme == "dense_naive":
+        return simulate_dense(spec, cfg, data=data, work=work, naive_buffers=True)
     if scheme == "one_sided":
         return simulate_sparten(spec, cfg, sided="one", data=data, work=work)
     if scheme == "sparten_no_gb":

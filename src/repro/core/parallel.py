@@ -1,0 +1,76 @@
+"""Process-based fan-out with deterministic, ordered results.
+
+:func:`parallel_map` runs a picklable callable over items in a
+``ProcessPoolExecutor`` when the ``REPRO_JOBS`` environment variable (or
+an explicit ``jobs`` argument) asks for more than one worker; the default
+is serial so tests and small runs stay dependency-free. Results always
+come back in input order and every item is computed from its arguments
+alone, so a parallel run produces byte-identical figure dictionaries to
+the serial path. Worker processes are flagged so nested fan-out (a
+parallelised figure calling a parallelised comparison) degrades to serial
+instead of forking a process tree.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["default_jobs", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_IN_WORKER = False
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    os.environ["REPRO_JOBS"] = "1"
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: int | None = None
+) -> list[R]:
+    """Map *fn* over *items*, preserving input order.
+
+    Serial unless ``jobs`` (or ``REPRO_JOBS``) exceeds 1; *fn* must then
+    be picklable -- a module-level function or a ``functools.partial`` of
+    one. The spawn start method keeps workers hermetic (no inherited
+    interpreter state), which is what makes parallel runs reproducible.
+    Spawn must re-import ``__main__``; from an interpreter whose main
+    module is not importable (a REPL, ``python - <<EOF``) the pool dies
+    with ``BrokenProcessPool``, so that case degrades to serial with a
+    warning instead of crashing.
+    """
+    items = list(items)
+    n = default_jobs() if jobs is None else max(1, int(jobs))
+    if _IN_WORKER or n <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = mp.get_context("spawn")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n, len(items)), mp_context=ctx, initializer=_worker_init
+        ) as pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        warnings.warn(
+            "worker pool died (unimportable __main__, OOM kill, or a worker "
+            "crash); falling back to a serial run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]

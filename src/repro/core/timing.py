@@ -1,0 +1,42 @@
+"""Lightweight per-stage wall-time counters for the experiment engine.
+
+Runners wrap their expensive phases (synthesis, chunk-work, simulation,
+disk cache I/O) in :func:`stage`; accumulated totals are surfaced in
+result ``extras`` so figure regenerations report where the time went
+without any profiler. Counters are process-global and cumulative --
+:func:`reset` starts a fresh measurement window.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["stage", "snapshot", "reset"]
+
+_WALL: dict[str, float] = defaultdict(float)
+_CALLS: dict[str, int] = defaultdict(int)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the enclosed block under *name*."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        _WALL[name] += time.perf_counter() - t0
+        _CALLS[name] += 1
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Accumulated timings: ``{stage: {"seconds": s, "calls": n}}``."""
+    return {k: {"seconds": _WALL[k], "calls": _CALLS[k]} for k in sorted(_WALL)}
+
+
+def reset() -> None:
+    """Clear all accumulated counters."""
+    _WALL.clear()
+    _CALLS.clear()

@@ -1,0 +1,348 @@
+"""Cross-experiment workload cache: memoised synthesis, chunk work, results.
+
+Every figure in the evaluation funnels through ``synthesize_layer`` +
+``compute_chunk_work`` -- and different runners request content-identical
+workloads (``headline_means`` regenerates per-network speedups, then the
+energy and FPGA figures redo the very same mask work). This module keys
+those products *by value* so the redundancy disappears:
+
+- **Workload cache** (:func:`get_workload`): ``(LayerData, ChunkWork)``
+  keyed by the layer spec's fields, the image seed, and the config knobs
+  the kernel actually reads -- ``chunk_size``, ``n_clusters``,
+  ``position_sample`` (batch enters through per-image seeds). Entries
+  live in a bounded in-memory LRU (``REPRO_CACHE_ENTRIES`` /
+  ``REPRO_CACHE_BYTES``) with an optional on-disk ``.npz`` store under
+  ``$REPRO_CACHE_DIR`` that persists across processes. A cached entry
+  computed with ``need_counts=False`` is upgraded in place when a caller
+  later needs the counts tensor.
+- **Result memo** (:func:`lookup_result` / :func:`store_result`): finished
+  per-layer simulation results keyed by (scheme, spec fields, *full*
+  config fields, seed), so a warm re-run of a figure skips the
+  simulators entirely.
+
+Keys are tuples of plain values (``dataclasses.astuple`` of frozen
+specs/configs), so two workloads collide only if every field that can
+influence the arrays is equal -- the cache test asserts distinct
+(seed, chunk_size, sampling) keys never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+
+import numpy as np
+
+from repro.core import timing
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import ChunkWork, PositionAssignment, compute_chunk_work
+
+__all__ = [
+    "CacheStats",
+    "workload_key",
+    "result_key",
+    "get_layer_data",
+    "get_workload",
+    "lookup_result",
+    "store_result",
+    "cache_stats",
+    "clear_caches",
+]
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.disk_hits = self.evictions = 0
+
+
+class _LRU:
+    """A thread-safe LRU bounded by entry count and (optionally) bytes."""
+
+    def __init__(self, max_entries: int, max_bytes: int | None = None) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._data: OrderedDict = OrderedDict()
+        self._sizes: dict = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return self._data[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key, value, nbytes: int = 0) -> None:
+        with self._lock:
+            if key in self._data:
+                self._bytes -= self._sizes.pop(key)
+                del self._data[key]
+            self._data[key] = value
+            self._sizes[key] = nbytes
+            self._bytes += nbytes
+            while len(self._data) > self.max_entries or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._data) > 1
+            ):
+                old, _ = self._data.popitem(last=False)
+                self._bytes -= self._sizes.pop(old)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._sizes.clear()
+            self._bytes = 0
+            self.stats.reset()
+
+
+_WORKLOADS = _LRU(
+    max_entries=_env_int("REPRO_CACHE_ENTRIES", 256),
+    max_bytes=_env_int("REPRO_CACHE_BYTES", 2 * 1024**3),
+)
+_RESULTS = _LRU(max_entries=_env_int("REPRO_RESULT_ENTRIES", 16384))
+
+
+def workload_key(spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -> tuple:
+    """Content key for one (LayerData, ChunkWork) pair.
+
+    Only the config fields the kernel reads participate; sweeps that vary
+    other knobs (e.g. ``bisection_width``) share one workload entry.
+    """
+    return (
+        "workload",
+        type(spec).__name__,
+        astuple(spec),
+        int(seed),
+        int(cfg.chunk_size),
+        int(cfg.n_clusters),
+        cfg.position_sample,
+    )
+
+
+def result_key(kind: str, spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -> tuple:
+    """Content key for one finished per-layer simulation result."""
+    return (
+        "result",
+        kind,
+        type(spec).__name__,
+        astuple(spec),
+        astuple(cfg),
+        int(seed),
+    )
+
+
+def get_layer_data(spec: ConvLayerSpec, seed: int = 0) -> LayerData:
+    """Memoised :func:`synthesize_layer`."""
+    key = ("data", type(spec).__name__, astuple(spec), int(seed))
+    data = _WORKLOADS.get(key)
+    if data is None:
+        with timing.stage("synthesize"):
+            data = synthesize_layer(spec, seed=seed)
+        _WORKLOADS.put(key, data, nbytes=data.input_map.nbytes + data.filters.nbytes)
+    return data
+
+
+def get_workload(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    seed: int = 0,
+    need_counts: bool = True,
+) -> tuple[LayerData, ChunkWork]:
+    """Memoised (synthesis + chunk work) for one workload.
+
+    Checks the in-memory LRU, then the on-disk store (when
+    ``$REPRO_CACHE_DIR`` is set), then computes -- writing back to both.
+    """
+    key = workload_key(spec, cfg, seed)
+    entry = _WORKLOADS.get(key)
+    if entry is not None and (not need_counts or entry[1].counts is not None):
+        return entry
+    disk = _disk_load(key, spec, need_counts)
+    if disk is not None:
+        _WORKLOADS.put(key, disk, nbytes=_pair_nbytes(disk))
+        return disk
+    data = entry[0] if entry is not None else get_layer_data(spec, seed)
+    with timing.stage("chunk_work"):
+        work = compute_chunk_work(data, cfg, need_counts=need_counts)
+    pair = (data, work)
+    _WORKLOADS.put(key, pair, nbytes=_pair_nbytes(pair))
+    _disk_store(key, pair)
+    return pair
+
+
+def lookup_result(key: tuple):
+    """The memoised simulation result under *key*, or ``None``."""
+    return _RESULTS.get(key)
+
+
+def store_result(key: tuple, value) -> None:
+    """Memoise one finished simulation result."""
+    _RESULTS.put(key, value)
+
+
+def cache_stats() -> dict[str, dict[str, float]]:
+    """Hit/miss/size statistics for both caches."""
+    return {
+        "workloads": {
+            **_WORKLOADS.stats.as_dict(),
+            "entries": len(_WORKLOADS),
+            "bytes": _WORKLOADS.nbytes,
+        },
+        "results": {**_RESULTS.stats.as_dict(), "entries": len(_RESULTS)},
+    }
+
+
+def clear_caches() -> None:
+    """Drop every in-memory entry and reset statistics (disk untouched)."""
+    _WORKLOADS.clear()
+    _RESULTS.clear()
+
+
+# -- on-disk store ----------------------------------------------------------
+
+
+def _pair_nbytes(pair: tuple[LayerData, ChunkWork]) -> int:
+    data, work = pair
+    total = data.input_map.nbytes + data.filters.nbytes
+    for arr in (
+        work.counts,
+        work.input_pop,
+        work.match_sums,
+        work.filter_chunk_nnz,
+        work.assignment.indices,
+    ):
+        if arr is not None:
+            total += arr.nbytes
+    return total
+
+
+def _cache_dir() -> pathlib.Path | None:
+    path = os.environ.get("REPRO_CACHE_DIR")
+    return pathlib.Path(path) if path else None
+
+
+def _disk_path(key: tuple) -> pathlib.Path | None:
+    base = _cache_dir()
+    if base is None:
+        return None
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+    return base / f"workload-{digest}.npz"
+
+
+def _disk_store(key: tuple, pair: tuple[LayerData, ChunkWork]) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    data, work = pair
+    payload = {
+        "key": np.array(repr(key)),
+        "input_map": data.input_map,
+        "filters": data.filters,
+        "input_pop": work.input_pop,
+        "match_sums": work.match_sums,
+        "filter_chunk_nnz": work.filter_chunk_nnz,
+        "n_chunks": np.int64(work.n_chunks),
+        "indices": work.assignment.indices,
+        "cluster_of": work.assignment.cluster_of,
+        "weight_of": work.assignment.weight_of,
+        "cluster_positions": work.assignment.cluster_positions,
+    }
+    if work.counts is not None:
+        payload["counts"] = work.counts
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with timing.stage("cache_disk"), os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    except OSError:
+        return  # disk cache is best-effort
+
+
+def _disk_load(
+    key: tuple, spec: ConvLayerSpec, need_counts: bool
+) -> tuple[LayerData, ChunkWork] | None:
+    path = _disk_path(key)
+    if path is None or not path.exists():
+        return None
+    try:
+        with timing.stage("cache_disk"), np.load(path, allow_pickle=False) as z:
+            if str(z["key"][()]) != repr(key):
+                return None  # digest collision: recompute rather than trust
+            if need_counts and "counts" not in z.files:
+                return None
+            data = LayerData(
+                spec=spec, input_map=z["input_map"], filters=z["filters"]
+            )
+            assignment = PositionAssignment(
+                indices=z["indices"],
+                cluster_of=z["cluster_of"],
+                weight_of=z["weight_of"],
+                cluster_positions=z["cluster_positions"],
+            )
+            work = ChunkWork(
+                counts=z["counts"] if "counts" in z.files else None,
+                input_pop=z["input_pop"],
+                match_sums=z["match_sums"],
+                assignment=assignment,
+                n_chunks=int(z["n_chunks"]),
+                filter_chunk_nnz=z["filter_chunk_nnz"],
+            )
+    except (OSError, ValueError, KeyError):
+        return None
+    _WORKLOADS.stats.disk_hits += 1
+    return (data, work)

@@ -15,20 +15,21 @@ workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 
 import numpy as np
 
 from repro.balance.greedy import gb_h_plan
 from repro.balance.metrics import Figure14Data, figure14_distribution
-from repro.core.compare import ALL_SCHEMES, compare_architectures
+from repro.core import parallel, timing, workload
+from repro.core.compare import ALL_SCHEMES, compare_architectures, run_scheme_cached
+from repro.core.workload import get_layer_data, get_workload
 from repro.nets.models import NetworkSpec, alexnet, all_networks, googlenet, vggnet
-from repro.nets.synthesis import synthesize_layer
 from repro.sim.area import ClusterAreaPower, cluster_area_power
 from repro.sim.config import FPGA_CONFIG, HardwareConfig, config_for
 from repro.sim.dense import simulate_dense
 from repro.sim.energy import EnergyBreakdown, layer_energy
 from repro.sim.fpga import FPGA_SCHEMES, simulate_fpga
-from repro.sim.kernels import compute_chunk_work
 from repro.sim.results import geomean
 from repro.sim.sparten import simulate_sparten
 
@@ -165,37 +166,10 @@ def energy_figure(
     identical there, as the paper notes).
     """
     networks = networks if networks is not None else all_networks()
-    schemes = ("dense_naive", "dense", "one_sided", "sparten_no_gb", "sparten_gb_s", "sparten")
+    worker = partial(_energy_network_totals, fast=fast, seed=seed)
+    per_network = parallel.parallel_map(worker, networks)
     out: dict[str, dict[str, dict[str, float]]] = {}
-    for network in networks:
-        cfg = _fast_cfg(config_for(network), fast)
-        totals: dict[str, EnergyBreakdown] = {}
-        for spec in network.layers:
-            data = synthesize_layer(spec, seed=seed)
-            work = compute_chunk_work(data, cfg, need_counts=True)
-            per_layer = {
-                "dense": simulate_dense(spec, cfg, data=data, work=work),
-                "dense_naive": simulate_dense(
-                    spec, cfg, data=data, work=work, naive_buffers=True
-                ),
-                "one_sided": simulate_sparten(
-                    spec, cfg, sided="one", data=data, work=work
-                ),
-                "sparten_no_gb": simulate_sparten(
-                    spec, cfg, variant="no_gb", data=data, work=work
-                ),
-                "sparten_gb_s": simulate_sparten(
-                    spec, cfg, variant="gb_s", data=data, work=work
-                ),
-                "sparten": simulate_sparten(
-                    spec, cfg, variant="gb_h", data=data, work=work
-                ),
-            }
-            for scheme, result in per_layer.items():
-                e = layer_energy(result, spec, chunk_size=cfg.chunk_size)
-                totals[scheme] = totals.get(
-                    scheme, EnergyBreakdown(0.0, 0.0, 0.0, 0.0)
-                ) + e
+    for network, totals in zip(networks, per_network):
         base_compute = totals["dense_naive"].compute_total
         base_memory = totals["dense"].memory_total
         out[network.name] = {
@@ -208,6 +182,28 @@ def energy_figure(
             for scheme, e in totals.items()
         }
     return out
+
+
+def _energy_network_totals(
+    network: NetworkSpec, *, fast: bool, seed: int
+) -> dict[str, EnergyBreakdown]:
+    """Per-scheme energy totals for one network (picklable worker)."""
+    cfg = _fast_cfg(config_for(network), fast)
+    schemes = (
+        "dense",
+        "dense_naive",
+        "one_sided",
+        "sparten_no_gb",
+        "sparten_gb_s",
+        "sparten",
+    )
+    totals: dict[str, EnergyBreakdown] = {}
+    for spec in network.layers:
+        for scheme in schemes:
+            result = run_scheme_cached(scheme, spec, cfg, seed, need_counts=True)
+            e = layer_energy(result, spec, chunk_size=cfg.chunk_size)
+            totals[scheme] = totals.get(scheme, EnergyBreakdown(0.0, 0.0, 0.0, 0.0)) + e
+    return totals
 
 
 # ---------------------------------------------------------------------------
@@ -229,7 +225,7 @@ def gb_impact_figure(
     network = network if network is not None else alexnet()
     spec = network.layer(layer_name)
     cfg = config_for(network)
-    data = synthesize_layer(spec, seed=seed)
+    data = get_layer_data(spec, seed=seed)
     plan = gb_h_plan(data.filter_masks, cfg.units_per_cluster, chunk_size=cfg.chunk_size)
     return figure14_distribution(
         data.filter_masks, plan, chunk_index=chunk_index, chunk_size=cfg.chunk_size
@@ -253,13 +249,9 @@ def fpga_figure(
     cfg = _fast_cfg(FPGA_CONFIG, fast)
     layers: dict[str, dict[str, float]] = {s: {} for s in FPGA_SCHEMES}
     bound: dict[str, list[str]] = {s: [] for s in FPGA_SCHEMES}
-    for spec in network.layers:
-        data = synthesize_layer(spec, seed=seed)
-        work = compute_chunk_work(data, cfg, need_counts=True)
-        results = {
-            s: simulate_fpga(spec, s, cfg=cfg, data=data, work=work)
-            for s in FPGA_SCHEMES
-        }
+    worker = partial(_fpga_layer_results, cfg=cfg, seed=seed)
+    per_layer = parallel.parallel_map(worker, network.layers)
+    for spec, results in zip(network.layers, per_layer):
         dense_cycles = results["dense"].cycles
         for s, r in results.items():
             layers[s][spec.name] = dense_cycles / r.cycles
@@ -270,6 +262,21 @@ def fpga_figure(
         for s in FPGA_SCHEMES
     }
     return {"layers": layers, "geomean": geomeans, "memory_bound": bound}
+
+
+def _fpga_layer_results(spec, *, cfg: HardwareConfig, seed: int) -> dict:
+    """All FPGA schemes on one layer, memoised (picklable worker)."""
+    out = {}
+    for s in FPGA_SCHEMES:
+        key = workload.result_key(f"fpga:{s}", spec, cfg, seed)
+        result = workload.lookup_result(key)
+        if result is None:
+            data, work = get_workload(spec, cfg, seed, need_counts=True)
+            with timing.stage("simulate"):
+                result = simulate_fpga(spec, s, cfg=cfg, data=data, work=work)
+            workload.store_result(key, result)
+        out[s] = result
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -328,18 +335,21 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
 
     Geometric means over all three networks' layers with the paper's
     exclusions; returns the three simulation ratios plus the FPGA pair.
+    Networks fan out across processes under ``REPRO_JOBS``; the ``extras``
+    key carries instrumentation only and is excluded from determinism
+    comparisons.
     """
+    import time as _time
+
+    t0 = _time.perf_counter()
+    networks = all_networks()
+    worker = partial(_headline_network_figs, fast=fast, seed=seed)
+    per_network = parallel.parallel_map(worker, networks)
     vs_dense: list[float] = []
     vs_one: list[float] = []
     vs_scnn: list[float] = []
-    for network in all_networks():
-        fig = speedup_figure(
-            network,
-            schemes=("one_sided", "sparten", "scnn"),
-            fast=fast,
-            seed=seed,
-        )
-        layers = fig["layers"]
+    for network, figs in zip(networks, per_network):
+        layers = figs["speedup"]
         for name in layers["sparten"]:
             if name in network.mean_exclude:
                 continue
@@ -349,13 +359,12 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
                 vs_scnn.append(layers["sparten"][name] / layers["scnn"][name])
     fpga_vs_dense: list[float] = []
     fpga_vs_one: list[float] = []
-    for network in all_networks():
-        fig = fpga_figure(network, fast=fast, seed=seed)
-        for name, v in fig["layers"]["sparten"].items():
+    for network, figs in zip(networks, per_network):
+        for name, v in figs["fpga"]["sparten"].items():
             if name in network.mean_exclude:
                 continue
             fpga_vs_dense.append(v)
-            fpga_vs_one.append(v / fig["layers"]["one_sided"][name])
+            fpga_vs_one.append(v / figs["fpga"]["one_sided"][name])
     return {
         "sim_vs_dense": geomean(vs_dense),
         "sim_vs_one_sided": geomean(vs_one),
@@ -369,7 +378,21 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
             "fpga_vs_dense": 4.3,
             "fpga_vs_one_sided": 1.9,
         },
+        "extras": {
+            "wall_seconds": _time.perf_counter() - t0,
+            "stages": timing.snapshot(),
+            "cache": workload.cache_stats(),
+        },
     }
+
+
+def _headline_network_figs(network: NetworkSpec, *, fast: bool, seed: int) -> dict:
+    """One network's speedup + FPGA layer tables (picklable worker)."""
+    fig = speedup_figure(
+        network, schemes=("one_sided", "sparten", "scnn"), fast=fast, seed=seed
+    )
+    fpga = fpga_figure(network, fast=fast, seed=seed)
+    return {"speedup": fig["layers"], "fpga": fpga["layers"]}
 
 
 # ---------------------------------------------------------------------------
@@ -414,11 +437,12 @@ def permute_bandwidth_sweep(
     network = network if network is not None else alexnet()
     spec = network.layer(layer_name)
     cfg = _fast_cfg(config_for(network), fast)
-    data = synthesize_layer(spec, seed=seed)
     cycles: dict[int, float] = {}
     for width in widths:
+        # The workload key ignores bisection_width, so the sweep shares
+        # one cached (data, work) pair across every width.
         wcfg = replace(cfg, bisection_width=width)
-        work = compute_chunk_work(data, wcfg, need_counts=True)
+        data, work = get_workload(spec, wcfg, seed=seed, need_counts=True)
         cycles[width] = simulate_sparten(
             spec, wcfg, variant="gb_h", data=data, work=work
         ).cycles
@@ -444,8 +468,7 @@ def collocation_ablation(fast: bool = True, seed: int = 0) -> dict:
     out: dict[str, dict[str, float]] = {}
     for name in layers:
         spec = network.layer(name)
-        data = synthesize_layer(spec, seed=seed)
-        work = compute_chunk_work(data, cfg, need_counts=True)
+        data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
         dense = simulate_dense(spec, cfg, data=data, work=work)
         no_gb = simulate_sparten(spec, cfg, variant="no_gb", data=data, work=work)
         gb_off = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
@@ -494,8 +517,7 @@ def generality_figure(fast: bool = True, seed: int = 0) -> dict:
 
     rows: dict[str, dict[str, float | None]] = {}
     for family, spec in workloads:
-        data = synthesize_layer(spec, seed=seed)
-        work = compute_chunk_work(data, cfg, need_counts=True)
+        data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
         dense = simulate_dense(spec, cfg, data=data, work=work)
         one = simulate_sparten(spec, cfg, sided="one", data=data, work=work)
         sparten = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
@@ -531,10 +553,9 @@ def chunk_size_sweep(
     spec = network.layer(layer_name)
     base = config_for(network)
     out: dict[int, dict[str, float]] = {}
-    data = synthesize_layer(spec, seed=seed)
     for chunk in chunk_sizes:
         cfg = _fast_cfg(replace(base, chunk_size=chunk), fast)
-        work = compute_chunk_work(data, cfg, need_counts=True)
+        data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
         result = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
         traffic = layer_traffic(spec, "two_sided", chunk_size=chunk)
         out[chunk] = {
@@ -562,8 +583,7 @@ def dynamic_dispatch_ablation(
     network = network if network is not None else alexnet()
     spec = network.layer(layer_name)
     cfg = _fast_cfg(config_for(network), fast)
-    data = synthesize_layer(spec, seed=seed)
-    work = compute_chunk_work(data, cfg, need_counts=True)
+    data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
     dense = simulate_dense(spec, cfg, data=data, work=work)
     gb = simulate_sparten(spec, cfg, variant="gb_h", data=data, work=work)
     dyn = simulate_dynamic_dispatch(spec, cfg, data=data, work=work)
@@ -699,8 +719,7 @@ def double_buffer_figure(
     network = network if network is not None else alexnet()
     spec = network.layer(layer_name)
     cfg = _fast_cfg(config_for(network), fast)
-    data = synthesize_layer(spec, seed=seed)
-    work = compute_chunk_work(data, cfg, need_counts=True)
+    data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
     out: dict[tuple[int, int], dict[str, float]] = {}
     for latency in latencies:
         for depth in depths:
@@ -855,8 +874,7 @@ def proxy_oracle_figure(
     network = network if network is not None else alexnet()
     spec = network.layer(layer_name)
     cfg = _fast_cfg(config_for(network), fast)
-    data = synthesize_layer(spec, seed=seed)
-    work = compute_chunk_work(data, cfg, need_counts=True)
+    data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
     result = proxy_vs_oracle(
         work, cfg.units_per_cluster, data.filter_masks, cfg.chunk_size
     )
@@ -892,8 +910,7 @@ def density_sensitivity_figure(
             kernel=3, n_filters=64, padding=1,
             input_density=density, filter_density=density,
         )
-        data = synthesize_layer(spec, seed=seed)
-        work = compute_chunk_work(data, cfg, need_counts=True)
+        data, work = get_workload(spec, cfg, seed=seed, need_counts=True)
         dense = simulate_dense(spec, cfg, data=data, work=work)
         out[density] = {
             "one_sided": dense.cycles

@@ -9,9 +9,24 @@ these arrays instead of walking the step-wise functional model; tests
 assert both paths agree.
 
 The key identity: the match count between a binary window row and a
-binary filter row is their integer dot product, so a chunked
-im2col-matmul over the masks yields every (chunk, position, filter)
-match count at BLAS speed.
+binary filter row is their integer dot product -- equivalently the
+popcount of the AND of the two bit-packed masks. The kernel gathers the
+im2col window-mask matrix *once* per layer (one boolean tensor indexed by
+kernel position), bit-packs both operands with :func:`np.packbits`, and
+then:
+
+- ``input_pop`` / ``filter_chunk_nnz`` come from a byte-popcount lookup
+  table over the packed masks (no float work at all);
+- match counts come from the compiled AND+popcount kernel in
+  :mod:`repro.sim.native` when it is available, else from a blocked
+  float32 batched GEMM over the boolean masks;
+- the ``need_counts=False`` branch reduces against the per-chunk filter
+  column sums with one batched matvec, never materialising the
+  ``(n_chunks, n_sel, F)`` tensor.
+
+Every intermediate on every path is an exact small integer (far below
+2**24, float32's exact-integer range), so all paths are bit-identical to
+the original per-chunk loop; the tests pin that equivalence.
 
 Positions can be *sampled* (evenly spaced within each cluster's slice,
 with exact rescaling weights) to bound the cost of very large layers;
@@ -25,11 +40,42 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nets.synthesis import LayerData
+from repro.sim import native
 from repro.sim.config import HardwareConfig
 from repro.tensor.sparsemap import padded_length
 from repro.tensor.storage import even_slices
 
-__all__ = ["PositionAssignment", "ChunkWork", "assign_positions", "compute_chunk_work"]
+__all__ = [
+    "PositionAssignment",
+    "ChunkWork",
+    "assign_positions",
+    "compute_chunk_work",
+    "count_dtype",
+]
+
+#: Popcount of each byte value, for bit-packed mask reductions.
+_POPCOUNT = (
+    np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+    .sum(axis=1)
+    .astype(np.int64)
+)
+
+#: float32 window elements per GEMM block in the fallback path (bounds
+#: the temporary to a few MB regardless of layer size).
+_GEMM_BLOCK_ELEMS = 4 << 20
+
+
+def count_dtype(chunk_size: int) -> np.dtype:
+    """Smallest unsigned dtype holding a full-chunk match count.
+
+    A fully dense chunk matches ``chunk_size`` times, so uint8 only works
+    up to 255 -- at ``chunk_size=256`` it would wrap 256 to 0.
+    """
+    if chunk_size <= np.iinfo(np.uint8).max:
+        return np.dtype(np.uint8)
+    if chunk_size <= np.iinfo(np.uint16).max:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
 
 
 @dataclass(frozen=True)
@@ -61,10 +107,18 @@ def assign_positions(
 
     Positions are row-major over the output map, sliced contiguously (the
     paper's X/Y output slicing); sampling takes evenly spaced positions
-    within each slice so spatial structure is preserved.
+    within each slice so spatial structure is preserved. Because the
+    picks are rounded then deduplicated with ``np.unique``, a cluster can
+    end up with *fewer* than ``position_sample`` picks; the weights are
+    computed from the actual pick count (``n / picks.size``), so each
+    cluster's weights always sum exactly to its true position count.
     """
     if n_positions < 1:
         raise ValueError(f"need at least one output position, got {n_positions}")
+    if position_sample is not None and position_sample < 1:
+        raise ValueError(
+            f"position_sample must be >= 1 or None, got {position_sample}"
+        )
     slices = even_slices(n_positions, n_clusters)
     counts = np.array([hi - lo for lo, hi in slices], dtype=np.int64)
     index_blocks = []
@@ -96,8 +150,10 @@ class ChunkWork:
     """Per-chunk work counts at the simulated output positions.
 
     Attributes:
-        counts: (n_chunks, n_sel, F) uint8 match counts, or ``None`` when
-            the caller only needs one-sided/dense quantities.
+        counts: (n_chunks, n_sel, F) match counts, or ``None`` when the
+            caller only needs one-sided/dense quantities. The dtype is
+            the smallest unsigned integer that can hold ``chunk_size``
+            (uint8 up to 255, see :func:`count_dtype`).
         input_pop: (n_chunks, n_sel) non-zero input-window counts per
             chunk (one-sided work; identical for every compute unit).
         match_sums: (n_sel,) total matches across all chunks and filters
@@ -132,7 +188,8 @@ def compute_chunk_work(
     chunk = cfg.chunk_size
     padded_c = padded_length(spec.in_channels, chunk)
     cpc = padded_c // chunk
-    n_chunks = spec.kernel * spec.kernel * cpc
+    kk = spec.kernel * spec.kernel
+    n_chunks = kk * cpc
 
     assignment = assign_positions(
         spec.out_positions, cfg.n_clusters, cfg.position_sample
@@ -152,37 +209,47 @@ def compute_chunk_work(
     else:
         padded = in_mask
 
-    filt = data.filter_masks  # (F, k, k, C)
     n_filters = spec.n_filters
     n_sel = sel.size
-
-    counts = (
-        np.zeros((n_chunks, n_sel, n_filters), dtype=np.uint8) if need_counts else None
-    )
-    input_pop = np.zeros((n_chunks, n_sel), dtype=np.int32)
-    match_sums = np.zeros(n_sel, dtype=np.float64)
-    filter_chunk_nnz = np.zeros((n_filters, n_chunks), dtype=np.int64)
-
     rows = oy * spec.stride
     cols = ox * spec.stride
-    for ky in range(spec.kernel):
-        for kx in range(spec.kernel):
-            window = padded[rows + ky, cols + kx, :]  # (n_sel, C)
-            for cz in range(cpc):
-                lo = cz * chunk
-                hi = min(lo + chunk, spec.in_channels)
-                c_idx = (ky * spec.kernel + kx) * cpc + cz
-                if lo >= spec.in_channels:
-                    continue  # pure padding chunk: zero work
-                a = window[:, lo:hi].astype(np.float32)
-                b = filt[:, ky, kx, lo:hi].astype(np.float32)
-                filter_chunk_nnz[:, c_idx] = b.sum(axis=1).astype(np.int64)
-                input_pop[c_idx] = a.sum(axis=1).astype(np.int32)
-                if need_counts:
-                    counts[c_idx] = np.rint(a @ b.T).astype(np.uint8)
-                    match_sums += counts[c_idx].sum(axis=1, dtype=np.int64)
-                else:
-                    match_sums += a @ b.sum(axis=0)
+
+    # One im2col gather: every selected window's mask, chunk-padded so
+    # partial channel chunks carry zeros exactly like the storage layout.
+    windows = np.zeros((n_sel, n_chunks, chunk), dtype=bool)
+    wview = windows.reshape(n_sel, kk, padded_c)
+    for idx in range(kk):
+        ky, kx = divmod(idx, spec.kernel)
+        wview[:, idx, : spec.in_channels] = padded[rows + ky, cols + kx, :]
+    fmask = np.zeros((n_filters, n_chunks, chunk), dtype=bool)
+    fmask.reshape(n_filters, kk, padded_c)[
+        :, :, : spec.in_channels
+    ] = data.filter_masks.reshape(n_filters, kk, spec.in_channels)
+
+    # One-sided quantities from byte popcounts over the packed masks.
+    win_packed = np.packbits(windows, axis=-1)  # (n_sel, n_chunks, ceil(chunk/8))
+    filt_packed = np.packbits(fmask, axis=-1)  # (F, n_chunks, ceil(chunk/8))
+    input_pop = np.ascontiguousarray(
+        _POPCOUNT[win_packed].sum(axis=-1, dtype=np.int32).T
+    )
+    filter_chunk_nnz = _POPCOUNT[filt_packed].sum(axis=-1, dtype=np.int64)
+
+    if need_counts:
+        dtype = count_dtype(chunk)
+        words = (chunk + 63) // 64
+        # (n_chunks, n_sel, words) window words; (n_chunks, words, F)
+        # word-major filter words -- the native kernel's layout contract.
+        w64 = np.ascontiguousarray(_as_words(win_packed, words).transpose(1, 0, 2))
+        f64 = np.ascontiguousarray(_as_words(filt_packed, words).transpose(1, 2, 0))
+        got = native.match_counts(w64, f64, n_filters, dtype)
+        if got is not None:
+            counts, pos_sums = got
+            match_sums = pos_sums.astype(np.float64)
+        else:
+            counts, match_sums = _match_counts_gemm(windows, fmask, dtype)
+    else:
+        counts = None
+        match_sums = _match_totals_gemm(windows, fmask)
 
     return ChunkWork(
         counts=counts,
@@ -192,3 +259,53 @@ def compute_chunk_work(
         n_chunks=n_chunks,
         filter_chunk_nnz=filter_chunk_nnz,
     )
+
+
+def _as_words(packed: np.ndarray, words: int) -> np.ndarray:
+    """View packed mask bytes as uint64 words, zero-padding the tail."""
+    nbytes = packed.shape[-1]
+    if nbytes != words * 8:
+        widened = np.zeros(packed.shape[:-1] + (words * 8,), dtype=np.uint8)
+        widened[..., :nbytes] = packed
+        packed = widened
+    return packed.view(np.uint64)
+
+
+def _match_counts_gemm(
+    windows: np.ndarray, fmask: np.ndarray, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fallback match counts: blocked batched float32 GEMM over the masks.
+
+    Exact because every product/sum is an integer below 2**24.
+    """
+    n_sel, n_chunks, chunk = windows.shape
+    n_filters = fmask.shape[0]
+    b = fmask.transpose(1, 2, 0).astype(np.float32)  # (n_chunks, chunk, F)
+    counts = np.empty((n_chunks, n_sel, n_filters), dtype=dtype)
+    match_sums = np.zeros(n_sel, dtype=np.float64)
+    block = max(1, _GEMM_BLOCK_ELEMS // max(1, n_chunks * chunk))
+    for lo in range(0, n_sel, block):
+        hi = min(lo + block, n_sel)
+        a = windows[lo:hi].transpose(1, 0, 2).astype(np.float32)
+        blk = np.matmul(a, b).astype(dtype)
+        counts[:, lo:hi] = blk
+        match_sums[lo:hi] = blk.sum(axis=(0, 2), dtype=np.int64)
+    return counts, match_sums
+
+
+def _match_totals_gemm(windows: np.ndarray, fmask: np.ndarray) -> np.ndarray:
+    """Per-position match totals without the counts tensor (one matvec).
+
+    Summing filters first is exact: per-chunk column sums are <= F, the
+    dot against a binary row is <= chunk * F, both well inside float32's
+    exact-integer range.
+    """
+    n_sel, n_chunks, chunk = windows.shape
+    colsums = fmask.sum(axis=0, dtype=np.float32)[:, :, None]  # (n_chunks, chunk, 1)
+    match_sums = np.zeros(n_sel, dtype=np.float64)
+    block = max(1, _GEMM_BLOCK_ELEMS // max(1, n_chunks * chunk))
+    for lo in range(0, n_sel, block):
+        hi = min(lo + block, n_sel)
+        a = windows[lo:hi].transpose(1, 0, 2).astype(np.float32)
+        match_sums[lo:hi] = np.matmul(a, colsums)[..., 0].sum(axis=0, dtype=np.float64)
+    return match_sums

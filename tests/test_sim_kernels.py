@@ -5,8 +5,78 @@ import pytest
 
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import synthesize_layer
-from repro.sim.kernels import assign_positions, compute_chunk_work
-from repro.tensor.sparsemap import linearize_zfirst
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import (
+    ChunkWork,
+    assign_positions,
+    compute_chunk_work,
+    count_dtype,
+)
+from repro.tensor.sparsemap import linearize_zfirst, padded_length
+
+
+def _reference_chunk_work(data, cfg, need_counts=True):
+    """The original per-chunk GEMM loop, frozen as the equivalence oracle."""
+    spec = data.spec
+    chunk = cfg.chunk_size
+    padded_c = padded_length(spec.in_channels, chunk)
+    cpc = padded_c // chunk
+    n_chunks = spec.kernel * spec.kernel * cpc
+    assignment = assign_positions(
+        spec.out_positions, cfg.n_clusters, cfg.position_sample
+    )
+    sel = assignment.indices
+    oy = sel // spec.out_width
+    ox = sel % spec.out_width
+    in_mask = data.input_mask
+    if spec.padding:
+        p = spec.padding
+        padded = np.zeros(
+            (spec.in_height + 2 * p, spec.in_width + 2 * p, spec.in_channels),
+            dtype=bool,
+        )
+        padded[p : p + spec.in_height, p : p + spec.in_width] = in_mask
+    else:
+        padded = in_mask
+    filt = data.filter_masks
+    n_filters = spec.n_filters
+    n_sel = sel.size
+    counts = (
+        np.zeros((n_chunks, n_sel, n_filters), dtype=count_dtype(chunk))
+        if need_counts
+        else None
+    )
+    input_pop = np.zeros((n_chunks, n_sel), dtype=np.int32)
+    match_sums = np.zeros(n_sel, dtype=np.float64)
+    filter_chunk_nnz = np.zeros((n_filters, n_chunks), dtype=np.int64)
+    rows = oy * spec.stride
+    cols = ox * spec.stride
+    for ky in range(spec.kernel):
+        for kx in range(spec.kernel):
+            window = padded[rows + ky, cols + kx, :]
+            for cz in range(cpc):
+                lo = cz * chunk
+                hi = min(lo + chunk, spec.in_channels)
+                c_idx = (ky * spec.kernel + kx) * cpc + cz
+                if lo >= spec.in_channels:
+                    continue
+                a = window[:, lo:hi].astype(np.float32)
+                b = filt[:, ky, kx, lo:hi].astype(np.float32)
+                filter_chunk_nnz[:, c_idx] = b.sum(axis=1).astype(np.int64)
+                input_pop[c_idx] = a.sum(axis=1).astype(np.int32)
+                if need_counts:
+                    counts[c_idx] = np.rint(a @ b.T).astype(counts.dtype)
+                    match_sums += counts[c_idx].sum(axis=1, dtype=np.int64)
+                else:
+                    match_sums += a @ b.sum(axis=0)
+    return ChunkWork(
+        counts=counts,
+        input_pop=input_pop,
+        match_sums=match_sums,
+        assignment=assignment,
+        n_chunks=n_chunks,
+        filter_chunk_nnz=filter_chunk_nnz,
+    )
 
 
 class TestAssignPositions:
@@ -42,6 +112,22 @@ class TestAssignPositions:
     def test_invalid(self):
         with pytest.raises(ValueError):
             assign_positions(0, 4, None)
+
+    @pytest.mark.parametrize("sample", [0, -1, -50])
+    def test_invalid_position_sample(self, sample):
+        with pytest.raises(ValueError, match="position_sample"):
+            assign_positions(100, 4, position_sample=sample)
+
+    def test_weights_rescale_even_with_fewer_picks(self):
+        # np.unique may return fewer than position_sample picks; weights
+        # always rescale each cluster to its true position count.
+        for n, clusters, sample in [(997, 3, 100), (64, 5, 7), (1000, 4, 999)]:
+            a = assign_positions(n, clusters, position_sample=sample)
+            for cluster in range(clusters):
+                sel = a.cluster_of == cluster
+                assert a.weight_of[sel].sum() == pytest.approx(
+                    float(a.cluster_positions[cluster])
+                )
 
 
 class TestComputeChunkWork:
@@ -122,3 +208,92 @@ class TestComputeChunkWork:
         assert work.n_chunks == 3
         want_counts, _ = self.brute_force_counts(data, mini_cfg)
         assert np.array_equal(work.counts, want_counts)
+
+
+class TestKernelEquivalence:
+    """The rewritten kernel is bit-identical to the original chunk loop."""
+
+    def _random_cases(self):
+        rng = np.random.default_rng(1234)
+        cases = []
+        for i in range(10):
+            kernel = int(rng.choice([1, 2, 3, 5]))
+            stride = int(rng.choice([1, 2]))
+            padding = int(rng.choice([0, 1]))
+            side = kernel + int(rng.integers(2, 9))
+            spec = ConvLayerSpec(
+                name=f"rand{i}",
+                in_height=side,
+                in_width=side + int(rng.integers(0, 3)),
+                # Frequently not a multiple of the chunk size (16).
+                in_channels=int(rng.integers(3, 45)),
+                kernel=kernel,
+                n_filters=int(rng.integers(2, 20)),
+                stride=stride,
+                padding=padding,
+                input_density=float(rng.uniform(0.1, 1.0)),
+                filter_density=float(rng.uniform(0.1, 1.0)),
+            )
+            cfg = HardwareConfig(
+                name="equiv",
+                n_clusters=int(rng.choice([1, 3, 4])),
+                units_per_cluster=4,
+                chunk_size=16,
+                position_sample=(None if rng.random() < 0.5 else int(rng.integers(2, 9))),
+            )
+            cases.append((spec, cfg, int(rng.integers(0, 1000))))
+        return cases
+
+    def _assert_identical(self, got, want):
+        assert got.n_chunks == want.n_chunks
+        assert np.array_equal(got.assignment.indices, want.assignment.indices)
+        assert np.array_equal(got.input_pop, want.input_pop)
+        assert got.input_pop.dtype == want.input_pop.dtype
+        assert np.array_equal(got.match_sums, want.match_sums)
+        assert np.array_equal(got.filter_chunk_nnz, want.filter_chunk_nnz)
+        if want.counts is None:
+            assert got.counts is None
+        else:
+            assert got.counts.dtype == want.counts.dtype
+            assert np.array_equal(got.counts, want.counts)
+
+    def test_randomized_equivalence(self):
+        for spec, cfg, seed in self._random_cases():
+            data = synthesize_layer(spec, seed=seed)
+            for need_counts in (True, False):
+                got = compute_chunk_work(data, cfg, need_counts=need_counts)
+                want = _reference_chunk_work(data, cfg, need_counts=need_counts)
+                self._assert_identical(got, want)
+
+    def test_native_and_fallback_agree(self, tiny_data, mini_cfg, monkeypatch):
+        native_work = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        fallback = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        self._assert_identical(fallback, native_work)
+
+
+class TestCountDtype:
+    def test_dtype_scales_with_chunk_size(self):
+        assert count_dtype(128) == np.uint8
+        assert count_dtype(255) == np.uint8
+        assert count_dtype(256) == np.uint16
+        assert count_dtype(65536) == np.uint32
+
+    def test_dense_chunk_256_does_not_wrap(self):
+        # A fully dense 256-wide chunk matches 256 times; uint8 counts
+        # (the seed kernel's dtype) wrap that to 0.
+        spec = ConvLayerSpec(
+            name="dense256", in_height=2, in_width=2, in_channels=256,
+            kernel=1, n_filters=4, input_density=1.0, filter_density=1.0,
+        )
+        cfg = HardwareConfig(
+            name="c256", n_clusters=1, units_per_cluster=4, chunk_size=256
+        )
+        data = synthesize_layer(spec, seed=0)
+        work = compute_chunk_work(data, cfg, need_counts=True)
+        assert work.counts.dtype == np.uint16
+        assert work.counts.max() == 256
+        assert np.all(work.counts == 256)
+        assert np.array_equal(
+            work.match_sums, work.counts.sum(axis=(0, 2), dtype=np.int64)
+        )

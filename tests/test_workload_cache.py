@@ -1,0 +1,173 @@
+"""Tests for the cross-experiment workload cache (core/workload.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core import workload
+from repro.core.workload import (
+    cache_stats,
+    clear_caches,
+    get_layer_data,
+    get_workload,
+    lookup_result,
+    result_key,
+    store_result,
+    workload_key,
+)
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import HardwareConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _spec(**overrides):
+    base = dict(
+        name="cachespec", in_height=6, in_width=6, in_channels=20,
+        kernel=3, n_filters=4, input_density=0.5, filter_density=0.5,
+    )
+    base.update(overrides)
+    return ConvLayerSpec(**base)
+
+
+def _cfg(**overrides):
+    base = dict(name="cachecfg", n_clusters=2, units_per_cluster=4, chunk_size=16)
+    base.update(overrides)
+    return HardwareConfig(**base)
+
+
+class TestKeys:
+    def test_distinct_parameters_never_collide(self):
+        spec = _spec()
+        cfg = _cfg()
+        keys = {
+            workload_key(spec, cfg, seed=0),
+            workload_key(spec, cfg, seed=1),
+            workload_key(spec, _cfg(chunk_size=32), seed=0),
+            workload_key(spec, _cfg(position_sample=4), seed=0),
+            workload_key(spec, _cfg(n_clusters=3), seed=0),
+            workload_key(_spec(in_channels=24), cfg, seed=0),
+            workload_key(_spec(input_density=0.4), cfg, seed=0),
+        }
+        assert len(keys) == 7
+
+    def test_key_ignores_unrelated_config_knobs(self):
+        # Sweeps over e.g. bisection_width share one workload entry.
+        spec = _spec()
+        assert workload_key(spec, _cfg(bisection_width=2), seed=0) == workload_key(
+            spec, _cfg(bisection_width=16), seed=0
+        )
+
+    def test_result_key_uses_full_config(self):
+        spec = _spec()
+        assert result_key("sparten", spec, _cfg(bisection_width=2), 0) != result_key(
+            "sparten", spec, _cfg(bisection_width=16), 0
+        )
+        assert result_key("sparten", spec, _cfg(), 0) != result_key(
+            "dense", spec, _cfg(), 0
+        )
+
+
+class TestWorkloadCache:
+    def test_hit_returns_same_objects(self):
+        spec, cfg = _spec(), _cfg()
+        data1, work1 = get_workload(spec, cfg, seed=0)
+        data2, work2 = get_workload(spec, cfg, seed=0)
+        assert data1 is data2
+        assert work1 is work2
+        stats = cache_stats()["workloads"]
+        assert stats["hits"] >= 1
+
+    def test_distinct_keys_distinct_arrays(self):
+        spec, cfg = _spec(), _cfg()
+        _, work_a = get_workload(spec, cfg, seed=0)
+        _, work_b = get_workload(spec, cfg, seed=1)
+        _, work_c = get_workload(spec, _cfg(chunk_size=32), seed=0)
+        _, work_d = get_workload(spec, _cfg(position_sample=4), seed=0)
+        assert not np.array_equal(work_a.input_pop, work_b.input_pop)
+        assert work_c.n_chunks != work_a.n_chunks
+        assert work_d.assignment.indices.shape != work_a.assignment.indices.shape
+
+    def test_need_counts_upgrade_reuses_layer_data(self):
+        spec, cfg = _spec(), _cfg()
+        data1, work1 = get_workload(spec, cfg, seed=0, need_counts=False)
+        assert work1.counts is None
+        data2, work2 = get_workload(spec, cfg, seed=0, need_counts=True)
+        assert work2.counts is not None
+        assert data1 is data2
+        # Counts-free callers are satisfied by the upgraded entry.
+        _, work3 = get_workload(spec, cfg, seed=0, need_counts=False)
+        assert work3 is work2
+
+    def test_layer_data_memoised(self):
+        spec = _spec()
+        assert get_layer_data(spec, seed=0) is get_layer_data(spec, seed=0)
+        assert get_layer_data(spec, seed=0) is not get_layer_data(spec, seed=1)
+
+
+class TestResultMemo:
+    def test_roundtrip_and_isolation(self):
+        spec, cfg = _spec(), _cfg()
+        key = result_key("sparten", spec, cfg, 0)
+        assert lookup_result(key) is None
+        sentinel = {"cycles": 123}
+        store_result(key, sentinel)
+        assert lookup_result(key) is sentinel
+        assert lookup_result(result_key("dense", spec, cfg, 0)) is None
+
+
+class TestDiskStore:
+    def test_npz_roundtrip_across_process_state(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec, cfg = _spec(), _cfg()
+        data, work = get_workload(spec, cfg, seed=0)
+        files = list(tmp_path.glob("workload-*.npz"))
+        assert len(files) == 1
+        # Simulate a new process: drop the in-memory LRU, reload from disk.
+        clear_caches()
+        data2, work2 = get_workload(spec, cfg, seed=0)
+        assert cache_stats()["workloads"]["disk_hits"] == 1
+        assert np.array_equal(data2.input_map, data.input_map)
+        assert np.array_equal(data2.filters, data.filters)
+        assert np.array_equal(work2.counts, work.counts)
+        assert work2.counts.dtype == work.counts.dtype
+        assert np.array_equal(work2.input_pop, work.input_pop)
+        assert np.array_equal(work2.match_sums, work.match_sums)
+        assert np.array_equal(work2.filter_chunk_nnz, work.filter_chunk_nnz)
+        assert np.array_equal(work2.assignment.indices, work.assignment.indices)
+        assert work2.n_chunks == work.n_chunks
+
+    def test_corrupt_file_falls_back_to_compute(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec, cfg = _spec(), _cfg()
+        get_workload(spec, cfg, seed=0)
+        (path,) = tmp_path.glob("workload-*.npz")
+        path.write_bytes(b"not an npz")
+        clear_caches()
+        data, work = get_workload(spec, cfg, seed=0)  # must not raise
+        assert work.counts is not None
+        assert cache_stats()["workloads"]["disk_hits"] == 0
+
+
+class TestLRUBounds:
+    def test_entry_bound_evicts_oldest(self):
+        lru = workload._LRU(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert lru.get("a") is None
+        assert lru.get("b") == 2
+        assert lru.get("c") == 3
+        assert lru.stats.evictions == 1
+
+    def test_byte_bound_keeps_at_least_one(self):
+        lru = workload._LRU(max_entries=100, max_bytes=10)
+        lru.put("big", object(), nbytes=50)
+        assert lru.get("big") is not None  # a single oversized entry survives
+        lru.put("big2", object(), nbytes=50)
+        assert lru.get("big") is None
+        assert lru.get("big2") is not None
