@@ -1,0 +1,59 @@
+"""CI guard: the kernel benchmarks must exercise the native kernel.
+
+Reads the manifest the benchmark session wrote (``benchmarks/output/
+manifest.json`` by default) and fails when it reports zero
+``kernel.native_dispatch`` counts -- that means every match-count call
+silently fell back to the GEMM path, so the benchmark numbers no longer
+measure what CI thinks they measure. The check is skipped when
+``REPRO_NO_NATIVE`` is set (the fallback is then intentional).
+
+Usage::
+
+    python benchmarks/check_manifest.py [path/to/manifest.json]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import telemetry
+from repro.sim import native
+
+DEFAULT = os.path.join(os.path.dirname(__file__), "output", "manifest.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else DEFAULT
+    if os.environ.get("REPRO_NO_NATIVE"):
+        print(f"check_manifest: REPRO_NO_NATIVE set, skipping ({path})")
+        return 0
+    try:
+        manifest = telemetry.read_manifest(path)
+    except (OSError, ValueError) as exc:
+        print(f"check_manifest: cannot read manifest {path}: {exc}")
+        return 2
+    counters = manifest.get("counters", {})
+    native_calls = counters.get("kernel.native_dispatch", 0)
+    gemm_calls = counters.get("kernel.gemm_dispatch", 0)
+    if native_calls > 0:
+        print(
+            f"check_manifest: OK -- {int(native_calls)} native dispatches "
+            f"({int(gemm_calls)} GEMM) in {path}"
+        )
+        return 0
+    print(
+        f"check_manifest: FAIL -- manifest {path} reports zero native-kernel "
+        f"dispatches ({int(gemm_calls)} GEMM fallbacks); the benchmark run "
+        "never hit the compiled popcount kernel."
+    )
+    error = native.load_error()
+    if error:
+        print(f"check_manifest: native load error: {error}")
+    print("check_manifest: set REPRO_NO_NATIVE=1 if the fallback is intended.")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

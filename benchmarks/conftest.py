@@ -29,6 +29,28 @@ def output_dir() -> pathlib.Path:
     return OUTPUT_DIR
 
 
+@pytest.fixture(scope="session", autouse=True)
+def session_telemetry():
+    """Record the whole benchmark session: manifest + Chrome trace.
+
+    Telemetry is reset at session start so the manifest covers exactly
+    this run; on teardown ``benchmarks/output/manifest.json`` (stage
+    totals, cache/kernel counters, environment) and ``trace.json``
+    (Chrome trace_event, loadable in chrome://tracing / Perfetto) are
+    written for CI to archive and gate on.
+    """
+    from repro import telemetry
+
+    telemetry.reset()
+    yield
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    telemetry.write_manifest(
+        str(OUTPUT_DIR / "manifest.json"),
+        config={"harness": "benchmarks", "rounds": 1},
+    )
+    telemetry.write_chrome_trace(str(OUTPUT_DIR / "trace.json"))
+
+
 @pytest.fixture
 def record(output_dir):
     """Write one experiment's rendered output to benchmarks/output/."""

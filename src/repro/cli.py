@@ -4,12 +4,18 @@ Usage::
 
     python -m repro list
     python -m repro run fig7 [--exact] [--seed N]
-    python -m repro run headline
+    python -m repro run headline --manifest manifest.json --trace trace.json
     python -m repro run chunk-sweep --network vggnet --layer Layer7
+    python -m repro stats manifest.json
 
 Every experiment of DESIGN.md's index is addressable by a short id; the
 rendered rows print to stdout (the same text the benchmark harness writes
-to ``benchmarks/output/``).
+to ``benchmarks/output/``). Diagnostics go to stderr via the structured
+logger (``REPRO_LOG_LEVEL``). ``--manifest`` writes the run's
+self-describing record (git SHA, seed, config hash, env knobs, stage
+totals, counters) and ``--trace`` emits a Chrome ``trace_event`` JSON
+loadable in ``chrome://tracing`` / Perfetto; ``repro stats`` pretty-prints
+a manifest back.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable
 
+from repro import telemetry
 from repro.eval import experiments as exp
 from repro.eval import reporting as rep
 
@@ -229,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="REPORT.md",
                         help="output path (default REPORT.md)")
     report.add_argument("--seed", type=int, default=0, help="workload seed")
+    report.add_argument("--trace", metavar="PATH", default=None,
+                        help="also write a Chrome trace_event JSON to PATH")
 
     run = sub.add_parser("run", help="run one experiment and print its rows")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -241,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="layer for per-layer ablations")
     run.add_argument("--plot", action="store_true",
                      help="draw ASCII bars instead of tables (figures only)")
+    run.add_argument("--manifest", metavar="PATH", default=None,
+                     help="write the run manifest JSON to PATH")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace_event JSON to PATH")
+
+    stats = sub.add_parser("stats", help="pretty-print a run manifest")
+    stats.add_argument("manifest", help="path to a manifest.json")
     return parser
 
 
@@ -251,16 +267,37 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_fn, description) in sorted(EXPERIMENTS.items()):
             print(f"{name.ljust(width)}  {description}")
         return 0
+    if args.command == "stats":
+        print(telemetry.render_manifest(telemetry.read_manifest(args.manifest)))
+        return 0
     if args.command == "report":
         from repro.eval.report import generate_report
 
-        generate_report(path=args.output, seed=args.seed)
+        telemetry.reset()
+        generate_report(path=args.output, seed=args.seed, echo=print)
+        if args.trace:
+            telemetry.write_chrome_trace(args.trace)
         return 0
     args.fast = not args.exact
     runner, _ = EXPERIMENTS[args.experiment]
+    telemetry.reset()  # a clean measurement window for this run
     try:
         print(runner(args))
     except BrokenPipeError:
         # stdout closed early (e.g. piped to `head`): not an error.
         return 0
+    if args.manifest:
+        telemetry.write_manifest(
+            args.manifest,
+            seed=args.seed,
+            config={
+                "experiment": args.experiment,
+                "network": args.network,
+                "layer": args.layer,
+                "fast": args.fast,
+                "seed": args.seed,
+            },
+        )
+    if args.trace:
+        telemetry.write_chrome_trace(args.trace)
     return 0

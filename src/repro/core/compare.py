@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from functools import partial
 
+from repro import telemetry
 from repro.core import parallel, timing, workload
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.models import NetworkSpec
@@ -148,7 +149,8 @@ def compare_architectures(
         seed=seed,
         need_counts=needs_counts,
     )
-    per_layer = parallel.parallel_map(worker, layers, jobs=jobs)
+    with telemetry.span("compare", network=target.name, arch=cfg.name):
+        per_layer = parallel.parallel_map(worker, layers, jobs=jobs)
     for spec, layer_results in zip(layers, per_layer):
         for scheme in run_schemes:
             comparison.results[scheme][spec.name] = layer_results[scheme]
@@ -157,6 +159,7 @@ def compare_architectures(
         "stages": timing.snapshot(),
     }
     comparison.extras["cache"] = workload.cache_stats()
+    comparison.extras["counters"] = telemetry.get_recorder().counters()
     return comparison
 
 
@@ -192,7 +195,7 @@ def run_scheme_cached(
     result = workload.lookup_result(key)
     if result is None:
         data, work = workload.get_workload(spec, cfg, seed, need_counts=need_counts)
-        with timing.stage("simulate"):
+        with telemetry.span("simulate", scheme=scheme, layer=spec.name):
             result = _run_scheme(scheme, spec, cfg, data, work, seed)
         workload.store_result(key, result)
     return result

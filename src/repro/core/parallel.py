@@ -9,6 +9,15 @@ alone, so a parallel run produces byte-identical figure dictionaries to
 the serial path. Worker processes are flagged so nested fan-out (a
 parallelised figure calling a parallelised comparison) degrades to serial
 instead of forking a process tree.
+
+Telemetry crosses the process boundary: each worker invocation runs in a
+fresh telemetry window and ships its snapshot (span seconds, counters,
+trace events) back with the result; the parent merges the snapshots, so
+``timing.snapshot()``, cache counters and Chrome traces stay complete
+under ``REPRO_JOBS>1`` instead of silently losing everything the workers
+measured. A pool that dies falls back to serial, incrementing the
+``pool_fallback`` counter and logging a structured warning alongside the
+``RuntimeWarning``.
 """
 
 from __future__ import annotations
@@ -18,7 +27,10 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import Callable, Iterable, TypeVar
+
+from repro import telemetry
 
 __all__ = ["default_jobs", "parallel_map"]
 
@@ -42,6 +54,18 @@ def _worker_init() -> None:
     os.environ["REPRO_JOBS"] = "1"
 
 
+def _instrumented_call(fn: Callable[[T], R], item: T) -> tuple[R, dict]:
+    """Worker-side wrapper: run *fn* in a fresh telemetry window.
+
+    Returns ``(result, snapshot)``; snapshots are plain dicts so they
+    pickle back to the parent, which merges them. Resetting per item is
+    correct because merged aggregates add.
+    """
+    telemetry.reset()
+    result = fn(item)
+    return result, telemetry.snapshot()
+
+
 def parallel_map(
     fn: Callable[[T], R], items: Iterable[T], jobs: int | None = None
 ) -> list[R]:
@@ -62,11 +86,19 @@ def parallel_map(
         return [fn(item) for item in items]
     ctx = mp.get_context("spawn")
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(n, len(items)), mp_context=ctx, initializer=_worker_init
-        ) as pool:
-            return list(pool.map(fn, items))
+        with telemetry.span("parallel_map", jobs=min(n, len(items)), items=len(items)):
+            with ProcessPoolExecutor(
+                max_workers=min(n, len(items)),
+                mp_context=ctx,
+                initializer=_worker_init,
+            ) as pool:
+                pairs = list(pool.map(partial(_instrumented_call, fn), items))
     except BrokenProcessPool:
+        telemetry.count("pool_fallback")
+        telemetry.get_logger("parallel").warning(
+            "worker pool died; serial fallback %s",
+            telemetry.kv(items=len(items), jobs=n),
+        )
         warnings.warn(
             "worker pool died (unimportable __main__, OOM kill, or a worker "
             "crash); falling back to a serial run",
@@ -74,3 +106,8 @@ def parallel_map(
             stacklevel=2,
         )
         return [fn(item) for item in items]
+    results: list[R] = []
+    for result, snap in pairs:
+        telemetry.merge(snap)
+        results.append(result)
+    return results

@@ -1,42 +1,36 @@
-"""Lightweight per-stage wall-time counters for the experiment engine.
+"""Per-stage wall-time accounting (compatibility shim over telemetry).
 
-Runners wrap their expensive phases (synthesis, chunk-work, simulation,
-disk cache I/O) in :func:`stage`; accumulated totals are surfaced in
-result ``extras`` so figure regenerations report where the time went
-without any profiler. Counters are process-global and cumulative --
-:func:`reset` starts a fresh measurement window.
+Historically this module kept its own process-global stage counters;
+those now live in :mod:`repro.telemetry`, whose spans generalise stages
+with nesting, attributes and Chrome-trace export. The original three
+functions keep their exact signatures and shapes so existing callers
+(and the ``extras["stages"]`` dicts in results) are unchanged:
+
+- :func:`stage` is a :func:`repro.telemetry.span` without attributes;
+- :func:`snapshot` returns ``{stage: {"seconds": s, "calls": n}}``
+  aggregated from the default recorder -- which, because
+  :mod:`repro.core.parallel` merges worker snapshots, is now complete
+  under ``REPRO_JOBS>1`` too;
+- :func:`reset` starts a fresh telemetry window (spans *and* counters).
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from contextlib import contextmanager
-from typing import Iterator
+from repro import telemetry
 
 __all__ = ["stage", "snapshot", "reset"]
 
-_WALL: dict[str, float] = defaultdict(float)
-_CALLS: dict[str, int] = defaultdict(int)
 
-
-@contextmanager
-def stage(name: str) -> Iterator[None]:
+def stage(name: str):
     """Accumulate the wall time of the enclosed block under *name*."""
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        _WALL[name] += time.perf_counter() - t0
-        _CALLS[name] += 1
+    return telemetry.span(name)
 
 
 def snapshot() -> dict[str, dict[str, float]]:
     """Accumulated timings: ``{stage: {"seconds": s, "calls": n}}``."""
-    return {k: {"seconds": _WALL[k], "calls": _CALLS[k]} for k in sorted(_WALL)}
+    return telemetry.get_recorder().span_totals()
 
 
 def reset() -> None:
-    """Clear all accumulated counters."""
-    _WALL.clear()
-    _CALLS.clear()
+    """Clear the telemetry window (all spans, counters and events)."""
+    telemetry.reset()

@@ -38,6 +38,7 @@ from dataclasses import astuple, dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import timing
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
@@ -54,6 +55,7 @@ __all__ = [
     "store_result",
     "cache_stats",
     "clear_caches",
+    "reset_cache_stats",
 ]
 
 
@@ -92,9 +94,18 @@ class CacheStats:
 
 
 class _LRU:
-    """A thread-safe LRU bounded by entry count and (optionally) bytes."""
+    """A thread-safe LRU bounded by entry count and (optionally) bytes.
 
-    def __init__(self, max_entries: int, max_bytes: int | None = None) -> None:
+    Hit/miss/eviction events feed both the local :class:`CacheStats`
+    (process-scoped, what :func:`cache_stats` reports) and the telemetry
+    counters ``cache.<name>.{hit,miss,evict}`` -- the latter merge across
+    worker processes, so a fanned-out run still reports its true totals.
+    """
+
+    def __init__(
+        self, max_entries: int, max_bytes: int | None = None, name: str = "cache"
+    ) -> None:
+        self.name = name
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.stats = CacheStats()
@@ -108,8 +119,10 @@ class _LRU:
             if key in self._data:
                 self._data.move_to_end(key)
                 self.stats.hits += 1
+                telemetry.count(f"cache.{self.name}.hit")
                 return self._data[key]
             self.stats.misses += 1
+            telemetry.count(f"cache.{self.name}.miss")
             return None
 
     def put(self, key, value, nbytes: int = 0) -> None:
@@ -128,6 +141,7 @@ class _LRU:
                 old, _ = self._data.popitem(last=False)
                 self._bytes -= self._sizes.pop(old)
                 self.stats.evictions += 1
+                telemetry.count(f"cache.{self.name}.evict")
 
     def __len__(self) -> int:
         return len(self._data)
@@ -147,8 +161,11 @@ class _LRU:
 _WORKLOADS = _LRU(
     max_entries=_env_int("REPRO_CACHE_ENTRIES", 256),
     max_bytes=_env_int("REPRO_CACHE_BYTES", 2 * 1024**3),
+    name="workload",
 )
-_RESULTS = _LRU(max_entries=_env_int("REPRO_RESULT_ENTRIES", 16384))
+_RESULTS = _LRU(max_entries=_env_int("REPRO_RESULT_ENTRIES", 16384), name="result")
+
+_log = telemetry.get_logger("workload")
 
 
 def workload_key(spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -> tuple:
@@ -185,7 +202,7 @@ def get_layer_data(spec: ConvLayerSpec, seed: int = 0) -> LayerData:
     key = ("data", type(spec).__name__, astuple(spec), int(seed))
     data = _WORKLOADS.get(key)
     if data is None:
-        with timing.stage("synthesize"):
+        with telemetry.span("synthesize", layer=spec.name):
             data = synthesize_layer(spec, seed=seed)
         _WORKLOADS.put(key, data, nbytes=data.input_map.nbytes + data.filters.nbytes)
     return data
@@ -211,7 +228,7 @@ def get_workload(
         _WORKLOADS.put(key, disk, nbytes=_pair_nbytes(disk))
         return disk
     data = entry[0] if entry is not None else get_layer_data(spec, seed)
-    with timing.stage("chunk_work"):
+    with telemetry.span("chunk_work", layer=spec.name):
         work = compute_chunk_work(data, cfg, need_counts=need_counts)
     pair = (data, work)
     _WORKLOADS.put(key, pair, nbytes=_pair_nbytes(pair))
@@ -245,6 +262,16 @@ def clear_caches() -> None:
     """Drop every in-memory entry and reset statistics (disk untouched)."""
     _WORKLOADS.clear()
     _RESULTS.clear()
+
+
+def reset_cache_stats() -> None:
+    """Zero hit/miss statistics without dropping cached entries.
+
+    Starts a fresh accounting window over a warm cache -- how the tests
+    assert that a warm re-run is 100% hits.
+    """
+    _WORKLOADS.stats.reset()
+    _RESULTS.stats.reset()
 
 
 # -- on-disk store ----------------------------------------------------------
@@ -305,12 +332,19 @@ def _disk_store(key: tuple, pair: tuple[LayerData, ChunkWork]) -> None:
             with timing.stage("cache_disk"), os.fdopen(fd, "wb") as fh:
                 np.savez(fh, **payload)
             os.replace(tmp, path)
+            telemetry.count("cache.disk.store")
+            telemetry.count("cache.disk.store_bytes", path.stat().st_size)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-    except OSError:
-        return  # disk cache is best-effort
+    except OSError as exc:
+        # Disk cache is best-effort; a full or read-only volume only
+        # costs the persistence, not the run.
+        _log.debug(
+            "disk cache store failed %s", telemetry.kv(path=path, error=exc)
+        )
+        return
 
 
 def _disk_load(
@@ -342,7 +376,11 @@ def _disk_load(
                 n_chunks=int(z["n_chunks"]),
                 filter_chunk_nnz=z["filter_chunk_nnz"],
             )
-    except (OSError, ValueError, KeyError):
+    except (OSError, ValueError, KeyError) as exc:
+        _log.debug(
+            "disk cache load failed %s", telemetry.kv(path=path, error=exc)
+        )
         return None
     _WORKLOADS.stats.disk_hits += 1
+    telemetry.count("cache.disk.load")
     return (data, work)

@@ -19,6 +19,7 @@ from functools import partial
 
 import numpy as np
 
+from repro import telemetry
 from repro.balance.greedy import gb_h_plan
 from repro.balance.metrics import Figure14Data, figure14_distribution
 from repro.core import parallel, timing, workload
@@ -250,7 +251,8 @@ def fpga_figure(
     layers: dict[str, dict[str, float]] = {s: {} for s in FPGA_SCHEMES}
     bound: dict[str, list[str]] = {s: [] for s in FPGA_SCHEMES}
     worker = partial(_fpga_layer_results, cfg=cfg, seed=seed)
-    per_layer = parallel.parallel_map(worker, network.layers)
+    with telemetry.span("fpga_figure", network=network.name, arch=cfg.name):
+        per_layer = parallel.parallel_map(worker, network.layers)
     for spec, results in zip(network.layers, per_layer):
         dense_cycles = results["dense"].cycles
         for s, r in results.items():
@@ -272,7 +274,7 @@ def _fpga_layer_results(spec, *, cfg: HardwareConfig, seed: int) -> dict:
         result = workload.lookup_result(key)
         if result is None:
             data, work = get_workload(spec, cfg, seed, need_counts=True)
-            with timing.stage("simulate"):
+            with telemetry.span("simulate", scheme=f"fpga:{s}", layer=spec.name):
                 result = simulate_fpga(spec, s, cfg=cfg, data=data, work=work)
             workload.store_result(key, result)
         out[s] = result
@@ -344,7 +346,8 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
     t0 = _time.perf_counter()
     networks = all_networks()
     worker = partial(_headline_network_figs, fast=fast, seed=seed)
-    per_network = parallel.parallel_map(worker, networks)
+    with telemetry.span("headline_means", fast=fast, seed=seed):
+        per_network = parallel.parallel_map(worker, networks)
     vs_dense: list[float] = []
     vs_one: list[float] = []
     vs_scnn: list[float] = []
@@ -382,6 +385,7 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
             "wall_seconds": _time.perf_counter() - t0,
             "stages": timing.snapshot(),
             "cache": workload.cache_stats(),
+            "counters": telemetry.get_recorder().counters(),
         },
     }
 

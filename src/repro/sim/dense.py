@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
@@ -75,13 +76,24 @@ def simulate_dense(
     breakdown = Breakdown(
         nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
     )
+    scheme = "dense_naive" if naive_buffers else "dense"
+    utilization = nonzero / breakdown.total if breakdown.total > 0 else 0.0
+    telemetry.count(f"sim.{scheme}.layers")
+    telemetry.count(f"sim.{scheme}.cycles", layer_cycles)
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
     return LayerResult(
-        scheme="dense_naive" if naive_buffers else "dense",
+        scheme=scheme,
         layer_name=spec.name,
         cycles=layer_cycles,
         compute_cycles=layer_cycles,
         total_macs=cfg.total_macs,
         breakdown=breakdown,
         traffic=layer_traffic(spec, scheme="dense", chunk_size=cfg.chunk_size),
-        extras={"filter_groups": n_groups, "dot_length": dot_length},
+        extras={
+            "filter_groups": n_groups,
+            "dot_length": dot_length,
+            "mac_utilization": utilization,
+            "imbalance_idle_mac_cycles": inter,
+            "intra_idle_mac_cycles": intra,
+        },
     )

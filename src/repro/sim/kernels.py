@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.nets.synthesis import LayerData
 from repro.sim import native
 from repro.sim.config import HardwareConfig
@@ -229,6 +230,8 @@ def compute_chunk_work(
     # One-sided quantities from byte popcounts over the packed masks.
     win_packed = np.packbits(windows, axis=-1)  # (n_sel, n_chunks, ceil(chunk/8))
     filt_packed = np.packbits(fmask, axis=-1)  # (F, n_chunks, ceil(chunk/8))
+    telemetry.count("kernel.positions_simulated", n_sel)
+    telemetry.count("kernel.bytes_packed", win_packed.nbytes + filt_packed.nbytes)
     input_pop = np.ascontiguousarray(
         _POPCOUNT[win_packed].sum(axis=-1, dtype=np.int32).T
     )
@@ -243,11 +246,14 @@ def compute_chunk_work(
         f64 = np.ascontiguousarray(_as_words(filt_packed, words).transpose(1, 2, 0))
         got = native.match_counts(w64, f64, n_filters, dtype)
         if got is not None:
+            telemetry.count("kernel.native_dispatch")
             counts, pos_sums = got
             match_sums = pos_sums.astype(np.float64)
         else:
+            telemetry.count("kernel.gemm_dispatch")
             counts, match_sums = _match_counts_gemm(windows, fmask, dtype)
     else:
+        telemetry.count("kernel.matvec_dispatch")
         counts = None
         match_sums = _match_totals_gemm(windows, fmask)
 

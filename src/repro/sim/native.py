@@ -189,11 +189,14 @@ def _load() -> ctypes.CDLL | None:
     if _tried:
         return _lib
     _tried = True
+    from repro import telemetry
+
     try:
         cc = _compiler()
         if cc is None:
             raise RuntimeError("no C compiler on PATH")
-        lib = _build(cc)
+        with telemetry.span("native_build"):
+            lib = _build(cc)
         args = [ctypes.c_void_p] * 4 + [ctypes.c_int64] * 4
         for name in ("match_counts_u8", "match_counts_u16", "match_counts_u32"):
             fn = getattr(lib, name)
@@ -203,6 +206,11 @@ def _load() -> ctypes.CDLL | None:
     except (OSError, RuntimeError, subprocess.TimeoutExpired, AttributeError) as exc:
         _error = str(exc)
         _lib = None
+        telemetry.count("kernel.native_unavailable")
+        telemetry.get_logger("native").warning(
+            "native kernel unavailable, GEMM fallback %s",
+            telemetry.kv(error=_error),
+        )
     return _lib
 
 

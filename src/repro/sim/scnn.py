@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
@@ -95,6 +96,10 @@ def simulate_scnn(
         inter_loss=inter,
     )
     traffic_scheme = {"two": "two_sided", "one": "one_sided", "dense": "dense"}[variant]
+    utilization = useful / breakdown.total if breakdown.total > 0 else 0.0
+    telemetry.count(f"sim.{scheme}.layers")
+    telemetry.count(f"sim.{scheme}.cycles", cycles_total)
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
     return LayerResult(
         scheme=scheme,
         layer_name=spec.name,
@@ -103,7 +108,12 @@ def simulate_scnn(
         total_macs=n_pes * macs_per_pe,
         breakdown=breakdown,
         traffic=layer_traffic(spec, scheme=traffic_scheme, chunk_size=cfg.chunk_size),
-        extras={"variant": variant},
+        extras={
+            "variant": variant,
+            "mac_utilization": utilization,
+            "imbalance_idle_mac_cycles": inter,
+            "intra_idle_mac_cycles": intra,
+        },
     )
 
 

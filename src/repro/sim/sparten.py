@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.memory import layer_traffic
 from repro.arch.permute import PermutationNetwork
 from repro.balance.greedy import (
@@ -151,6 +152,14 @@ def simulate_sparten(
         scheme="one_sided" if sided == "one" else "two_sided",
         chunk_size=cfg.chunk_size,
     )
+    # Per-simulator observability: utilization is useful MACs over all
+    # MAC-cycles; the idle terms split the paper's intra/inter losses
+    # (inter = the load-imbalance idle the greedy balancers target).
+    total_mac_cycles = breakdown.total
+    utilization = nonzero / total_mac_cycles if total_mac_cycles > 0 else 0.0
+    telemetry.count(f"sim.{scheme}.layers")
+    telemetry.count(f"sim.{scheme}.cycles", layer_cycles)
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
     return LayerResult(
         scheme=scheme,
         layer_name=spec.name,
@@ -163,6 +172,9 @@ def simulate_sparten(
             "permute_cycles": permute_total,
             "barriers": barriers_total,
             "variant": variant if sided == "two" else None,
+            "mac_utilization": utilization,
+            "imbalance_idle_mac_cycles": inter,
+            "intra_idle_mac_cycles": intra,
         },
     )
 

@@ -1,0 +1,64 @@
+"""Observability for the experiment engine: spans, counters, manifests.
+
+One dependency-free layer every expensive path reports into:
+
+- :mod:`repro.telemetry.recorder` -- nestable :func:`span`\\ s with
+  attributes, accumulating :func:`count`\\ ers and :func:`gauge`\\ s, and
+  picklable :func:`snapshot`\\ s that :func:`merge` across processes (how
+  timing survives ``REPRO_JOBS>1``).
+- :mod:`repro.telemetry.trace` -- Chrome ``trace_event`` JSON export
+  (``chrome://tracing`` / Perfetto).
+- :mod:`repro.telemetry.manifest` -- self-describing ``manifest.json``
+  records (git SHA, versions, env knobs, config hash, stage totals,
+  counter dump) written next to run outputs; ``repro stats`` renders
+  them.
+- :mod:`repro.telemetry.log` -- the ``REPRO_LOG_LEVEL``-controlled
+  structured logger library code uses instead of ``print()``.
+
+Recording never influences simulation results: a telemetry-disabled run
+produces byte-identical figures.
+"""
+
+from repro.telemetry.log import get_logger, kv
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    read_manifest,
+    render_manifest,
+    write_manifest,
+)
+from repro.telemetry.recorder import (
+    SNAPSHOT_SCHEMA,
+    Recorder,
+    count,
+    gauge,
+    get_recorder,
+    merge,
+    reset,
+    snapshot,
+    span,
+)
+from repro.telemetry.trace import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Recorder",
+    "SNAPSHOT_SCHEMA",
+    "span",
+    "count",
+    "gauge",
+    "snapshot",
+    "merge",
+    "reset",
+    "get_recorder",
+    "chrome_trace",
+    "write_chrome_trace",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "config_hash",
+    "write_manifest",
+    "read_manifest",
+    "render_manifest",
+    "get_logger",
+    "kv",
+]

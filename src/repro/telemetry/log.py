@@ -1,0 +1,75 @@
+"""Structured logging for library code (``REPRO_LOG_LEVEL``).
+
+Library modules log through here instead of ``print()`` so user-facing
+CLI output (experiment rows on stdout) stays separable from diagnostics:
+log records go to **stderr** with a timestamped, ``key=value`` friendly
+format, and the threshold comes from ``REPRO_LOG_LEVEL`` (``DEBUG``,
+``INFO``, ``WARNING`` -- the default -- ``ERROR``, ``CRITICAL``).
+
+Use :func:`get_logger` for a namespaced child of the ``repro`` logger and
+:func:`kv` to format structured fields consistently::
+
+    log = get_logger("workload")
+    log.info("disk cache store %s", kv(path=path, bytes=nbytes))
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "kv"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
+_configured = False
+
+
+class _StderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream lazily keeps records flowing to wherever stderr
+    points *now* -- pytest's per-test capture, a redirected fd -- instead
+    of the stream object that existed when logging was first configured.
+    """
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it.
+        pass
+
+
+def _level_from_env() -> int:
+    name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").strip().upper()
+    level = logging.getLevelName(name)
+    return level if isinstance(level, int) else logging.WARNING
+
+
+def _configure_root() -> logging.Logger:
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        _configured = True
+        if not root.handlers:
+            handler = _StderrHandler()
+            handler.setFormatter(logging.Formatter(_FORMAT))
+            root.addHandler(handler)
+        root.propagate = False
+    # Re-read the env each call so tests (and long-lived sessions) can
+    # adjust verbosity without reconfiguring handlers.
+    root.setLevel(_level_from_env())
+    return root
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A configured logger: ``repro`` or the child ``repro.<name>``."""
+    root = _configure_root()
+    return root.getChild(name) if name else root
+
+
+def kv(**fields) -> str:
+    """``key=value`` rendering for structured log fields (sorted keys)."""
+    return " ".join(f"{k}={fields[k]}" for k in sorted(fields))

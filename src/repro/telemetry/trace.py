@@ -1,0 +1,80 @@
+"""Chrome ``trace_event`` export for recorded spans.
+
+Serialises a recorder's span events into the Trace Event Format's JSON
+object form (``{"traceEvents": [...]}``) with complete ("X") events, one
+metadata ("M") ``process_name`` event per pid, and the counter/gauge
+aggregates stashed under ``otherData``. The file loads directly in
+``chrome://tracing`` and in Perfetto's legacy-trace importer, giving a
+flame view of where a figure regeneration spent its time -- including
+worker-process lanes when ``REPRO_JOBS>1`` merged their snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.telemetry.recorder import Recorder, get_recorder
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+
+def chrome_trace(recorder: Recorder | None = None) -> dict:
+    """Build the Trace-Event-Format JSON object for *recorder*'s events."""
+    rec = recorder if recorder is not None else get_recorder()
+    events = rec.events()
+    trace_events: list[dict] = []
+    seen_pids: set[int] = set()
+    for event in events:
+        pid = int(event.get("pid", os.getpid()))
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            label = "repro" if pid == os.getpid() else f"repro worker {pid}"
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        record = {
+            "name": str(event["name"]),
+            "cat": "repro",
+            "ph": "X",
+            "ts": float(event["ts"]),
+            "dur": float(event["dur"]),
+            "pid": pid,
+            "tid": int(event.get("tid", 0)),
+        }
+        if event.get("args"):
+            record["args"] = {k: _jsonable(v) for k, v in event["args"].items()}
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": rec.span_totals(),
+            "counters": rec.counters(),
+            "gauges": rec.gauges(),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path, recorder: Recorder | None = None
+) -> pathlib.Path:
+    """Write the Chrome trace JSON to *path*; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder)) + "\n")
+    return path
+
+
+def _jsonable(value):
+    """Coerce span attribute values to JSON-safe primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,217 @@
+"""Tests for the telemetry subsystem (spans, counters, traces, manifests)."""
+
+import json
+import os
+
+import pytest
+
+from repro import cli, telemetry
+from repro.core import parallel
+from repro.telemetry.recorder import Recorder
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _count_and_square(x):
+    """Module-level so spawn workers can unpickle it."""
+    telemetry.count("test.items")
+    telemetry.count("test.value", x)
+    with telemetry.span("test.work", item=x):
+        return x * x
+
+
+def _die_in_worker(x):
+    """Kill the hosting process when running inside a pool worker."""
+    if parallel._IN_WORKER:
+        os._exit(1)
+    return x
+
+
+class TestSpans:
+    def test_nesting_aggregates_seconds_and_calls(self):
+        rec = Recorder(max_events=100)
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        totals = rec.span_totals()
+        assert totals["outer"]["calls"] == 1
+        assert totals["inner"]["calls"] == 2
+        assert totals["outer"]["seconds"] >= totals["inner"]["seconds"] >= 0.0
+
+    def test_attributes_propagate_child_wins(self):
+        rec = Recorder(max_events=100)
+        with rec.span("compare", network="AlexNet", arch="large"):
+            with rec.span("simulate", scheme="sparten", arch="small"):
+                assert rec.current_attrs() == {
+                    "network": "AlexNet",
+                    "arch": "small",
+                    "scheme": "sparten",
+                }
+        by_name = {e["name"]: e for e in rec.events()}
+        assert by_name["simulate"]["args"] == {
+            "network": "AlexNet",
+            "arch": "small",
+            "scheme": "sparten",
+        }
+        assert by_name["compare"]["args"] == {"network": "AlexNet", "arch": "large"}
+        assert by_name["simulate"]["depth"] == 2
+
+    def test_event_budget_drops_not_aggregates(self):
+        rec = Recorder(max_events=2)
+        for _ in range(5):
+            with rec.span("s"):
+                pass
+        assert len(rec.events()) == 2
+        assert rec.snapshot()["dropped_events"] == 3
+        assert rec.span_totals()["s"]["calls"] == 5
+
+    def test_counters_and_gauges(self):
+        rec = Recorder(max_events=0)
+        rec.count("hits")
+        rec.count("hits", 2)
+        rec.gauge("util", 0.25)
+        rec.gauge("util", 0.75)
+        assert rec.counters() == {"hits": 3.0}
+        assert rec.gauges() == {"util": 0.75}
+
+
+class TestMerge:
+    def test_merge_adds_spans_counters_gauges_last_write(self):
+        parent = Recorder(max_events=10)
+        worker = Recorder(max_events=10)
+        with parent.span("simulate"):
+            pass
+        parent.count("cache.hit", 2)
+        parent.gauge("util", 0.1)
+        with worker.span("simulate"):
+            pass
+        worker.count("cache.hit", 3)
+        worker.gauge("util", 0.9)
+        parent.merge(worker.snapshot())
+        assert parent.span_totals()["simulate"]["calls"] == 2
+        assert parent.counters()["cache.hit"] == 5.0
+        assert parent.gauges()["util"] == 0.9
+        assert len(parent.events()) == 2
+
+    def test_snapshot_is_json_roundtrippable(self):
+        rec = Recorder(max_events=10)
+        with rec.span("s", layer="L0"):
+            rec.count("c")
+        snap = rec.snapshot()
+        assert snap["schema"] == telemetry.SNAPSHOT_SCHEMA
+        restored = json.loads(json.dumps(snap))
+        other = Recorder(max_events=10)
+        other.merge(restored)
+        assert other.span_totals() == rec.span_totals()
+        assert other.counters() == rec.counters()
+
+    def test_counters_merge_across_real_two_worker_pool(self):
+        telemetry.reset()
+        results = parallel.parallel_map(_count_and_square, [1, 2, 3, 4], jobs=2)
+        assert results == [1, 4, 9, 16]
+        counters = telemetry.get_recorder().counters()
+        assert counters["test.items"] == 4.0
+        assert counters["test.value"] == 10.0
+        totals = telemetry.get_recorder().span_totals()
+        assert totals["test.work"]["calls"] == 4
+        assert totals["parallel_map"]["calls"] == 1
+        # Worker events crossed the process boundary with their attrs.
+        work_events = [
+            e for e in telemetry.get_recorder().events() if e["name"] == "test.work"
+        ]
+        assert sorted(e["args"]["item"] for e in work_events) == [1, 2, 3, 4]
+        assert {e["pid"] for e in work_events} - {os.getpid()}
+
+    def test_pool_death_falls_back_serially_and_counts(self):
+        telemetry.reset()
+        with pytest.warns(RuntimeWarning, match="worker pool died"):
+            results = parallel.parallel_map(_die_in_worker, [1, 2, 3], jobs=2)
+        assert results == [1, 2, 3]
+        assert telemetry.get_recorder().counters()["pool_fallback"] == 1.0
+
+
+class TestChromeTrace:
+    def test_trace_event_schema(self, tmp_path):
+        rec = Recorder(max_events=100)
+        with rec.span("compare", network="AlexNet"):
+            with rec.span("simulate", scheme="sparten"):
+                pass
+        trace = telemetry.chrome_trace(rec)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events, "expected at least one trace event"
+        phases = {e["ph"] for e in events}
+        assert phases <= {"X", "M"}
+        assert "X" in phases and "M" in phases
+        for e in events:
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":
+                assert isinstance(e["ts"], (int, float))
+                assert isinstance(e["dur"], (int, float))
+                assert e["dur"] >= 0
+                assert isinstance(e["tid"], int)
+                assert e["cat"] == "repro"
+        path = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(str(path), rec)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["otherData"]["spans"]["simulate"]["calls"] == 1
+
+
+class TestManifest:
+    def test_roundtrip_through_cli_stats(self, tmp_path, capsys):
+        telemetry.reset()
+        with telemetry.span("simulate"):
+            telemetry.count("kernel.native_dispatch", 7)
+        path = tmp_path / "manifest.json"
+        manifest = telemetry.write_manifest(
+            str(path), seed=3, config={"experiment": "fig7", "fast": True}
+        )
+        assert manifest["schema"] == telemetry.MANIFEST_SCHEMA
+        read_back = telemetry.read_manifest(str(path))
+        assert read_back["seed"] == 3
+        assert read_back["config_hash"] == telemetry.config_hash(
+            {"experiment": "fig7", "fast": True}
+        )
+        assert read_back["counters"]["kernel.native_dispatch"] == 7.0
+        assert read_back["spans"]["simulate"]["calls"] == 1
+        assert cli.main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-manifest/1" in out
+        assert "kernel.native_dispatch" in out
+        assert "simulate" in out
+
+    def test_read_manifest_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            telemetry.read_manifest(str(path))
+
+    def test_config_hash_is_order_insensitive(self):
+        assert telemetry.config_hash({"a": 1, "b": 2}) == telemetry.config_hash(
+            {"b": 2, "a": 1}
+        )
+        assert telemetry.config_hash({"a": 1}) != telemetry.config_hash({"a": 2})
+
+
+class TestLog:
+    def test_kv_sorts_fields(self):
+        assert telemetry.kv(b=2, a="x") == "a=x b=2"
+
+    def test_log_level_env_respected(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+        log = telemetry.get_logger("testlog")
+        log.warning("hidden")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "INFO")
+        log = telemetry.get_logger("testlog")
+        log.info("visible %s", telemetry.kv(k=1))
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "visible k=1" in err

@@ -153,6 +153,29 @@ class TestDiskStore:
         assert cache_stats()["workloads"]["disk_hits"] == 0
 
 
+class TestWarmRunAllHits:
+    def test_warm_headline_means_is_all_hits(self):
+        from repro import telemetry
+        from repro.eval.experiments import headline_means
+
+        cold = headline_means(fast=True, seed=0)
+        workload.reset_cache_stats()
+        telemetry.reset()
+        warm = headline_means(fast=True, seed=0)
+        assert warm["sim_vs_dense"] == cold["sim_vs_dense"]
+        stats = cache_stats()
+        # The result memo answers every warm lookup (100% hits), which
+        # also means the workload cache sees no traffic at all.
+        for cache in ("workloads", "results"):
+            assert stats[cache]["misses"] == 0, f"{cache} missed on a warm run"
+        assert stats["results"]["hits"] > 0
+        assert stats["results"]["hit_rate"] == 1.0
+        counters = telemetry.get_recorder().counters()
+        assert counters.get("cache.workload.miss", 0) == 0
+        assert counters.get("cache.result.miss", 0) == 0
+        assert counters["cache.result.hit"] > 0
+
+
 class TestLRUBounds:
     def test_entry_bound_evicts_oldest(self):
         lru = workload._LRU(max_entries=2)
