@@ -5,8 +5,10 @@ Usage::
     python -m repro list
     python -m repro run fig7 [--exact] [--seed N]
     python -m repro run headline --manifest manifest.json --trace trace.json
+    python -m repro run headline --resume runs/headline  # checkpoint + resume
     python -m repro run chunk-sweep --network vggnet --layer Layer7
     python -m repro stats manifest.json
+    python -m repro doctor [DIR] [--prune]
 
 Every experiment of DESIGN.md's index is addressable by a short id; the
 rendered rows print to stdout (the same text the benchmark harness writes
@@ -16,11 +18,19 @@ self-describing record (git SHA, seed, config hash, env knobs, stage
 totals, counters) and ``--trace`` emits a Chrome ``trace_event`` JSON
 loadable in ``chrome://tracing`` / Perfetto; ``repro stats`` pretty-prints
 a manifest back.
+
+``--resume DIR`` journals every finished per-layer result to *DIR* and,
+when entries already exist there (a crashed or killed earlier run),
+preloads them so only unfinished work re-executes. ``repro doctor``
+scans the on-disk workload cache (or any run directory), verifies every
+entry, quarantines corruption and -- with ``--prune`` -- deletes
+quarantined and orphaned files.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Callable
 
 from repro import telemetry
@@ -238,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0, help="workload seed")
     report.add_argument("--trace", metavar="PATH", default=None,
                         help="also write a Chrome trace_event JSON to PATH")
+    report.add_argument("--resume", metavar="DIR", default=None,
+                        help="checkpoint finished results to DIR and skip "
+                             "work already journaled there")
 
     run = sub.add_parser("run", help="run one experiment and print its rows")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -254,9 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the run manifest JSON to PATH")
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace_event JSON to PATH")
+    run.add_argument("--resume", metavar="DIR", default=None,
+                     help="journal finished results to DIR and skip work "
+                          "already journaled there (checkpoint/resume)")
 
     stats = sub.add_parser("stats", help="pretty-print a run manifest")
     stats.add_argument("manifest", help="path to a manifest.json")
+
+    doctor = sub.add_parser(
+        "doctor", help="scan/verify/prune the on-disk workload cache"
+    )
+    doctor.add_argument(
+        "directory", nargs="?", default=None,
+        help="directory to scan (default: $REPRO_CACHE_DIR)",
+    )
+    doctor.add_argument(
+        "--prune", action="store_true",
+        help="delete quarantined entries and orphaned .tmp files",
+    )
     return parser
 
 
@@ -270,17 +298,39 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         print(telemetry.render_manifest(telemetry.read_manifest(args.manifest)))
         return 0
+    if args.command == "doctor":
+        from repro.resilience.doctor import render_report, scan_store
+
+        directory = args.directory or os.environ.get("REPRO_CACHE_DIR")
+        if not directory:
+            print("doctor: no directory given and REPRO_CACHE_DIR is unset")
+            return 2
+        report = scan_store(directory, prune=args.prune)
+        print(render_report(report, prune=args.prune))
+        return 0 if report.ok else 1
     if args.command == "report":
         from repro.eval.report import generate_report
 
         telemetry.reset()
-        generate_report(path=args.output, seed=args.seed, echo=print)
+        generate_report(
+            path=args.output, seed=args.seed, echo=print, resume=args.resume
+        )
         if args.trace:
             telemetry.write_chrome_trace(args.trace)
         return 0
     args.fast = not args.exact
     runner, _ = EXPERIMENTS[args.experiment]
     telemetry.reset()  # a clean measurement window for this run
+    if args.resume:
+        from repro.resilience import checkpoint
+
+        # Workers inherit the journal directory through the environment.
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.resume
+        loaded = checkpoint.preload_journal()
+        telemetry.get_logger("cli").info(
+            "checkpoint journal active %s",
+            telemetry.kv(dir=args.resume, resumed_entries=loaded),
+        )
     try:
         print(runner(args))
     except BrokenPipeError:

@@ -1,0 +1,74 @@
+"""Validated ``REPRO_*`` environment parsing with loud fallbacks.
+
+Every knob the engine reads from the environment funnels through here so
+an invalid value (``REPRO_JOBS=abc``, ``REPRO_CACHE_BYTES=-1``) produces
+one structured warning naming the variable and the value actually used,
+instead of being silently coerced to a default. Negative values are
+clamped explicitly rather than wrapping into surprising behaviour.
+
+Each (variable, raw value) pair warns at most once per process, so a hot
+path that re-reads its knob on every call (``default_jobs`` under a
+layer fan-out) does not flood stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro import telemetry
+
+__all__ = ["env_int", "env_float"]
+
+_log = telemetry.get_logger("env")
+_warned: set[tuple[str, str, str]] = set()
+_warned_lock = threading.Lock()
+
+
+def _warn_once(name: str, raw: str, used, reason: str) -> None:
+    key = (name, raw, reason)
+    with _warned_lock:
+        if key in _warned:
+            return
+        _warned.add(key)
+    telemetry.count("env.invalid")
+    _log.warning(
+        "invalid environment value %s",
+        telemetry.kv(var=name, value=raw, reason=reason, using=used),
+    )
+
+
+def env_int(name: str, default: int, minimum: int | None = None) -> int:
+    """``int(os.environ[name])`` with a structured warning on bad input.
+
+    Unset (or empty) returns *default*; a non-integer value warns and
+    returns *default*; a value below *minimum* warns and clamps.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _warn_once(name, raw, default, "not an integer")
+        return default
+    if minimum is not None and value < minimum:
+        _warn_once(name, raw, minimum, f"below minimum {minimum}")
+        return minimum
+    return value
+
+
+def env_float(name: str, default: float, minimum: float | None = None) -> float:
+    """``float(os.environ[name])`` with the same warn-and-clamp contract."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        _warn_once(name, raw, default, "not a number")
+        return default
+    if minimum is not None and value < minimum:
+        _warn_once(name, raw, minimum, f"below minimum {minimum}")
+        return minimum
+    return value

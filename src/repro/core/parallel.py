@@ -1,4 +1,4 @@
-"""Process-based fan-out with deterministic, ordered results.
+"""Process-based fan-out with deterministic, ordered, fault-tolerant results.
 
 :func:`parallel_map` runs a picklable callable over items in a
 ``ProcessPoolExecutor`` when the ``REPRO_JOBS`` environment variable (or
@@ -10,14 +10,35 @@ the serial path. Worker processes are flagged so nested fan-out (a
 parallelised figure calling a parallelised comparison) degrades to serial
 instead of forking a process tree.
 
+Failure handling is **per item**, not per pool. Each item is its own
+future with a bounded retry budget (``REPRO_RETRIES``, exponential
+backoff via ``REPRO_RETRY_BACKOFF``) and an optional watchdog
+(``REPRO_ITEM_TIMEOUT`` seconds the parent will wait on one in-flight
+item before recomputing it locally):
+
+- An item that *fails* (a worker exception, including injected
+  ``worker_crash`` faults) is resubmitted to the pool up to the retry
+  budget, then recomputed serially in the parent as a last resort --
+  with fault injection suppressed, so chaos testing can cost work but
+  never a run. Retries count ``resilience.retry``.
+- An item that *stalls* past the watchdog is abandoned to its zombie
+  worker and recomputed in the parent (``resilience.timeout``); the
+  pool is shut down without waiting so a hung worker cannot wedge the
+  caller.
+- A *dead pool* (``BrokenProcessPool``: OOM kill, unimportable
+  ``__main__``, an ``os._exit`` in a worker) costs only the in-flight
+  items: completed results and their telemetry snapshots are kept, and
+  just the unfinished remainder recomputes serially
+  (``pool_fallback``), instead of the old all-or-nothing restart.
+
 Telemetry crosses the process boundary: each worker invocation runs in a
 fresh telemetry window and ships its snapshot (span seconds, counters,
-trace events) back with the result; the parent merges the snapshots, so
-``timing.snapshot()``, cache counters and Chrome traces stay complete
-under ``REPRO_JOBS>1`` instead of silently losing everything the workers
-measured. A pool that dies falls back to serial, incrementing the
-``pool_fallback`` counter and logging a structured warning alongside the
-``RuntimeWarning``.
+trace events) back with the result; the parent merges snapshots only for
+the attempts whose results it keeps, so nothing is double-counted when an
+item is retried or a pool dies. ``REPRO_FAULT`` (see
+:mod:`repro.resilience.faults`) injects deterministic worker crashes,
+kills and stalls at the per-item boundary so every one of these paths is
+exercised in tests and CI.
 """
 
 from __future__ import annotations
@@ -26,11 +47,14 @@ import multiprocessing as mp
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from functools import partial
 from typing import Callable, Iterable, TypeVar
 
 from repro import telemetry
+from repro.core.env import env_int
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = ["default_jobs", "parallel_map"]
 
@@ -39,13 +63,18 @@ R = TypeVar("R")
 
 _IN_WORKER = False
 
+#: Sentinel marking an item whose result is still owed.
+_PENDING = object()
+
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
-        return 1
+    """Worker count from ``REPRO_JOBS`` (serial when unset or invalid).
+
+    An unparsable or negative value warns through the structured logger
+    (once per value) and falls back to serial rather than silently
+    absorbing a typo like ``REPRO_JOBS=abc``.
+    """
+    return env_int("REPRO_JOBS", 1, minimum=1)
 
 
 def _worker_init() -> None:
@@ -54,14 +83,17 @@ def _worker_init() -> None:
     os.environ["REPRO_JOBS"] = "1"
 
 
-def _instrumented_call(fn: Callable[[T], R], item: T) -> tuple[R, dict]:
+def _instrumented_call(fn: Callable[[T], R], item: T, token: str, attempt: int) -> tuple[R, dict]:
     """Worker-side wrapper: run *fn* in a fresh telemetry window.
 
     Returns ``(result, snapshot)``; snapshots are plain dicts so they
     pickle back to the parent, which merges them. Resetting per item is
-    correct because merged aggregates add.
+    correct because merged aggregates add. *token*/*attempt* feed the
+    deterministic fault-injection hook, which fires (crash/kill/stall)
+    before the real work so an injected fault costs one item-attempt.
     """
     telemetry.reset()
+    faults.fault_point(token, attempt)
     result = fn(item)
     return result, telemetry.snapshot()
 
@@ -75,39 +107,109 @@ def parallel_map(
     be picklable -- a module-level function or a ``functools.partial`` of
     one. The spawn start method keeps workers hermetic (no inherited
     interpreter state), which is what makes parallel runs reproducible.
-    Spawn must re-import ``__main__``; from an interpreter whose main
-    module is not importable (a REPL, ``python - <<EOF``) the pool dies
-    with ``BrokenProcessPool``, so that case degrades to serial with a
-    warning instead of crashing.
+    Per-item failures retry under the :class:`RetryPolicy` from the
+    environment and completed work survives a dying pool; see the module
+    docstring for the full degradation ladder.
     """
     items = list(items)
     n = default_jobs() if jobs is None else max(1, int(jobs))
     if _IN_WORKER or n <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    policy = RetryPolicy.from_env()
     ctx = mp.get_context("spawn")
-    try:
-        with telemetry.span("parallel_map", jobs=min(n, len(items)), items=len(items)):
-            with ProcessPoolExecutor(
-                max_workers=min(n, len(items)),
-                mp_context=ctx,
-                initializer=_worker_init,
-            ) as pool:
-                pairs = list(pool.map(partial(_instrumented_call, fn), items))
-    except BrokenProcessPool:
+    results: list = [_PENDING] * len(items)
+    attempts = [0] * len(items)
+    broken = False
+    abandoned = False  # a timed-out item left a possibly-hung worker behind
+    with telemetry.span("parallel_map", jobs=min(n, len(items)), items=len(items)):
+        pool = ProcessPoolExecutor(
+            max_workers=min(n, len(items)),
+            mp_context=ctx,
+            initializer=_worker_init,
+        )
+        try:
+            pending = {
+                i: pool.submit(_instrumented_call, fn, items[i], f"item{i}", 0)
+                for i in range(len(items))
+            }
+            while pending:
+                # One pass over the outstanding futures in index order.
+                # A broken pool resolves every pending future with
+                # BrokenProcessPool immediately, so this pass also drains
+                # the results that completed before the pool died instead
+                # of discarding them -- those never recompute.
+                for idx in sorted(pending):
+                    future = pending.pop(idx)
+                    try:
+                        result, snap = future.result(
+                            timeout=policy.item_timeout or None
+                        )
+                    except BrokenProcessPool:
+                        broken = True  # recomputed after the drain
+                    except FutureTimeoutError:
+                        abandoned = True
+                        future.cancel()
+                        telemetry.count("resilience.timeout")
+                        telemetry.get_logger("parallel").warning(
+                            "item watchdog expired; recomputing locally %s",
+                            telemetry.kv(item=idx, timeout=policy.item_timeout),
+                        )
+                        results[idx] = call_with_retry(
+                            fn, items[idx], policy,
+                            token=f"item{idx}", first_attempt=policy.retries,
+                        )
+                    except Exception as exc:
+                        attempts[idx] += 1
+                        if broken:
+                            continue  # serial fallback picks it up
+                        if attempts[idx] <= policy.retries:
+                            telemetry.count("resilience.retry")
+                            telemetry.get_logger("parallel").warning(
+                                "retrying failed item %s",
+                                telemetry.kv(
+                                    item=idx, attempt=attempts[idx],
+                                    of=policy.retries, error=exc,
+                                ),
+                            )
+                            policy.sleep(attempts[idx])
+                            try:
+                                pending[idx] = pool.submit(
+                                    _instrumented_call, fn, items[idx],
+                                    f"item{idx}", attempts[idx],
+                                )
+                            except (BrokenProcessPool, RuntimeError):
+                                broken = True
+                        else:
+                            # Retry budget exhausted in the pool: one
+                            # final serial attempt, faults suppressed.
+                            results[idx] = call_with_retry(
+                                fn, items[idx], policy,
+                                token=f"item{idx}", first_attempt=policy.retries,
+                            )
+                    else:
+                        telemetry.merge(snap)
+                        results[idx] = result
+                if broken:
+                    break
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+    if broken:
+        missing = [i for i, r in enumerate(results) if r is _PENDING]
         telemetry.count("pool_fallback")
         telemetry.get_logger("parallel").warning(
-            "worker pool died; serial fallback %s",
-            telemetry.kv(items=len(items), jobs=n),
+            "worker pool died; serial fallback for unfinished items %s",
+            telemetry.kv(unfinished=len(missing), total=len(items), jobs=n),
         )
         warnings.warn(
             "worker pool died (unimportable __main__, OOM kill, or a worker "
-            "crash); falling back to a serial run",
+            "crash); completed items kept, recomputing the remaining "
+            f"{len(missing)} of {len(items)} serially",
             RuntimeWarning,
             stacklevel=2,
         )
-        return [fn(item) for item in items]
-    results: list[R] = []
-    for result, snap in pairs:
-        telemetry.merge(snap)
-        results.append(result)
+        for idx in missing:
+            results[idx] = call_with_retry(
+                fn, items[idx], policy,
+                token=f"item{idx}", first_attempt=attempts[idx],
+            )
     return results

@@ -18,7 +18,18 @@ those products *by value* so the redundancy disappears:
 - **Result memo** (:func:`lookup_result` / :func:`store_result`): finished
   per-layer simulation results keyed by (scheme, spec fields, *full*
   config fields, seed), so a warm re-run of a figure skips the
-  simulators entirely.
+  simulators entirely. With ``REPRO_CHECKPOINT_DIR`` set, every stored
+  result is also journaled to the run directory
+  (:mod:`repro.resilience.checkpoint`), which is what makes
+  ``repro run --resume`` skip finished work after a crash.
+
+The disk store is *corruption-safe*: a truncated or garbled ``.npz`` (a
+crash mid-``os.replace`` on exotic filesystems, bit rot, a concurrent
+writer on shared storage) is detected on load, renamed to ``.corrupt``
+(counted as ``cache.disk.quarantine``) and recomputed -- never trusted,
+never a crash. ``repro doctor`` scans and prunes quarantined entries,
+and ``REPRO_FAULT=cache_corrupt:N`` injects the damage deterministically
+so the path stays tested.
 
 Keys are tuples of plain values (``dataclasses.astuple`` of frozen
 specs/configs), so two workloads collide only if every field that can
@@ -33,6 +44,7 @@ import os
 import pathlib
 import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import astuple, dataclass
 
@@ -40,6 +52,8 @@ import numpy as np
 
 from repro import telemetry
 from repro.core import timing
+from repro.core.env import env_int
+from repro.resilience import checkpoint, faults
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.sim.config import HardwareConfig
@@ -57,13 +71,6 @@ __all__ = [
     "clear_caches",
     "reset_cache_stats",
 ]
-
-
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except ValueError:
-        return default
 
 
 @dataclass
@@ -159,11 +166,13 @@ class _LRU:
 
 
 _WORKLOADS = _LRU(
-    max_entries=_env_int("REPRO_CACHE_ENTRIES", 256),
-    max_bytes=_env_int("REPRO_CACHE_BYTES", 2 * 1024**3),
+    max_entries=env_int("REPRO_CACHE_ENTRIES", 256, minimum=0),
+    max_bytes=env_int("REPRO_CACHE_BYTES", 2 * 1024**3, minimum=0),
     name="workload",
 )
-_RESULTS = _LRU(max_entries=_env_int("REPRO_RESULT_ENTRIES", 16384), name="result")
+_RESULTS = _LRU(
+    max_entries=env_int("REPRO_RESULT_ENTRIES", 16384, minimum=0), name="result"
+)
 
 _log = telemetry.get_logger("workload")
 
@@ -242,8 +251,15 @@ def lookup_result(key: tuple):
 
 
 def store_result(key: tuple, value) -> None:
-    """Memoise one finished simulation result."""
+    """Memoise one finished simulation result.
+
+    When a run journal is active (``REPRO_CHECKPOINT_DIR``), the result
+    is also persisted there so an interrupted run can resume without
+    redoing it -- workers inherit the directory through the environment,
+    so fanned-out runs checkpoint from every process.
+    """
     _RESULTS.put(key, value)
+    checkpoint.journal_result(key, value)
 
 
 def cache_stats() -> dict[str, dict[str, float]]:
@@ -334,6 +350,11 @@ def _disk_store(key: tuple, pair: tuple[LayerData, ChunkWork]) -> None:
             os.replace(tmp, path)
             telemetry.count("cache.disk.store")
             telemetry.count("cache.disk.store_bytes", path.stat().st_size)
+            if faults.fire("cache_corrupt", token=path.name):
+                # Deterministic chaos: truncate the entry we just wrote
+                # so the next load exercises the quarantine path.
+                with open(path, "r+b") as cf:
+                    cf.truncate(max(8, path.stat().st_size // 2))
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -376,7 +397,16 @@ def _disk_load(
                 n_chunks=int(z["n_chunks"]),
                 filter_chunk_nnz=z["filter_chunk_nnz"],
             )
-    except (OSError, ValueError, KeyError) as exc:
+    except (ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        # np.load raises BadZipFile/EOFError on a truncated archive and
+        # ValueError/KeyError on garbled contents -- all mean the entry
+        # is damaged. Quarantine it (rename, never delete: the bytes may
+        # matter for a post-mortem) and fall through to recompute.
+        _quarantine_entry(path, exc)
+        return None
+    except OSError as exc:
+        # A read error is the volume's problem, not the entry's; leave
+        # the file alone and recompute.
         _log.debug(
             "disk cache load failed %s", telemetry.kv(path=path, error=exc)
         )
@@ -384,3 +414,16 @@ def _disk_load(
     _WORKLOADS.stats.disk_hits += 1
     telemetry.count("cache.disk.load")
     return (data, work)
+
+
+def _quarantine_entry(path: pathlib.Path, error: Exception) -> None:
+    """Move a corrupt cache entry aside so it is never trusted again."""
+    telemetry.count("cache.disk.quarantine")
+    _log.warning(
+        "quarantining corrupt cache entry %s",
+        telemetry.kv(path=path, error=error),
+    )
+    try:
+        os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+    except OSError:
+        pass  # best-effort: recompute happens regardless

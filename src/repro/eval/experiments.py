@@ -19,7 +19,7 @@ from functools import partial
 
 import numpy as np
 
-from repro import telemetry
+from repro import resilience, telemetry
 from repro.balance.greedy import gb_h_plan
 from repro.balance.metrics import Figure14Data, figure14_distribution
 from repro.core import parallel, timing, workload
@@ -340,6 +340,13 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
     Networks fan out across processes under ``REPRO_JOBS``; the ``extras``
     key carries instrumentation only and is excluded from determinism
     comparisons.
+
+    The run is fault-tolerant end to end: per-item retries and pool
+    fallbacks in :mod:`repro.core.parallel` keep a dying worker from
+    discarding completed networks, quarantined cache entries recompute,
+    and with ``REPRO_CHECKPOINT_DIR`` set every finished (network,
+    layer, scheme) result is journaled for ``repro run --resume``.
+    ``extras["resilience"]`` reports what the machinery absorbed.
     """
     import time as _time
 
@@ -386,6 +393,9 @@ def headline_means(fast: bool = True, seed: int = 0) -> dict:
             "stages": timing.snapshot(),
             "cache": workload.cache_stats(),
             "counters": telemetry.get_recorder().counters(),
+            "resilience": resilience.resilience_summary(
+                telemetry.get_recorder().counters()
+            ),
         },
     }
 

@@ -1,0 +1,145 @@
+"""Checkpoint/resume: journal finished results to a run directory.
+
+A crashed multi-hour run should cost only the work that was in flight,
+not the figure. When ``REPRO_CHECKPOINT_DIR`` points at a run directory
+(the CLI's ``repro run --resume <dir>`` sets it), every finished
+(scheme, layer spec, config, seed) result that enters the result memo in
+:mod:`repro.core.workload` is also journaled here as one atomically
+written pickle -- ``ckpt-<sha>.pkl`` holding ``{"key": key, "value":
+result}`` -- and a resumed run preloads the journal back into the memo
+before executing anything, so only unfinished work re-runs.
+
+The journal is append-only and content-keyed: re-finishing an already
+journaled item is a no-op (the file exists), concurrent workers write
+distinct keys through ``tempfile.mkstemp`` + ``os.replace`` so a
+half-written entry is never visible under its final name, and an entry
+that *still* manages to rot on disk is quarantined to ``.corrupt`` on
+load (counted as ``checkpoint.quarantine``) exactly like the workload
+cache -- a damaged journal degrades to recomputation, never to a crash
+or a wrong figure.
+
+Spawned workers inherit ``REPRO_CHECKPOINT_DIR`` through the
+environment, so a fanned-out run journals from every process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+
+from repro import telemetry
+
+__all__ = [
+    "checkpoint_dir",
+    "entry_path",
+    "journal_result",
+    "load_journal",
+    "preload_journal",
+]
+
+_PREFIX = "ckpt-"
+
+_log = telemetry.get_logger("checkpoint")
+
+
+def checkpoint_dir() -> pathlib.Path | None:
+    """The active run directory from ``REPRO_CHECKPOINT_DIR``, if any."""
+    path = os.environ.get("REPRO_CHECKPOINT_DIR")
+    return pathlib.Path(path) if path else None
+
+
+def entry_path(base: pathlib.Path, key: tuple) -> pathlib.Path:
+    """The journal file for one result key (content-addressed)."""
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+    return base / f"{_PREFIX}{digest}.pkl"
+
+
+def journal_result(key: tuple, value) -> None:
+    """Persist one finished result to the active journal (best-effort).
+
+    No-op when no journal is active or the entry already exists. A full
+    or read-only volume costs the persistence, not the run.
+    """
+    base = checkpoint_dir()
+    if base is None:
+        return
+    path = entry_path(base, key)
+    if path.exists():
+        return
+    try:
+        base.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=base, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"key": key, "value": value}, fh)
+            os.replace(tmp, path)
+            telemetry.count("checkpoint.store")
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    except OSError as exc:
+        _log.warning(
+            "checkpoint store failed %s", telemetry.kv(path=path, error=exc)
+        )
+
+
+def load_journal(base: pathlib.Path) -> list[tuple[tuple, object]]:
+    """Every readable (key, value) pair journaled under *base*.
+
+    Corrupt entries (truncated pickle, wrong shape) are renamed to
+    ``<name>.corrupt`` and counted -- the run they belong to simply
+    recomputes them. Entries come back sorted by filename so preloading
+    is deterministic.
+    """
+    entries: list[tuple[tuple, object]] = []
+    for path in sorted(base.glob(f"{_PREFIX}*.pkl")):
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+            key, value = record["key"], record["value"]
+            if not isinstance(key, tuple):
+                raise ValueError("journal key is not a tuple")
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                ValueError, AttributeError, ImportError, IndexError) as exc:
+            telemetry.count("checkpoint.quarantine")
+            _log.warning(
+                "quarantining corrupt checkpoint entry %s",
+                telemetry.kv(path=path, error=exc),
+            )
+            try:
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+            except OSError:
+                pass
+            continue
+        entries.append((key, value))
+    return entries
+
+
+def preload_journal(base: pathlib.Path | None = None) -> int:
+    """Load a run directory's journal into the in-memory result memo.
+
+    Returns the number of entries restored (counted as
+    ``checkpoint.loaded``); subsequent ``lookup_result`` hits skip the
+    simulators for that work. With *base* unset, the active
+    ``REPRO_CHECKPOINT_DIR`` is used; no directory (or an empty one)
+    restores nothing.
+    """
+    from repro.core import workload  # late: workload journals through us
+
+    base = base if base is not None else checkpoint_dir()
+    if base is None or not base.is_dir():
+        return 0
+    loaded = 0
+    for key, value in load_journal(base):
+        workload.store_result(key, value)
+        loaded += 1
+    if loaded:
+        telemetry.count("checkpoint.loaded", loaded)
+        _log.info(
+            "resumed from journal %s", telemetry.kv(dir=base, entries=loaded)
+        )
+    return loaded

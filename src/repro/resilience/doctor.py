@@ -1,0 +1,141 @@
+"""``repro doctor``: scan, verify and prune the on-disk stores.
+
+The workload cache (``$REPRO_CACHE_DIR``) and checkpoint journals
+survive crashes by design -- which means they also accumulate the debris
+of crashes: truncated ``.npz`` archives, orphaned ``.tmp`` files from
+interrupted atomic writes, and ``.corrupt`` quarantine markers left by
+earlier runs. The doctor walks a directory, verifies every entry the
+same way the runtime loaders do (every array member is actually
+decompressed, not just the zip directory), quarantines entries that fail
+verification, and -- with ``--prune`` -- deletes quarantined and orphaned
+files.
+
+Verification is read-only apart from quarantine renames; pruning never
+touches healthy entries, so ``repro doctor --prune`` is always safe to
+run between experiments.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = ["DoctorReport", "scan_store", "render_report"]
+
+_log = telemetry.get_logger("doctor")
+
+
+@dataclass
+class DoctorReport:
+    """Outcome of one ``repro doctor`` pass."""
+
+    directory: str
+    healthy: int = 0
+    healthy_bytes: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    pruned: list[str] = field(default_factory=list)
+    orphans: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+def _verify_npz(path: pathlib.Path) -> None:
+    """Load every member of a cache ``.npz``; raises on any corruption."""
+    with np.load(path, allow_pickle=False) as z:
+        if "key" not in z.files:
+            raise ValueError("missing key member")
+        for name in z.files:
+            z[name]  # decompress + CRC-check the member, not just the index
+
+
+def _verify_ckpt(path: pathlib.Path) -> None:
+    """Load one checkpoint journal entry; raises on any corruption."""
+    with open(path, "rb") as fh:
+        record = pickle.load(fh)
+    if not isinstance(record, dict) or "key" not in record or "value" not in record:
+        raise ValueError("not a checkpoint record")
+
+
+def _quarantine(path: pathlib.Path, report: DoctorReport, error: Exception) -> None:
+    telemetry.count("cache.disk.quarantine")
+    _log.warning(
+        "quarantining corrupt entry %s", telemetry.kv(path=path, error=error)
+    )
+    target = path.with_suffix(path.suffix + ".corrupt")
+    try:
+        os.replace(path, target)
+        report.quarantined.append(str(target))
+    except OSError:
+        report.quarantined.append(str(path))
+
+
+def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorReport:
+    """Verify every cache/journal entry under *directory*.
+
+    Corrupt entries are renamed to ``.corrupt`` (counted as
+    ``cache.disk.quarantine``); with *prune*, quarantined entries and
+    orphaned ``.tmp`` files from interrupted writes are deleted.
+    """
+    base = pathlib.Path(directory)
+    report = DoctorReport(directory=str(base))
+    if not base.is_dir():
+        return report
+    with telemetry.span("doctor", dir=str(base)):
+        for path in sorted(base.iterdir()):
+            if path.suffix == ".tmp":
+                report.orphans.append(str(path))
+                continue
+            if path.suffix == ".corrupt":
+                report.orphans.append(str(path))
+                continue
+            try:
+                if path.match("workload-*.npz"):
+                    _verify_npz(path)
+                elif path.match("ckpt-*.pkl"):
+                    _verify_ckpt(path)
+                else:
+                    continue
+            except (OSError, ValueError, KeyError, EOFError,
+                    zipfile.BadZipFile, pickle.UnpicklingError) as exc:
+                _quarantine(path, report, exc)
+                continue
+            report.healthy += 1
+            report.healthy_bytes += path.stat().st_size
+        if prune:
+            for name in report.orphans + report.quarantined:
+                try:
+                    os.unlink(name)
+                    report.pruned.append(name)
+                    telemetry.count("cache.disk.prune")
+                except OSError:
+                    pass
+    return report
+
+
+def render_report(report: DoctorReport, prune: bool = False) -> str:
+    """Human-readable summary for the CLI."""
+    lines = [
+        f"doctor: {report.directory}",
+        f"  healthy entries    {report.healthy}"
+        f"  ({report.healthy_bytes / 1e6:.1f} MB)",
+        f"  quarantined        {len(report.quarantined)}",
+        f"  orphaned/.corrupt  {len(report.orphans)}",
+    ]
+    for name in report.quarantined:
+        lines.append(f"    quarantined {name}")
+    if prune:
+        lines.append(f"  pruned             {len(report.pruned)}")
+    elif report.orphans or report.quarantined:
+        lines.append("  (re-run with --prune to delete quarantined/orphaned files)")
+    verdict = "clean" if report.ok else "corruption found"
+    lines.append(f"  verdict            {verdict}")
+    return "\n".join(lines)

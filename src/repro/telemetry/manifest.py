@@ -76,6 +76,8 @@ def build_manifest(
     extra: dict | None = None,
 ) -> dict:
     """Assemble the manifest dict from the current telemetry window."""
+    from repro.resilience import resilience_summary
+
     rec = recorder if recorder is not None else get_recorder()
     snap = rec.snapshot(events=False)
     manifest = {
@@ -94,6 +96,7 @@ def build_manifest(
         "spans": snap["spans"],
         "counters": snap["counters"],
         "gauges": snap["gauges"],
+        "resilience": resilience_summary(snap["counters"]),
         "dropped_events": snap["dropped_events"],
     }
     if extra:
@@ -159,6 +162,12 @@ def render_manifest(manifest: dict) -> str:
             value = counters[name]
             shown = int(value) if float(value).is_integer() else value
             lines.append(f"  {name.ljust(width)}  {shown}")
+    resilience = manifest.get("resilience") or {}
+    if any(resilience.values()):
+        lines.append("resilience:")
+        for key in sorted(resilience):
+            if resilience[key]:
+                lines.append(f"  {key.ljust(18)}  {int(resilience[key])}")
     gauges = manifest.get("gauges") or {}
     if gauges:
         lines.append("gauges:")

@@ -152,6 +152,46 @@ class TestDiskStore:
         assert work.counts is not None
         assert cache_stats()["workloads"]["disk_hits"] == 0
 
+    def test_truncated_npz_quarantined_and_recomputed(self, tmp_path, monkeypatch):
+        # Regression: a half-written archive from a crashed process raises
+        # zipfile.BadZipFile, which the loader used to let propagate and
+        # kill the run. It must quarantine the entry and recompute.
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec, cfg = _spec(), _cfg()
+        data, work = get_workload(spec, cfg, seed=0)
+        (path,) = tmp_path.glob("workload-*.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn write / truncation
+        clear_caches()
+        telemetry.reset()
+        data2, work2 = get_workload(spec, cfg, seed=0)  # must not raise
+        assert np.array_equal(work2.counts, work.counts)
+        # The damaged bytes are preserved for postmortem, not deleted.
+        assert path.with_suffix(".npz.corrupt").exists()
+        assert not path.exists() or path.stat().st_size > len(raw) // 2
+        counters = telemetry.get_recorder().counters()
+        assert counters["cache.disk.quarantine"] == 1.0
+        # The recompute re-stored a healthy entry: next cold load hits disk.
+        clear_caches()
+        get_workload(spec, cfg, seed=0)
+        assert cache_stats()["workloads"]["disk_hits"] == 1
+
+    def test_garbage_bytes_quarantined(self, tmp_path, monkeypatch):
+        from repro import telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec, cfg = _spec(), _cfg()
+        get_workload(spec, cfg, seed=0)
+        (path,) = tmp_path.glob("workload-*.npz")
+        path.write_bytes(b"\x00\xffgarbage that is definitely not a zip")
+        clear_caches()
+        telemetry.reset()
+        get_workload(spec, cfg, seed=0)  # must not raise
+        assert path.with_suffix(".npz.corrupt").exists()
+        assert telemetry.get_recorder().counters()["cache.disk.quarantine"] == 1.0
+
 
 class TestWarmRunAllHits:
     def test_warm_headline_means_is_all_hits(self):
