@@ -271,6 +271,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="journal finished results to DIR and skip work "
                           "already journaled there (checkpoint/resume)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="per-cluster hardware counters and stall attribution",
+        description="Run the microarchitectural profiler: simulate the "
+                    "chosen schemes with hardware counters on and print "
+                    "where every MAC-cycle went (busy / filter-zero / "
+                    "barrier wait / permute stall / imbalance / memory).",
+    )
+    profile.add_argument("--network", default="alexnet",
+                         help="network to profile (default alexnet)")
+    profile.add_argument("--layer", default=None,
+                         help="profile a single layer instead of the "
+                              "whole network")
+    profile.add_argument("--schemes", default=None,
+                         help="comma-separated scheme list (default: the "
+                              "dense/one-sided/SparTen-variant Table-3 set)")
+    profile.add_argument("--exact", action="store_true",
+                         help="full-resolution simulation (slow)")
+    profile.add_argument("--seed", type=int, default=0, help="workload seed")
+    profile.add_argument("-o", "--output", metavar="PATH", default=None,
+                         help="write the profile.json payload to PATH")
+    profile.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome trace with per-cluster cycle "
+                              "timeline rows to PATH (forces "
+                              "REPRO_PROFILE=timeline)")
+
     stats = sub.add_parser("stats", help="pretty-print a run manifest")
     stats.add_argument("manifest", help="path to a manifest.json")
 
@@ -294,6 +320,39 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_fn, description) in sorted(EXPERIMENTS.items()):
             print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "profile":
+        from repro import profiling
+
+        # The profiler needs counters on; --trace needs timelines too.
+        # Only escalate -- never downgrade an explicit REPRO_PROFILE.
+        wanted = profiling.MODE_TIMELINE if args.trace else profiling.MODE_COUNTERS
+        if profiling.profile_mode() == profiling.MODE_OFF or (
+            wanted == profiling.MODE_TIMELINE
+            and profiling.profile_mode() != profiling.MODE_TIMELINE
+        ):
+            os.environ["REPRO_PROFILE"] = wanted
+        telemetry.reset()
+        profiling.reset_sim_clock()
+        schemes = (
+            tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+            if args.schemes
+            else profiling.DEFAULT_SCHEMES
+        )
+        payload = profiling.profile_network(
+            network=args.network,
+            schemes=schemes,
+            fast=not args.exact,
+            seed=args.seed,
+            layer=args.layer,
+        )
+        print(profiling.render_attribution(payload))
+        if args.output:
+            profiling.write_profile_json(args.output, payload)
+            print(f"profile written to {args.output}")
+        if args.trace:
+            telemetry.write_chrome_trace(args.trace)
+            print(f"trace written to {args.trace}")
         return 0
     if args.command == "stats":
         print(telemetry.render_manifest(telemetry.read_manifest(args.manifest)))

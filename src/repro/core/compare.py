@@ -231,12 +231,16 @@ def _run_scheme(
 
 
 def _accumulate(a: LayerResult, b: LayerResult) -> LayerResult:
-    """Accumulate batch images: cycles and breakdowns add."""
+    """Accumulate batch images: cycles, breakdowns and counters add."""
     from dataclasses import replace
 
+    counters = None
+    if a.counters is not None and b.counters is not None:
+        counters = a.counters + b.counters
     return replace(
         a,
         cycles=a.cycles + b.cycles,
         compute_cycles=a.compute_cycles + b.compute_cycles,
         breakdown=a.breakdown + b.breakdown,
+        counters=counters,
     )

@@ -18,7 +18,7 @@ import threading
 
 from repro import telemetry
 
-__all__ = ["env_int", "env_float"]
+__all__ = ["env_int", "env_float", "env_choice"]
 
 _log = telemetry.get_logger("env")
 _warned: set[tuple[str, str, str]] = set()
@@ -55,6 +55,22 @@ def env_int(name: str, default: int, minimum: int | None = None) -> int:
     if minimum is not None and value < minimum:
         _warn_once(name, raw, minimum, f"below minimum {minimum}")
         return minimum
+    return value
+
+
+def env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
+    """``os.environ[name]`` restricted to *choices* (case-insensitive).
+
+    Unset (or empty) returns *default*; anything outside *choices* warns
+    once and returns *default*.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        _warn_once(name, raw, default, f"not one of {'/'.join(choices)}")
+        return default
     return value
 
 

@@ -50,7 +50,7 @@ from dataclasses import astuple, dataclass
 
 import numpy as np
 
-from repro import telemetry
+from repro import profiling, telemetry
 from repro.core import timing
 from repro.core.env import env_int
 from repro.resilience import checkpoint, faults
@@ -195,7 +195,13 @@ def workload_key(spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -> tuple:
 
 
 def result_key(kind: str, spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -> tuple:
-    """Content key for one finished per-layer simulation result."""
+    """Content key for one finished per-layer simulation result.
+
+    The active ``REPRO_PROFILE`` mode participates so a result computed
+    without counters (or without timelines) is never served to a run
+    that expects them -- figure values are identical across modes, but
+    the attached :class:`~repro.profiling.counters.CounterSet` is not.
+    """
     return (
         "result",
         kind,
@@ -203,6 +209,7 @@ def result_key(kind: str, spec: ConvLayerSpec, cfg: HardwareConfig, seed: int) -
         astuple(spec),
         astuple(cfg),
         int(seed),
+        profiling.profile_mode(),
     )
 
 

@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.sim.config import HardwareConfig
 from repro.sim.kernels import ChunkWork, compute_chunk_work
-from repro.sim.results import Breakdown, LayerResult
+from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_dense"]
 
@@ -45,9 +45,19 @@ def simulate_dense(
     dot_length = spec.kernel * spec.kernel * spec.in_channels
     n_groups = int(np.ceil(spec.n_filters / units))
 
+    mode = profiling.profile_mode()
+    profile = mode != profiling.MODE_OFF
+    bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+
     cluster_cycles = np.zeros(n_clusters, dtype=np.float64)
     nonzero = 0.0
     total_mult_slots = 0.0
+    if profile:
+        busy_c = np.zeros(n_clusters, dtype=np.float64)
+        zero_c = np.zeros(n_clusters, dtype=np.float64)
+        wait_c = np.zeros(n_clusters, dtype=np.float64)
+        tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
+        tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
     batch_items = [(data, work)] if data is not None else [(None, None)] * cfg.batch
     for image, (img_data, img_work) in enumerate(batch_items):
@@ -57,15 +67,44 @@ def simulate_dense(
             img_work = compute_chunk_work(img_data, cfg, need_counts=False)
         assignment = img_work.assignment
         # Every owned position costs n_groups * dot_length cycles.
-        cluster_cycles += (
+        img_cycles = (
             assignment.cluster_positions.astype(np.float64) * n_groups * dot_length
         )
+        cluster_cycles += img_cycles
         nonzero += float(np.sum(img_work.match_sums * assignment.weight_of))
         # Multiplies actually issued: full dot products on every unit that
         # holds a filter (idle units in a partial last group issue none).
         total_mult_slots += float(
             assignment.cluster_positions.sum() * spec.n_filters * dot_length
         )
+        if profile:
+            weights = assignment.weight_of
+            cluster_of = assignment.cluster_of
+            issued_c = (
+                assignment.cluster_positions.astype(np.float64)
+                * spec.n_filters
+                * dot_length
+            )
+            useful_c = np.bincount(
+                cluster_of,
+                weights=img_work.match_sums * weights,
+                minlength=n_clusters,
+            )
+            busy_c += useful_c
+            zero_c += issued_c - useful_c
+            wait_c += img_cycles * units - issued_c
+            if bins:
+                per_pos = np.full(cluster_of.size, float(n_groups * dot_length))
+                img_tl_cycles, img_tl_busy = profiling.positional_timeline(
+                    cluster_of,
+                    per_pos * weights,
+                    np.full(cluster_of.size, float(spec.n_filters * dot_length))
+                    * weights,
+                    n_clusters,
+                    bins,
+                )
+                tl_cycles += img_tl_cycles
+                tl_busy += img_tl_busy
 
     layer_cycles = float(cluster_cycles.max())
     zero = total_mult_slots - nonzero
@@ -77,11 +116,27 @@ def simulate_dense(
         nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
     )
     scheme = "dense_naive" if naive_buffers else "dense"
-    utilization = nonzero / breakdown.total if breakdown.total > 0 else 0.0
+    extras = observability_extras(breakdown)
     telemetry.count(f"sim.{scheme}.layers")
     telemetry.count(f"sim.{scheme}.cycles", layer_cycles)
-    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
-    return LayerResult(
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", extras["mac_utilization"])
+    counters = None
+    if profile:
+        counters = profiling.CounterSet(
+            scheme=scheme,
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            total_cycles=layer_cycles,
+            busy=busy_c,
+            filter_zero=zero_c,
+            barrier_wait=wait_c,
+            permute_stall=np.zeros(n_clusters, dtype=np.float64),
+            imbalance_idle=(layer_cycles - cluster_cycles) * units,
+            memory_stall=np.zeros(n_clusters, dtype=np.float64),
+            timeline_cycles=tl_cycles,
+            timeline_busy=tl_busy,
+        )
+    result = LayerResult(
         scheme=scheme,
         layer_name=spec.name,
         cycles=layer_cycles,
@@ -90,10 +145,11 @@ def simulate_dense(
         breakdown=breakdown,
         traffic=layer_traffic(spec, scheme="dense", chunk_size=cfg.chunk_size),
         extras={
+            **extras,
             "filter_groups": n_groups,
             "dot_length": dot_length,
-            "mac_utilization": utilization,
-            "imbalance_idle_mac_cycles": inter,
-            "intra_idle_mac_cycles": intra,
         },
+        counters=counters,
     )
+    profiling.record_layer(result)
+    return result

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.sim.config import HardwareConfig
 from repro.sim.kernels import ChunkWork, compute_chunk_work
-from repro.sim.results import Breakdown, LayerResult
+from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_dynamic_dispatch"]
 
@@ -53,10 +54,19 @@ def simulate_dynamic_dispatch(
     units = cfg.units_per_cluster
     n_clusters = cfg.n_clusters
 
+    mode = profiling.profile_mode()
+    profile = mode != profiling.MODE_OFF
+    bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+
     cluster_cycles = np.zeros(n_clusters, dtype=np.float64)
     nonzero = 0.0
     intra = 0.0
     refetch_bytes = 0.0
+    if profile:
+        busy_c = np.zeros(n_clusters, dtype=np.float64)
+        wait_c = np.zeros(n_clusters, dtype=np.float64)
+        tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
+        tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
     batch_items = [(data, work)] if data is not None else [(None, None)] * cfg.batch
     for image, (img_data, img_work) in enumerate(batch_items):
@@ -88,6 +98,25 @@ def simulate_dynamic_dispatch(
         )
         nonzero += float(np.sum(per_pos_busy * weights))
         intra += float(np.sum((per_pos_barrier * units - per_pos_busy) * weights))
+        if profile:
+            busy_c += np.bincount(
+                cluster_of, weights=per_pos_busy * weights, minlength=n_clusters
+            )
+            wait_c += np.bincount(
+                cluster_of,
+                weights=(per_pos_barrier * units - per_pos_busy) * weights,
+                minlength=n_clusters,
+            )
+            if bins:
+                img_tl_cycles, img_tl_busy = profiling.positional_timeline(
+                    cluster_of,
+                    per_pos_barrier * weights,
+                    per_pos_busy * weights,
+                    n_clusters,
+                    bins,
+                )
+                tl_cycles += img_tl_cycles
+                tl_busy += img_tl_busy
 
         # Filter movement: every (position, chunk, unit-slot) fetches a
         # chunk's mask + values instead of holding it resident. Use the
@@ -110,7 +139,27 @@ def simulate_dynamic_dispatch(
         spec, "two_sided", chunk_size=cfg.chunk_size
     )
     resident_bytes = filter_t.total_bytes
-    return LayerResult(
+    extras = observability_extras(breakdown)
+    telemetry.count("sim.sparten_dynamic.layers")
+    telemetry.count("sim.sparten_dynamic.cycles", layer_cycles)
+    telemetry.gauge("sim.sparten_dynamic.mac_utilization", extras["mac_utilization"])
+    counters = None
+    if profile:
+        counters = profiling.CounterSet(
+            scheme="sparten_dynamic",
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            total_cycles=layer_cycles,
+            busy=busy_c,
+            filter_zero=np.zeros(n_clusters, dtype=np.float64),
+            barrier_wait=wait_c,
+            permute_stall=np.zeros(n_clusters, dtype=np.float64),
+            imbalance_idle=(layer_cycles - cluster_cycles) * units,
+            memory_stall=np.zeros(n_clusters, dtype=np.float64),
+            timeline_cycles=tl_cycles,
+            timeline_busy=tl_busy,
+        )
+    result = LayerResult(
         scheme="sparten_dynamic",
         layer_name=spec.name,
         cycles=layer_cycles,
@@ -119,8 +168,12 @@ def simulate_dynamic_dispatch(
         breakdown=breakdown,
         traffic=base_traffic,
         extras={
+            **extras,
             "filter_refetch_bytes": refetch_bytes,
             "filter_resident_bytes": resident_bytes,
             "idealised": True,
         },
+        counters=counters,
     )
+    profiling.record_layer(result)
+    return result

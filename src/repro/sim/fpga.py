@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro import telemetry
 from repro.arch.memory import MemoryInterface, layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.sim.config import FPGA_CONFIG, HardwareConfig
@@ -46,7 +47,18 @@ def apply_roofline(result: LayerResult, bytes_per_cycle: float) -> LayerResult:
     extras = dict(result.extras)
     extras["memory_bound"] = True
     extras["memory_stall_cycles"] = stall
-    return replace(result, cycles=bounded, breakdown=breakdown, extras=extras)
+    counters = result.counters
+    if counters is not None:
+        counters = counters.with_memory_stall(stall)
+        # The compute-side buckets were recorded at simulation time; only
+        # the roofline's added stall is new counter mass.
+        telemetry.count(
+            f"profile.{counters.scheme}.memory_stall_mac_cycles",
+            stall * counters.units_per_cluster * counters.n_clusters,
+        )
+    return replace(
+        result, cycles=bounded, breakdown=breakdown, extras=extras, counters=counters
+    )
 
 
 def simulate_fpga(

@@ -13,10 +13,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import exp, log
+from typing import TYPE_CHECKING
 
 from repro.arch.memory import Traffic
 
-__all__ = ["Breakdown", "LayerResult", "NetworkResult", "geomean"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (profiling -> sim)
+    from repro.profiling.counters import CounterSet
+
+__all__ = [
+    "Breakdown",
+    "LayerResult",
+    "NetworkResult",
+    "geomean",
+    "observability_extras",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +90,10 @@ class LayerResult:
             amortised over the batch).
         extras: model-specific diagnostics (permute cycles, barrier
             counts, utilisation, ...).
+        counters: per-cluster hardware counters
+            (:class:`repro.profiling.counters.CounterSet`), attached by
+            the simulators unless ``REPRO_PROFILE=off``. Excluded from
+            equality: counters are observability, never figure values.
     """
 
     scheme: str
@@ -90,6 +104,7 @@ class LayerResult:
     breakdown: Breakdown
     traffic: Traffic
     extras: dict = field(default_factory=dict)
+    counters: "CounterSet | None" = field(default=None, compare=False)
 
     def speedup_over(self, baseline: "LayerResult") -> float:
         """Speedup of this result relative to *baseline* (same layer)."""
@@ -116,18 +131,61 @@ class NetworkResult:
                 return result
         raise KeyError(f"no result for layer {name!r}")
 
+    def counters(self) -> "CounterSet | None":
+        """Whole-network counter aggregate: the per-layer sets summed.
+
+        ``None`` when any layer ran without counters
+        (``REPRO_PROFILE=off``) or the network has no layers.
+        """
+        per_layer = [result.counters for result in self.layers]
+        if not per_layer or any(c is None for c in per_layer):
+            return None
+        total = per_layer[0]
+        for counter_set in per_layer[1:]:
+            total = total + counter_set
+        return total
+
     def geomean_speedup_over(
         self, baseline: "NetworkResult", exclude: tuple[str, ...] = ()
     ) -> float:
         """Geometric-mean per-layer speedup, optionally excluding layers."""
+        if len(self.layers) != len(baseline.layers):
+            raise ValueError(
+                f"no layers can be paired: network {self.network_name!r} "
+                f"({self.scheme}) has {len(self.layers)} layers but baseline "
+                f"{baseline.network_name!r} ({baseline.scheme}) has "
+                f"{len(baseline.layers)}"
+            )
         speedups = [
             mine.speedup_over(base)
             for mine, base in zip(self.layers, baseline.layers)
             if mine.layer_name not in exclude
         ]
         if not speedups:
-            raise ValueError("no layers left after exclusions")
+            raise ValueError(
+                f"no layers left after exclusions on network "
+                f"{self.network_name!r}: layers "
+                f"{[r.layer_name for r in self.layers]} are all excluded by "
+                f"{sorted(exclude)}"
+            )
         return geomean(speedups)
+
+
+def observability_extras(breakdown: Breakdown) -> dict:
+    """The extras keys every simulator emits, derived from a breakdown.
+
+    One schema across Dense/SparTen/SCNN/dynamic so reports can compare
+    schemes column-for-column: utilisation plus the zero/intra/inter
+    MAC-cycle splits (inter is the load-imbalance idle the greedy
+    balancers target).
+    """
+    total = breakdown.total
+    return {
+        "mac_utilization": breakdown.nonzero_macs / total if total > 0 else 0.0,
+        "zero_mac_cycles": breakdown.zero_macs,
+        "imbalance_idle_mac_cycles": breakdown.inter_loss,
+        "intra_idle_mac_cycles": breakdown.intra_loss,
+    }
 
 
 def geomean(values: list[float]) -> float:

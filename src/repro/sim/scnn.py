@@ -26,12 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.sim.config import HardwareConfig
-from repro.sim.results import Breakdown, LayerResult
+from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_scnn", "scnn_tile_plan"]
 
@@ -69,24 +69,36 @@ def simulate_scnn(
     mult_w = cfg.scnn_mult_cols
     macs_per_pe = cfg.scnn_macs_per_pe
 
+    mode = profiling.profile_mode()
+    profile = mode != profiling.MODE_OFF
+    bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+
     cycles_total = 0.0
     useful = 0.0
     issued = 0.0
     inter = 0.0
     stride_waste = 0.0
     operand_zero = 0.0
+    counters = None
 
     batch_items = [data] if data is not None else [None] * cfg.batch
     for image, img_data in enumerate(batch_items):
         if img_data is None:
             img_data = synthesize_layer(spec, seed=seed + image)
-        s = _scnn_image_stats(img_data, cfg, variant, n_pes, mult_in, mult_w)
+        s = _scnn_image_stats(
+            img_data, cfg, variant, n_pes, mult_in, mult_w,
+            profile=profile, bins=bins, scheme=scheme,
+        )
         cycles_total += s["cycles"]
         useful += s["useful"]
         issued += s["issued"]
         inter += s["inter"]
         stride_waste += s["stride_waste"]
         operand_zero += s["operand_zero"]
+        if profile:
+            counters = (
+                s["counters"] if counters is None else counters + s["counters"]
+            )
 
     intra = issued - useful - stride_waste - operand_zero
     breakdown = Breakdown(
@@ -96,11 +108,11 @@ def simulate_scnn(
         inter_loss=inter,
     )
     traffic_scheme = {"two": "two_sided", "one": "one_sided", "dense": "dense"}[variant]
-    utilization = useful / breakdown.total if breakdown.total > 0 else 0.0
+    extras = observability_extras(breakdown)
     telemetry.count(f"sim.{scheme}.layers")
     telemetry.count(f"sim.{scheme}.cycles", cycles_total)
-    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
-    return LayerResult(
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", extras["mac_utilization"])
+    result = LayerResult(
         scheme=scheme,
         layer_name=spec.name,
         cycles=cycles_total,
@@ -109,12 +121,13 @@ def simulate_scnn(
         breakdown=breakdown,
         traffic=layer_traffic(spec, scheme=traffic_scheme, chunk_size=cfg.chunk_size),
         extras={
+            **extras,
             "variant": variant,
-            "mac_utilization": utilization,
-            "imbalance_idle_mac_cycles": inter,
-            "intra_idle_mac_cycles": intra,
         },
+        counters=counters,
     )
+    profiling.record_layer(result)
+    return result
 
 
 def _scnn_image_stats(
@@ -124,6 +137,9 @@ def _scnn_image_stats(
     n_pes: int,
     mult_in: int,
     mult_w: int,
+    profile: bool = False,
+    bins: int = 0,
+    scheme: str = "scnn",
 ) -> dict:
     """Cycle/work statistics for one image on SCNN."""
     spec = data.spec
@@ -195,7 +211,7 @@ def _scnn_image_stats(
     useful = both_nz * stride_factor
     stride_waste = both_nz - useful
 
-    return {
+    stats = {
         "cycles": cycles,
         "useful": useful,
         "issued": issued,
@@ -203,3 +219,50 @@ def _scnn_image_stats(
         "stride_waste": stride_waste,
         "operand_zero": operand_zero,
     }
+    if not profile:
+        return stats
+
+    # Per-PE hardware counters. A PE issues for ``pe_ceil * ceil_w``
+    # cycles of each (group, channel) broadcast and then waits for the
+    # slowest PE, so its occupied slots, exact products and barrier math
+    # all factorise over channels exactly like the global statistics.
+    macs_per_pe = mult_in * mult_w
+    in_pe = np.zeros((n_pes, c), dtype=np.float64)
+    np.add.at(in_pe, pe_of_tile, tile_counts.astype(np.float64))
+    in_nz_pe = np.zeros((n_pes, c), dtype=np.float64)
+    np.add.at(in_nz_pe, pe_of_tile, tile_nnz.astype(np.float64))
+    issued_slots = (pe_ceil * sum_ceil_w[None, :]).astype(np.float64)  # (PEs, C)
+    issued_pe = issued_slots.sum(axis=1) * macs_per_pe
+    products_pe = in_pe @ w_total
+    both_nz_pe = in_nz_pe @ w_nz_total
+    useful_pe = both_nz_pe * stride_factor
+    timeline_cycles = timeline_busy = None
+    if bins:
+        # Channel-axis progress bins: every PE advances through the
+        # channels in lockstep (the broadcast barrier), so the wall row
+        # is shared and only the occupied slots differ per PE.
+        bin_of = (np.arange(c) * bins) // max(c, 1)
+        onehot = (bin_of[:, None] == np.arange(bins)[None, :]).astype(np.float64)
+        wall_ch = (max_pe * sum_ceil_w).astype(np.float64)
+        timeline_cycles = np.tile(wall_ch @ onehot, (n_pes, 1))
+        timeline_busy = (issued_slots * macs_per_pe) @ onehot
+    stats["counters"] = profiling.CounterSet(
+        scheme=scheme,
+        n_clusters=n_pes,
+        units_per_cluster=macs_per_pe,
+        total_cycles=cycles,
+        busy=useful_pe,
+        filter_zero=products_pe - useful_pe,
+        barrier_wait=issued_pe - products_pe,
+        permute_stall=np.zeros(n_pes, dtype=np.float64),
+        imbalance_idle=cycles * macs_per_pe - issued_pe,
+        memory_stall=np.zeros(n_pes, dtype=np.float64),
+        barriers=float(n_groups * c),
+        buffer_hwm={
+            "input_tile_values": float(tile_nnz.max(initial=0)),
+            "weight_group_values": float(group_weights.max(initial=0)),
+        },
+        timeline_cycles=timeline_cycles,
+        timeline_busy=timeline_busy,
+    )
+    return stats

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.arch.permute import PermutationNetwork
 from repro.balance.greedy import (
@@ -42,7 +42,7 @@ from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.nets.layers import ConvLayerSpec
 from repro.sim.config import HardwareConfig
 from repro.sim.kernels import ChunkWork, compute_chunk_work
-from repro.sim.results import Breakdown, LayerResult
+from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_sparten", "sparten_variant_plan", "SCHEME_NAMES"]
 
@@ -112,12 +112,24 @@ def simulate_sparten(
     units = cfg.units_per_cluster
     n_clusters = cfg.n_clusters
 
+    mode = profiling.profile_mode()
+    profile = mode != profiling.MODE_OFF
+    bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+
     cluster_cycles = np.zeros(n_clusters, dtype=np.float64)
     nonzero = 0.0
     zero = 0.0
     intra = 0.0
     permute_total = 0.0
     barriers_total = 0.0
+    if profile:
+        busy_c = np.zeros(n_clusters, dtype=np.float64)
+        zero_c = np.zeros(n_clusters, dtype=np.float64)
+        wait_c = np.zeros(n_clusters, dtype=np.float64)
+        permute_c = np.zeros(n_clusters, dtype=np.float64)
+        hwm: dict[str, float] = {}
+        tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
+        tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
     batch_items = (
         [(data, work)]
@@ -141,6 +153,44 @@ def simulate_sparten(
         intra += stats["intra"]
         permute_total += stats.get("permute", 0.0)
         barriers_total += stats.get("barriers", 0.0)
+        if profile:
+            weights = img_work.assignment.weight_of
+            cluster_of = img_work.assignment.cluster_of
+            barrier = stats["per_pos_barrier"]
+            slots = stats["per_pos_slots"]
+            useful = stats["per_pos_useful"]
+            permute_slots = stats["per_pos_permute"] * units
+            busy_c += np.bincount(
+                cluster_of, weights=useful * weights, minlength=n_clusters
+            )
+            zero_c += np.bincount(
+                cluster_of, weights=(slots - useful) * weights, minlength=n_clusters
+            )
+            wait_c += np.bincount(
+                cluster_of,
+                weights=(barrier * units - slots - permute_slots) * weights,
+                minlength=n_clusters,
+            )
+            permute_c += np.bincount(
+                cluster_of, weights=permute_slots * weights, minlength=n_clusters
+            )
+            hwm_entries = {
+                "input_chunk_values": float(img_work.input_pop.max(initial=0)),
+                "filter_chunk_values": float(
+                    img_work.filter_chunk_nnz.max(initial=0)
+                ),
+                "output_collector_entries": float(
+                    2 * units if stats.get("collocated") else units
+                ),
+            }
+            for key, value in hwm_entries.items():
+                hwm[key] = max(hwm.get(key, value), value)
+            if bins:
+                img_tl_cycles, img_tl_busy = profiling.positional_timeline(
+                    cluster_of, barrier * weights, slots * weights, n_clusters, bins
+                )
+                tl_cycles += img_tl_cycles
+                tl_busy += img_tl_busy
 
     layer_cycles = float(cluster_cycles.max())
     inter = float(np.sum((layer_cycles - cluster_cycles) * units))
@@ -155,12 +205,29 @@ def simulate_sparten(
     # Per-simulator observability: utilization is useful MACs over all
     # MAC-cycles; the idle terms split the paper's intra/inter losses
     # (inter = the load-imbalance idle the greedy balancers target).
-    total_mac_cycles = breakdown.total
-    utilization = nonzero / total_mac_cycles if total_mac_cycles > 0 else 0.0
+    extras = observability_extras(breakdown)
     telemetry.count(f"sim.{scheme}.layers")
     telemetry.count(f"sim.{scheme}.cycles", layer_cycles)
-    telemetry.gauge(f"sim.{scheme}.mac_utilization", utilization)
-    return LayerResult(
+    telemetry.gauge(f"sim.{scheme}.mac_utilization", extras["mac_utilization"])
+    counters = None
+    if profile:
+        counters = profiling.CounterSet(
+            scheme=scheme,
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            total_cycles=layer_cycles,
+            busy=busy_c,
+            filter_zero=zero_c,
+            barrier_wait=wait_c,
+            permute_stall=permute_c,
+            imbalance_idle=(layer_cycles - cluster_cycles) * units,
+            memory_stall=np.zeros(n_clusters, dtype=np.float64),
+            barriers=barriers_total,
+            buffer_hwm=hwm,
+            timeline_cycles=tl_cycles,
+            timeline_busy=tl_busy,
+        )
+    result = LayerResult(
         scheme=scheme,
         layer_name=spec.name,
         cycles=layer_cycles,
@@ -169,14 +236,15 @@ def simulate_sparten(
         breakdown=breakdown,
         traffic=traffic,
         extras={
+            **extras,
             "permute_cycles": permute_total,
             "barriers": barriers_total,
             "variant": variant if sided == "two" else None,
-            "mac_utilization": utilization,
-            "imbalance_idle_mac_cycles": inter,
-            "intra_idle_mac_cycles": intra,
         },
+        counters=counters,
     )
+    profiling.record_layer(result)
+    return result
 
 
 def _two_sided_cluster_cycles(
@@ -215,6 +283,7 @@ def _two_sided_cluster_cycles(
     # for each filter group, then reduce: barrier = max over unit rows.
     per_pos_barrier = np.zeros(n_sel, dtype=np.float64)  # sum over groups+chunks
     per_pos_busy = np.zeros(n_sel, dtype=np.float64)  # sum of unit work
+    per_pos_permute = np.zeros(n_sel, dtype=np.float64)  # unhidden routing
     barriers = 0
     permute_unhidden = 0.0
 
@@ -255,7 +324,9 @@ def _two_sided_cluster_cycles(
                 # compute; the shortfall stalls the whole cluster (the
                 # resulting idle falls into intra-cluster loss).
                 floor = route_floor[:, None]
-                permute_unhidden += float(np.sum(np.maximum(0.0, floor - barrier)))
+                unhidden = np.maximum(0.0, floor - barrier)
+                permute_unhidden += float(np.sum(unhidden))
+                per_pos_permute += unhidden.sum(axis=0)
                 barrier = np.maximum(barrier, floor)
             per_pos_barrier += barrier.sum(axis=0)
             per_pos_busy += busy.sum(axis=0)
@@ -284,6 +355,13 @@ def _two_sided_cluster_cycles(
         "intra": intra,
         "permute": permute_unhidden,
         "barriers": float(barriers),
+        "collocated": collocate,
+        # Per-position views for the hardware counters: occupied slots
+        # equal useful work (every two-sided multiply is effectual).
+        "per_pos_barrier": per_pos_barrier,
+        "per_pos_slots": per_pos_busy,
+        "per_pos_useful": per_pos_busy,
+        "per_pos_permute": per_pos_permute,
     }
 
 
@@ -347,4 +425,12 @@ def _one_sided_cluster_cycles(
         "zero": zero,
         "intra": intra,
         "barriers": float(n_groups * n_chunks),
+        "collocated": False,
+        # Per-position views for the hardware counters: every filter
+        # processes every input non-zero, so occupied slots are
+        # pop x n_filters and the useful subset is the match count.
+        "per_pos_barrier": per_pos_barrier,
+        "per_pos_slots": per_pos_pop * n_filters,
+        "per_pos_useful": work.match_sums.astype(np.float64),
+        "per_pos_permute": np.zeros_like(per_pos_barrier),
     }

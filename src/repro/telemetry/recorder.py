@@ -128,6 +128,49 @@ class Recorder:
                 else:
                     self._dropped_events += 1
 
+    def emit_event(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        pid: int | None = None,
+        tid: int | None = None,
+        args: dict | None = None,
+        pname: str | None = None,
+        tname: str | None = None,
+    ) -> bool:
+        """Record one raw complete event (trace timestamps in microseconds).
+
+        Used by the profiler to place rows on synthetic timelines (e.g.
+        per-cluster simulated-cycle lanes) rather than the wall clock.
+        *pname*/*tname* name the trace process/thread rows; the Chrome
+        exporter turns them into metadata records. Subject to the same
+        event budget as spans; returns ``False`` when dropped.
+        """
+        with self._lock:
+            budget = (
+                self._max_events if self._max_events is not None else _max_events()
+            )
+            if len(self._events) >= budget:
+                self._dropped_events += 1
+                return False
+            event: dict = {
+                "name": name,
+                "ts": float(ts),
+                "dur": float(dur),
+                "pid": int(pid) if pid is not None else os.getpid(),
+                "tid": int(tid) if tid is not None else 0,
+                "depth": 1,
+            }
+            if args:
+                event["args"] = dict(args)
+            if pname:
+                event["pname"] = pname
+            if tname:
+                event["tname"] = tname
+            self._events.append(event)
+            return True
+
     def current_attrs(self) -> dict:
         """Attributes of the innermost open span on this thread."""
         stack = self._stack()

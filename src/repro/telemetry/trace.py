@@ -26,11 +26,14 @@ def chrome_trace(recorder: Recorder | None = None) -> dict:
     events = rec.events()
     trace_events: list[dict] = []
     seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
     for event in events:
         pid = int(event.get("pid", os.getpid()))
         if pid not in seen_pids:
             seen_pids.add(pid)
-            label = "repro" if pid == os.getpid() else f"repro worker {pid}"
+            label = event.get("pname") or (
+                "repro" if pid == os.getpid() else f"repro worker {pid}"
+            )
             trace_events.append(
                 {
                     "name": "process_name",
@@ -40,6 +43,19 @@ def chrome_trace(recorder: Recorder | None = None) -> dict:
                     "args": {"name": label},
                 }
             )
+        if event.get("tname"):
+            tid_key = (pid, int(event.get("tid", 0)))
+            if tid_key not in seen_tids:
+                seen_tids.add(tid_key)
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid_key[1],
+                        "args": {"name": str(event["tname"])},
+                    }
+                )
         record = {
             "name": str(event["name"]),
             "cat": "repro",

@@ -301,7 +301,10 @@ class TestCheckpointResume:
         for scheme in baseline.results:
             for layer, a in baseline.results[scheme].items():
                 b = resumed.results[scheme][layer]
-                assert dataclasses.asdict(a) == dataclasses.asdict(b)
+                assert a == b
+                assert (a.counters is None) == (b.counters is None)
+                if a.counters is not None:
+                    assert a.counters.to_dict() == b.counters.to_dict()
 
     def test_corrupt_journal_entry_quarantined_not_fatal(self, tmp_path, monkeypatch, mini_cfg):
         run_dir = tmp_path / "run"
