@@ -1,11 +1,14 @@
-"""CI guard: the kernel benchmarks must exercise the native kernel.
+"""CI guard: the kernel benchmarks must exercise the native kernels.
 
 Reads the manifest the benchmark session wrote (``benchmarks/output/
 manifest.json`` by default) and fails when it reports zero
 ``kernel.native_dispatch`` counts -- that means every match-count call
 silently fell back to the GEMM path, so the benchmark numbers no longer
-measure what CI thinks they measure. The check is skipped when
-``REPRO_NO_NATIVE`` is set (the fallback is then intentional).
+measure what CI thinks they measure. On a native-capable runner the
+same goes for ``kernel.reduce_native_dispatch``: zero means every
+scheme reduction fell back to the blocked NumPy path. The check is
+skipped when ``REPRO_NO_NATIVE`` is set (the fallback is then
+intentional).
 
 Usage::
 
@@ -37,22 +40,38 @@ def main(argv: list[str] | None = None) -> int:
     counters = manifest.get("counters", {})
     native_calls = counters.get("kernel.native_dispatch", 0)
     gemm_calls = counters.get("kernel.gemm_dispatch", 0)
-    if native_calls > 0:
+    reduce_native = counters.get("kernel.reduce_native_dispatch", 0)
+    reduce_fallback = counters.get("kernel.reduce_fallback_dispatch", 0)
+    if native_calls <= 0:
         print(
-            f"check_manifest: OK -- {int(native_calls)} native dispatches "
-            f"({int(gemm_calls)} GEMM) in {path}"
+            f"check_manifest: FAIL -- manifest {path} reports zero native-kernel "
+            f"dispatches ({int(gemm_calls)} GEMM fallbacks); the benchmark run "
+            "never hit the compiled popcount kernel."
         )
-        return 0
+        _explain_native()
+        return 1
+    if native.available() and reduce_native <= 0:
+        print(
+            f"check_manifest: FAIL -- manifest {path} reports zero native "
+            f"reduction dispatches ({int(reduce_fallback)} NumPy fallbacks) on "
+            "a native-capable runner; every scheme reduction bypassed the "
+            "compiled engine."
+        )
+        _explain_native()
+        return 1
     print(
-        f"check_manifest: FAIL -- manifest {path} reports zero native-kernel "
-        f"dispatches ({int(gemm_calls)} GEMM fallbacks); the benchmark run "
-        "never hit the compiled popcount kernel."
+        f"check_manifest: OK -- {int(native_calls)} native dispatches "
+        f"({int(gemm_calls)} GEMM), {int(reduce_native)} native reductions "
+        f"({int(reduce_fallback)} NumPy) in {path}"
     )
+    return 0
+
+
+def _explain_native() -> None:
     error = native.load_error()
     if error:
         print(f"check_manifest: native load error: {error}")
     print("check_manifest: set REPRO_NO_NATIVE=1 if the fallback is intended.")
-    return 1
 
 
 if __name__ == "__main__":

@@ -32,9 +32,9 @@ def oracle_plan(work: ChunkWork, n_units: int) -> BalancePlan:
     hardware would need to know ahead of time -- which it cannot -- so
     this is a bound, not a scheme.
     """
-    assert work.counts is not None
-    # Mean true work per (filter, chunk) over positions.
-    mean_work = work.counts.mean(axis=1).T  # (F, n_chunks)
+    # Mean true work per (filter, chunk) over positions (regenerated
+    # exactly from the packed masks when the workload is fused).
+    mean_work = work.materialized_counts().mean(axis=1).T  # (F, n_chunks)
     n_filters, n_chunks = mean_work.shape
     order = np.argsort(-mean_work.sum(axis=1), kind="stable").astype(np.int64)
     group_size = 2 * n_units
@@ -73,8 +73,7 @@ def proxy_vs_oracle(
     """
     from repro.balance.greedy import gb_h_plan
 
-    assert work.counts is not None
-    counts = work.counts.astype(np.float64)
+    counts = work.materialized_counts().astype(np.float64)
     proxy = gb_h_plan(filter_masks, n_units, chunk_size=chunk_size)
     oracle = oracle_plan(work, n_units)
 

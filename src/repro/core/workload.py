@@ -57,7 +57,12 @@ from repro.resilience import checkpoint, faults
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.synthesis import LayerData, synthesize_layer
 from repro.sim.config import HardwareConfig
-from repro.sim.kernels import ChunkWork, PositionAssignment, compute_chunk_work
+from repro.sim.kernels import (
+    ChunkWork,
+    PackedMasks,
+    PositionAssignment,
+    compute_chunk_work,
+)
 
 __all__ = [
     "CacheStats",
@@ -237,7 +242,7 @@ def get_workload(
     """
     key = workload_key(spec, cfg, seed)
     entry = _WORKLOADS.get(key)
-    if entry is not None and (not need_counts or entry[1].counts is not None):
+    if entry is not None and _satisfies(entry[1], need_counts):
         return entry
     disk = _disk_load(key, spec, need_counts)
     if disk is not None:
@@ -300,15 +305,33 @@ def reset_cache_stats() -> None:
 # -- on-disk store ----------------------------------------------------------
 
 
+def _satisfies(work: ChunkWork, need_counts: bool) -> bool:
+    """Whether a cached entry can serve a request.
+
+    Either match-count representation serves a ``need_counts`` caller:
+    materialized counts and packed masks are interchangeable (and
+    bit-identical) through the reduction engine, and the rare raw-count
+    consumer regenerates via ``ChunkWork.materialized_counts``.
+    """
+    if not need_counts:
+        return True
+    return work.counts is not None or work.packed is not None
+
+
 def _pair_nbytes(pair: tuple[LayerData, ChunkWork]) -> int:
     data, work = pair
     total = data.input_map.nbytes + data.filters.nbytes
+    if work.packed is not None:
+        total += work.packed.nbytes
     for arr in (
         work.counts,
         work.input_pop,
         work.match_sums,
         work.filter_chunk_nnz,
         work.assignment.indices,
+        work.assignment.cluster_of,
+        work.assignment.weight_of,
+        work.assignment.cluster_positions,
     ):
         if arr is not None:
             total += arr.nbytes
@@ -348,6 +371,10 @@ def _disk_store(key: tuple, pair: tuple[LayerData, ChunkWork]) -> None:
     }
     if work.counts is not None:
         payload["counts"] = work.counts
+    if work.packed is not None:
+        payload["win_words"] = work.packed.win_words
+        payload["filt_words"] = work.packed.filt_words
+        payload["packed_chunk_size"] = np.int64(work.packed.chunk_size)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -385,7 +412,7 @@ def _disk_load(
         with timing.stage("cache_disk"), np.load(path, allow_pickle=False) as z:
             if str(z["key"][()]) != repr(key):
                 return None  # digest collision: recompute rather than trust
-            if need_counts and "counts" not in z.files:
+            if need_counts and "counts" not in z.files and "win_words" not in z.files:
                 return None
             data = LayerData(
                 spec=spec, input_map=z["input_map"], filters=z["filters"]
@@ -396,6 +423,13 @@ def _disk_load(
                 weight_of=z["weight_of"],
                 cluster_positions=z["cluster_positions"],
             )
+            packed = None
+            if "win_words" in z.files:
+                packed = PackedMasks(
+                    win_words=z["win_words"],
+                    filt_words=z["filt_words"],
+                    chunk_size=int(z["packed_chunk_size"]),
+                )
             work = ChunkWork(
                 counts=z["counts"] if "counts" in z.files else None,
                 input_pop=z["input_pop"],
@@ -403,6 +437,7 @@ def _disk_load(
                 assignment=assignment,
                 n_chunks=int(z["n_chunks"]),
                 filter_chunk_nnz=z["filter_chunk_nnz"],
+                packed=packed,
             )
     except (ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
         # np.load raises BadZipFile/EOFError on a truncated archive and

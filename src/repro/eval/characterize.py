@@ -70,14 +70,13 @@ def characterize_layer(
         data = synthesize_layer(spec, seed=seed)
     if work is None:
         work = compute_chunk_work(data, cfg, need_counts=True)
-    assert work.counts is not None
 
     dense = simulate_dense(spec, cfg, data=data, work=work)
     sparse = simulate_sparten(spec, cfg, variant=variant, data=data, work=work)
 
     in_d = data.measured_input_density
     f_d = data.measured_filter_density
-    counts = work.counts
+    counts = work.materialized_counts()
     flat = counts.reshape(-1, counts.shape[-1]).astype(np.float64)
     per_unit_work = flat[flat.sum(axis=1) > 0]  # drop empty broadcast rows
     values = per_unit_work.reshape(-1)

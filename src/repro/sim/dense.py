@@ -18,9 +18,9 @@ import numpy as np
 from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
-from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.nets.synthesis import LayerData
 from repro.sim.config import HardwareConfig
-from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.kernels import ChunkWork, batch_workloads
 from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_dense"]
@@ -59,12 +59,9 @@ def simulate_dense(
         tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
         tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
-    batch_items = [(data, work)] if data is not None else [(None, None)] * cfg.batch
-    for image, (img_data, img_work) in enumerate(batch_items):
-        if img_data is None:
-            img_data = synthesize_layer(spec, seed=seed + image)
-        if img_work is None:
-            img_work = compute_chunk_work(img_data, cfg, need_counts=False)
+    for img_data, img_work in batch_workloads(
+        spec, cfg, seed, data, work, need_counts=False
+    ):
         assignment = img_work.assignment
         # Every owned position costs n_groups * dot_length cycles.
         img_cycles = (

@@ -29,9 +29,10 @@ import numpy as np
 from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
-from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.nets.synthesis import LayerData
+from repro.sim import reduce
 from repro.sim.config import HardwareConfig
-from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.kernels import ChunkWork, batch_workloads
 from repro.sim.results import Breakdown, LayerResult, observability_extras
 
 __all__ = ["simulate_dynamic_dispatch"]
@@ -68,30 +69,23 @@ def simulate_dynamic_dispatch(
         tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
         tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
-    batch_items = [(data, work)] if data is not None else [(None, None)] * cfg.batch
-    for image, (img_data, img_work) in enumerate(batch_items):
-        if img_data is None:
-            img_data = synthesize_layer(spec, seed=seed + image)
-        if img_work is None:
-            img_work = compute_chunk_work(img_data, cfg, need_counts=True)
-        assert img_work.counts is not None
-        counts = img_work.counts.astype(np.float64)  # (n_chunks, n_sel, F)
+    for img_data, img_work in batch_workloads(
+        spec, cfg, seed, data, work, need_counts=True
+    ):
         weights = img_work.assignment.weight_of
         cluster_of = img_work.assignment.cluster_of
-        n_chunks, n_sel, n_filters = counts.shape
+        n_chunks = img_work.n_chunks
+        n_filters = img_data.spec.n_filters
 
-        per_pos_barrier = np.zeros(n_sel, dtype=np.float64)
-        per_pos_busy = np.zeros(n_sel, dtype=np.float64)
-        # Same residency as GB's collocation: 2 x units filters per pass.
-        group_width = 2 * units
-        for base in range(0, n_filters, group_width):
-            group = counts[:, :, base : base + group_width]
-            total = group.sum(axis=2)
-            peak = group.max(axis=2)
-            # Makespan lower bound; at least one cycle per broadcast.
-            barrier = np.maximum(np.maximum(np.ceil(total / units), peak), 1.0)
-            per_pos_barrier += barrier.sum(axis=0)
-            per_pos_busy += total.sum(axis=0)
+        # Same residency as GB's collocation: 2 x units filters per pass,
+        # each pass bounded by the list-scheduling makespan
+        # max(ceil(total / units), peak) and one cycle per broadcast.
+        rspec = reduce.order_groups(
+            np.arange(n_filters, dtype=np.int64), 2 * units, dyn_units=units
+        )
+        red = reduce.reduce_scheme(img_work, rspec)
+        per_pos_barrier = red.barrier
+        per_pos_busy = red.busy
 
         cluster_cycles += np.bincount(
             cluster_of, weights=per_pos_barrier * weights, minlength=n_clusters

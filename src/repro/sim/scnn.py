@@ -29,7 +29,7 @@ import numpy as np
 from repro import profiling, telemetry
 from repro.arch.memory import layer_traffic
 from repro.nets.layers import ConvLayerSpec
-from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.nets.synthesis import LayerData
 from repro.sim.config import HardwareConfig
 from repro.sim.results import Breakdown, LayerResult, observability_extras
 
@@ -81,10 +81,18 @@ def simulate_scnn(
     operand_zero = 0.0
     counters = None
 
-    batch_items = [data] if data is not None else [None] * cfg.batch
-    for image, img_data in enumerate(batch_items):
-        if img_data is None:
-            img_data = synthesize_layer(spec, seed=seed + image)
+    if data is not None:
+        batch_items = [data]
+    else:
+        # Route per-image synthesis through the layer-data memo so batched
+        # runs share workloads with the other simulators.
+        from repro.core import workload
+
+        batch_items = [
+            workload.get_layer_data(spec, seed=seed + image)
+            for image in range(cfg.batch)
+        ]
+    for img_data in batch_items:
         s = _scnn_image_stats(
             img_data, cfg, variant, n_pes, mult_in, mult_w,
             profile=profile, bins=bins, scheme=scheme,

@@ -38,13 +38,19 @@ from repro.balance.greedy import (
     gb_s_plan,
     no_gb_plan,
 )
-from repro.nets.synthesis import LayerData, synthesize_layer
+from repro.nets.synthesis import LayerData
 from repro.nets.layers import ConvLayerSpec
+from repro.sim import reduce
 from repro.sim.config import HardwareConfig
-from repro.sim.kernels import ChunkWork, compute_chunk_work
+from repro.sim.kernels import ChunkWork, batch_workloads
 from repro.sim.results import Breakdown, LayerResult, observability_extras
 
-__all__ = ["simulate_sparten", "sparten_variant_plan", "SCHEME_NAMES"]
+__all__ = [
+    "simulate_sparten",
+    "sparten_variant_plan",
+    "two_sided_reduction_spec",
+    "SCHEME_NAMES",
+]
 
 #: Scheme label per (sided, variant).
 SCHEME_NAMES = {
@@ -131,16 +137,9 @@ def simulate_sparten(
         tl_cycles = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
         tl_busy = np.zeros((n_clusters, bins), dtype=np.float64) if bins else None
 
-    batch_items = (
-        [(data, work)]
-        if data is not None
-        else [(None, None)] * cfg.batch
-    )
-    for image, (img_data, img_work) in enumerate(batch_items):
-        if img_data is None:
-            img_data = synthesize_layer(spec, seed=seed + image)
-        if img_work is None:
-            img_work = compute_chunk_work(img_data, cfg, need_counts=(sided == "two"))
+    for img_data, img_work in batch_workloads(
+        spec, cfg, seed, data, work, need_counts=(sided == "two")
+    ):
         if sided == "two":
             stats = _two_sided_cluster_cycles(
                 img_data, img_work, cfg, variant, auto_disable_collocation
@@ -247,6 +246,36 @@ def simulate_sparten(
     return result
 
 
+def two_sided_reduction_spec(
+    plan: BalancePlan, cfg: HardwareConfig, collocate: bool
+) -> reduce.GroupReduction:
+    """The reduction-engine spec for a SparTen variant's plan.
+
+    GB-H routes partial sums through the thinned, pipelined network.
+    A unit only ships its accumulated partials when its pair assignment
+    *changes* for the next chunk (unchanged pairs accumulate locally);
+    all 2 x units sums flush after the last chunk. Stage latency hides
+    under the next chunk's compute; what cannot hide is *throughput*:
+    about half the shipped values cross the bisection, so a chunk that
+    ships ``m`` values needs ``ceil(m / 2 / bisection_width)`` cycles --
+    the paper's "8 4-value batches" example for 32 values at width 4.
+    Those per-(chunk, group) floors ride along in the spec; the shortfall
+    below them stalls the whole cluster (unhidden permute cycles).
+    """
+    units = cfg.units_per_cluster
+    if collocate and plan.variant == "gb_s":
+        return reduce.static_pairs(plan.pairing, units)
+    if collocate and plan.variant == "gb_h":
+        floors = None
+        if units >= 2:
+            PermutationNetwork(units, bisection_width=cfg.bisection_width)  # validates
+            floors = reduce.gb_h_route_floors(
+                plan.chunk_pairing, units, cfg.bisection_width
+            )
+        return reduce.chunk_pairs(plan.chunk_pairing, units, floors)
+    return reduce.order_groups(plan.order, units)
+
+
 def _two_sided_cluster_cycles(
     data: LayerData,
     work: ChunkWork,
@@ -255,10 +284,8 @@ def _two_sided_cluster_cycles(
     auto_disable_collocation: bool = False,
 ) -> dict:
     """Cluster cycle totals and breakdown terms for the SparTen variants."""
-    assert work.counts is not None
     units = cfg.units_per_cluster
-    counts = work.counts  # (n_chunks, n_sel, F)
-    n_chunks, n_sel, n_filters = counts.shape
+    n_filters = data.spec.n_filters
     weights = work.assignment.weight_of  # (n_sel,)
     cluster_of = work.assignment.cluster_of
 
@@ -267,79 +294,14 @@ def _two_sided_cluster_cycles(
     if auto_disable_collocation and not collocation_helps(n_filters, units):
         collocate = False
 
-    # GB-H routes partial sums through the thinned, pipelined network.
-    # A unit only ships its accumulated partials when its pair assignment
-    # *changes* for the next chunk (unchanged pairs accumulate locally);
-    # all 2 x units sums flush after the last chunk. Stage latency hides
-    # under the next chunk's compute; what cannot hide is *throughput*:
-    # about half the shipped values cross the bisection, so a chunk that
-    # ships ``m`` values needs ``ceil(m / 2 / bisection_width)`` cycles --
-    # the paper's "8 4-value batches" example for 32 values at width 4.
-    use_gb_h_network = collocate and plan.variant == "gb_h" and units >= 2
-    if use_gb_h_network:
-        PermutationNetwork(units, bisection_width=cfg.bisection_width)  # validates
-
-    # Build the per-chunk unit-work array (n_chunks, n_sel, n_unit_rows)
-    # for each filter group, then reduce: barrier = max over unit rows.
-    per_pos_barrier = np.zeros(n_sel, dtype=np.float64)  # sum over groups+chunks
-    per_pos_busy = np.zeros(n_sel, dtype=np.float64)  # sum of unit work
-    per_pos_permute = np.zeros(n_sel, dtype=np.float64)  # unhidden routing
-    barriers = 0
-    permute_unhidden = 0.0
-
-    if collocate and plan.variant == "gb_s":
-        pair_a = plan.pairing[:, 0]
-        pair_b = plan.pairing[:, 1]
-        group_starts = range(0, plan.pairing.shape[0], units)
-        for base in group_starts:
-            a_idx = pair_a[base : base + units]
-            b_idx = pair_b[base : base + units]
-            group_work = _gather_pair_work(counts, a_idx, b_idx)
-            barrier = np.maximum(group_work.max(axis=2), 1)
-            per_pos_barrier += barrier.sum(axis=0)
-            per_pos_busy += group_work.sum(axis=(0, 2))
-            barriers += n_chunks
-    elif collocate and plan.variant == "gb_h":
-        n_pairs = plan.chunk_pairing.shape[1]
-        for base in range(0, n_pairs, units):
-            pair_slice = plan.chunk_pairing[:, base : base + units, :]
-            # Values shipped per chunk: 2 per unit whose pairing changes
-            # before the next chunk, plus a final full flush.
-            shipped = np.zeros(n_chunks, dtype=np.float64)
-            if n_chunks > 1:
-                changed = pair_slice[1:] != pair_slice[:-1]
-                shipped[:-1] = changed.sum(axis=(1, 2))
-            shipped[-1] = 2.0 * units
-            route_floor = np.ceil(shipped / 2.0 / cfg.bisection_width)
-            barrier = np.zeros((n_chunks, n_sel), dtype=np.float64)
-            busy = np.zeros((n_chunks, n_sel), dtype=np.float64)
-            for c in range(n_chunks):
-                a_idx = pair_slice[c, :, 0]
-                b_idx = pair_slice[c, :, 1]
-                group_work = _gather_pair_work(counts[c : c + 1], a_idx, b_idx)[0]
-                barrier[c] = np.maximum(group_work.max(axis=1), 1)
-                busy[c] = group_work.sum(axis=1)
-            if use_gb_h_network:
-                # Each chunk's routing hides under the next chunk's
-                # compute; the shortfall stalls the whole cluster (the
-                # resulting idle falls into intra-cluster loss).
-                floor = route_floor[:, None]
-                unhidden = np.maximum(0.0, floor - barrier)
-                permute_unhidden += float(np.sum(unhidden))
-                per_pos_permute += unhidden.sum(axis=0)
-                barrier = np.maximum(barrier, floor)
-            per_pos_barrier += barrier.sum(axis=0)
-            per_pos_busy += busy.sum(axis=0)
-            barriers += n_chunks
-    else:
-        order = plan.order
-        for base in range(0, n_filters, units):
-            group = order[base : base + units]
-            group_work = counts[:, :, group].astype(np.float64)
-            barrier = np.maximum(group_work.max(axis=2), 1)
-            per_pos_barrier += barrier.sum(axis=0)
-            per_pos_busy += group_work.sum(axis=2).sum(axis=0)
-            barriers += n_chunks
+    # One engine pass per scheme: barrier = max unit work per filter
+    # group per chunk (>= 1 cycle per broadcast, >= the GB-H routing
+    # floor), accumulated per position over all chunks and groups.
+    rspec = two_sided_reduction_spec(plan, cfg, collocate)
+    red = reduce.reduce_scheme(work, rspec)
+    per_pos_barrier = red.barrier  # sum over groups+chunks
+    per_pos_busy = red.busy  # sum of unit work
+    per_pos_permute = red.permute  # unhidden routing
 
     # Per-cluster wall cycles: weighted sum of per-position barriers.
     cluster_cycles = np.bincount(
@@ -353,8 +315,8 @@ def _two_sided_cluster_cycles(
         "nonzero": nonzero,
         "zero": 0.0,
         "intra": intra,
-        "permute": permute_unhidden,
-        "barriers": float(barriers),
+        "permute": float(per_pos_permute.sum()),
+        "barriers": float(rspec.n_groups * work.n_chunks),
         "collocated": collocate,
         # Per-position views for the hardware counters: occupied slots
         # equal useful work (every two-sided multiply is effectual).
@@ -363,25 +325,6 @@ def _two_sided_cluster_cycles(
         "per_pos_useful": per_pos_busy,
         "per_pos_permute": per_pos_permute,
     }
-
-
-def _gather_pair_work(
-    counts: np.ndarray, a_idx: np.ndarray, b_idx: np.ndarray
-) -> np.ndarray:
-    """Unit work for collocated pairs: counts[a] + counts[b], -1 = absent.
-
-    *counts* is (n_chunks, n_sel, F); returns (n_chunks, n_sel, n_units)
-    float64 where absent filters contribute 0.
-    """
-    n_chunks, n_sel, _ = counts.shape
-    out = np.zeros((n_chunks, n_sel, a_idx.size), dtype=np.float64)
-    valid_a = a_idx >= 0
-    if np.any(valid_a):
-        out[:, :, valid_a] += counts[:, :, a_idx[valid_a]]
-    valid_b = b_idx >= 0
-    if np.any(valid_b):
-        out[:, :, valid_b] += counts[:, :, b_idx[valid_b]]
-    return out
 
 
 def _one_sided_cluster_cycles(
@@ -395,16 +338,14 @@ def _one_sided_cluster_cycles(
     """
     spec = data.spec
     units = cfg.units_per_cluster
-    pop = work.input_pop.astype(np.float64)  # (n_chunks, n_sel)
     weights = work.assignment.weight_of
     cluster_of = work.assignment.cluster_of
     n_filters = spec.n_filters
     n_groups = int(np.ceil(n_filters / units))
-    last_group = n_filters - (n_groups - 1) * units
 
-    per_pos_chunkwork = np.maximum(pop, 1).sum(axis=0)  # barrier per group pass
-    per_pos_pop = pop.sum(axis=0)
-    per_pos_barrier = per_pos_chunkwork * n_groups
+    red = reduce.one_sided(work.input_pop, n_filters, units)
+    per_pos_barrier = red.barrier
+    per_pos_pop = red.busy
 
     cluster_cycles = np.bincount(
         cluster_of, weights=per_pos_barrier * weights, minlength=cfg.n_clusters
@@ -418,7 +359,7 @@ def _one_sided_cluster_cycles(
     busy = total_ops
     total_slots = float(np.sum(per_pos_barrier * weights)) * units
     intra = total_slots - busy
-    n_chunks = pop.shape[0]
+    n_chunks = work.n_chunks
     return {
         "cluster_cycles": cluster_cycles,
         "nonzero": nonzero,

@@ -157,10 +157,10 @@ class DoubleBufferedCluster:
         """
         if work is None:
             work = compute_chunk_work(data, cfg, need_counts=True)
-        assert work.counts is not None
+        counts = work.materialized_counts()
         busiest = int(np.argmax(work.assignment.cluster_positions))
         sel = work.assignment.cluster_of == busiest
-        barrier = np.maximum(work.counts[:, sel, :].max(axis=2), 1)  # (chunks, pos)
+        barrier = np.maximum(counts[:, sel, :].max(axis=2), 1)  # (chunks, pos)
         pops = work.input_pop[:, sel]
         mask_bytes = cfg.chunk_size / 8.0
         jobs = [
