@@ -1,0 +1,168 @@
+"""The fidelity ladder: ``analytical -> counters -> timeline -> trace``.
+
+Every per-layer question in the repo can be answered at four costs:
+
+- ``analytical``  -- closed-form prediction from density statistics
+  (:mod:`repro.analytical.model`); microseconds per layer, validated
+  against the simulators by :mod:`repro.analytical.validate`.
+- ``counters``    -- the cycle-level simulators with per-cluster
+  hardware counters attached (the repo's default profile mode).
+- ``timeline``    -- counters plus binned per-cluster cycle timelines
+  (``REPRO_PROFILE=timeline``).
+- ``trace``       -- timeline plus an event-level memory-system trace of
+  the busiest cluster through the double-buffered front end
+  (:mod:`repro.sim.trace`), attached under ``extras['trace_*']``.
+
+Each rung returns the same :class:`~repro.sim.results.LayerResult`
+schema, so callers (sweeps, the pipeline, the CLI) choose cost without
+changing shape. The level comes from the ``fidelity=`` argument or the
+``REPRO_FIDELITY`` environment variable; results memoise through the
+content-hash result cache with fidelity-qualified kinds, so mixed-level
+runs never serve one rung's result to another.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+
+from repro import profiling, telemetry
+from repro.analytical.model import ANALYTICAL_SCHEMES, predict_layer
+from repro.core.env import env_choice
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import HardwareConfig
+from repro.sim.results import LayerResult
+
+__all__ = [
+    "FIDELITY_LEVELS",
+    "DEFAULT_FIDELITY",
+    "fidelity_level",
+    "simulate_at_fidelity",
+]
+
+#: The ladder, cheapest first. ``trace`` subsumes ``timeline`` subsumes
+#: ``counters``; ``analytical`` never runs the cycle-level machine.
+FIDELITY_LEVELS = ("analytical", "counters", "timeline", "trace")
+DEFAULT_FIDELITY = "counters"
+
+#: Schemes whose chunk-count streams the trace front end understands.
+_TRACEABLE = ("one_sided", "sparten_no_gb", "sparten_gb_s", "sparten")
+
+_PROFILE_FOR = {
+    "counters": profiling.MODE_COUNTERS,
+    "timeline": profiling.MODE_TIMELINE,
+    "trace": profiling.MODE_TIMELINE,
+}
+_PROFILE_ORDER = {
+    profiling.MODE_OFF: 0,
+    profiling.MODE_COUNTERS: 1,
+    profiling.MODE_TIMELINE: 2,
+}
+
+
+def fidelity_level(explicit: str | None = None) -> str:
+    """Resolve the active fidelity level.
+
+    An explicit argument wins; otherwise ``REPRO_FIDELITY`` (validated,
+    warn-once on garbage) with the simulator default ``counters``.
+    """
+    if explicit is not None:
+        if explicit not in FIDELITY_LEVELS:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_LEVELS}, got {explicit!r}"
+            )
+        return explicit
+    return env_choice("REPRO_FIDELITY", DEFAULT_FIDELITY, FIDELITY_LEVELS)
+
+
+@contextmanager
+def _profile_env(wanted: str):
+    """Escalate ``REPRO_PROFILE`` to *wanted* for the duration.
+
+    Mirrors the CLI's profiler rule: only escalate, never downgrade an
+    explicit richer setting, and restore the environment on exit so the
+    ladder never leaks profile mode into the caller's process state.
+    """
+    previous = os.environ.get("REPRO_PROFILE")
+    if _PROFILE_ORDER[profiling.profile_mode()] < _PROFILE_ORDER[wanted]:
+        os.environ["REPRO_PROFILE"] = wanted
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_PROFILE", None)
+        else:
+            os.environ["REPRO_PROFILE"] = previous
+
+
+def _attach_trace(
+    result: LayerResult, spec: ConvLayerSpec, cfg: HardwareConfig, seed: int
+) -> LayerResult:
+    """Run the busiest cluster's chunk stream through the trace model."""
+    from repro.core import workload
+    from repro.sim.trace import DoubleBufferedCluster
+
+    data, work = workload.get_workload(spec, cfg, seed, need_counts=True)
+    bandwidth = cfg.memory_bytes_per_cycle or 16.0
+    trace = DoubleBufferedCluster(
+        bytes_per_cycle=bandwidth, fetch_latency=20
+    ).run_layer(data, cfg, work=work)
+    return replace(
+        result,
+        extras={
+            **result.extras,
+            "trace_total_cycles": float(trace.total_cycles),
+            "trace_compute_cycles": float(trace.compute_cycles),
+            "trace_stall_cycles": float(trace.stall_cycles),
+            "trace_hiding_efficiency": float(trace.hiding_efficiency),
+        },
+    )
+
+
+def simulate_at_fidelity(
+    scheme: str,
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    seed: int = 0,
+    fidelity: str | None = None,
+) -> LayerResult:
+    """One scheme on one layer at the chosen fidelity level.
+
+    Every level returns a :class:`LayerResult` (same schema); results
+    memoise by content key with a fidelity-qualified kind. The trace
+    rung applies to the chunk-streaming schemes (:data:`_TRACEABLE`);
+    for the others it degrades to ``timeline`` (the trace front end has
+    no chunk-stream model of dense or SCNN).
+    """
+    from repro.core import compare, workload
+
+    level = fidelity_level(fidelity)
+    telemetry.count(f"fidelity.{level}.layers")
+    if level == "analytical":
+        if scheme not in ANALYTICAL_SCHEMES:
+            raise ValueError(
+                f"scheme {scheme!r} has no analytical model "
+                f"(have {ANALYTICAL_SCHEMES})"
+            )
+        key = workload.result_key(f"analytical:{scheme}", spec, cfg, seed)
+        result = workload.lookup_result(key)
+        if result is None:
+            result = predict_layer(spec, cfg, scheme=scheme, seed=seed)
+            workload.store_result(key, result)
+        return result
+
+    with _profile_env(_PROFILE_FOR[level]):
+        if level == "trace" and scheme in _TRACEABLE:
+            key = workload.result_key(f"trace:{scheme}", spec, cfg, seed)
+            result = workload.lookup_result(key)
+            if result is None:
+                result = _attach_trace(
+                    compare.run_scheme_cached(scheme, spec, cfg, seed),
+                    spec,
+                    cfg,
+                    seed,
+                )
+                workload.store_result(key, result)
+            return result
+        return compare.run_scheme_cached(scheme, spec, cfg, seed)

@@ -1,0 +1,898 @@
+"""Analytical cycle/stall/energy prediction (no cycle-level machine).
+
+Predicts, for every scheme the cycle simulators cover (dense, one-sided,
+the SparTen variants, SCNN and its variants), per-layer cycles and the
+four-way breakdown *from density statistics alone*
+(:class:`repro.analytical.density.DensityStats`) -- the Sparseloop
+observation that sparse-accelerator performance is a functional of the
+operand density distributions, not of individual non-zero placements.
+
+How each family is modelled:
+
+- **dense** -- closed form, exact: every position costs
+  ``n_groups * k*k*C`` cycles regardless of sparsity.
+- **one-sided** -- exact: the barrier is the input chunk's popcount
+  (every unit does identical work), and ``input_pop`` is in the stats.
+- **two-sided SparTen** -- the per-(chunk, group) barrier is the *max*
+  over unit rows of a hypergeometric match count. The unit-row weight
+  loads are reconstructed exactly from ``filter_chunk_nnz`` through the
+  same greedy-balance pairing the machine uses (vectorised over chunks,
+  no per-chunk Python loops); the match-count maximum is approximated
+  with order statistics: ``E[max] ~= mu_max + alpha(m) * sigma_max``
+  where ``alpha(m)`` is the Blom expected-maximum coefficient of the
+  ``m`` near-maximal rows and ``sigma`` the hypergeometric standard
+  deviation. A per-position correlation factor ``rho`` anchors the mean
+  term on the *exact* ``match_sums``, so total useful MACs are exact and
+  only the imbalance spread is estimated. GB-H routing floors are exact
+  (the pairing reconstruction feeds
+  :func:`repro.sim.reduce.gb_h_route_floors`), so permute stalls use the
+  stall model's own floor math.
+- **SCNN** -- exact: the barrier factorises over channels
+  (``max_pe . sum_ceil_w``), weight-side ceilings come from the
+  per-channel filter histograms and input-side per-PE work from exact
+  tile histograms (four summed-area-table lookups per tile against the
+  statistics' input integral image -- activations are spatially
+  clustered, so no per-channel density summary could stand in).
+
+Energy rides for free: analytical results carry the same breakdown and
+traffic a simulated :class:`~repro.sim.results.LayerResult` does, so
+:func:`repro.sim.energy.layer_energy` and
+:func:`repro.sim.fpga.apply_roofline` apply unchanged. Counters satisfy
+the conservation law by construction, so ``repro estimate`` renders the
+same attribution tables as ``repro profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from statistics import NormalDist
+
+import numpy as np
+
+from repro import profiling, telemetry
+from repro.arch.memory import layer_traffic
+from repro.nets.layers import ConvLayerSpec
+from repro.nets.synthesis import LayerData
+from repro.sim import reduce
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import layer_energy
+from repro.sim.results import Breakdown, LayerResult, observability_extras
+from repro.sim.scnn import scnn_tile_plan
+
+from repro.analytical.density import (
+    DensityStats,
+    extract_density_stats,
+    regroup_stats,
+)
+
+__all__ = [
+    "ANALYTICAL_SCHEMES",
+    "predict_layer",
+    "predict_network",
+    "predict_layer_energy",
+    "expected_max_coefficient",
+    "gb_order",
+    "gb_h_chunk_pairing",
+    "two_sided_row_loads",
+]
+
+#: Every scheme the analytical tier predicts (the simulator set plus the
+#: dense-naive energy configuration).
+ANALYTICAL_SCHEMES = (
+    "dense",
+    "dense_naive",
+    "one_sided",
+    "sparten_no_gb",
+    "sparten_gb_s",
+    "sparten",
+    "scnn",
+    "scnn_one_sided",
+    "scnn_dense",
+)
+
+#: A unit row counts as a contender for the group maximum when its chunk
+#: weight load is within ``max(ABS, REL * max)`` of the heaviest row --
+#: the ``m`` that selects the Blom coefficient. Calibrated against the
+#: cycle simulator on the validation grid.
+_NEARMAX_ABS = 1.0
+_NEARMAX_REL = 0.05
+
+#: Global scale on the order-statistics fluctuation term. Unit rows
+#: sharing one input chunk are weakly negatively correlated (their
+#: matches draw from the same window non-zeros), which shrinks the true
+#: spread below the independent-rows estimate; calibrated on the
+#: validation grid.
+_MAX_COEF_SCALE = 0.85
+
+_NORMAL = NormalDist()
+
+
+def expected_max_coefficient(m: int | np.ndarray) -> np.ndarray:
+    """Blom's expected maximum of ``m`` iid standard normals.
+
+    ``E[max] ~= Phi^-1((m - 0.375) / (m + 0.25))``; 0 for ``m <= 1``
+    (a single contender has no selection inflation).
+    """
+    m_arr = np.atleast_1d(np.asarray(m, dtype=np.int64))
+    out = np.zeros(m_arr.shape, dtype=np.float64)
+    for value in np.unique(m_arr):
+        if value > 1:
+            out[m_arr == value] = _NORMAL.inv_cdf(
+                (value - 0.375) / (value + 0.25)
+            )
+    return out if np.ndim(m) else float(out[0])
+
+
+# -- two-sided SparTen -------------------------------------------------------
+
+
+def gb_order(stats: DensityStats) -> np.ndarray:
+    """The greedy-balance filter sort (densest first, stable on ties).
+
+    Identical to sorting :func:`repro.balance.greedy.whole_filter_densities`:
+    whole-filter density is total nnz over a constant element count, so a
+    stable argsort of ``-filter_total_nnz`` reproduces the plan's order
+    bit for bit.
+    """
+    return np.argsort(-stats.filter_total_nnz, kind="stable").astype(np.int64)
+
+
+def gb_h_chunk_pairing(stats: DensityStats, units: int) -> np.ndarray:
+    """GB-H's per-chunk pairing, vectorised over chunks.
+
+    Reproduces :func:`repro.balance.greedy.gb_h_plan` exactly (the tests
+    pin equality) without its per-(group, chunk) Python loops: one
+    stable argsort per group ranks every chunk at once, and the
+    densest-with-sparsest pairing becomes a gather.
+    """
+    order = gb_order(stats)
+    fc = stats.filter_chunk_nnz
+    n_chunks = stats.n_chunks
+    blocks = []
+    for base in range(0, order.size, 2 * units):
+        group = order[base : base + 2 * units]
+        m = group.size
+        rank = np.argsort(-fc[group], axis=0, kind="stable")  # (m, n_chunks)
+        ranked = group[rank]
+        per_chunk = np.full((n_chunks, units, 2), -1, dtype=np.int64)
+        n_pairs = (m + 1) // 2
+        idx = np.arange(n_pairs)
+        per_chunk[:, idx, 0] = ranked[idx].T
+        partner = m - 1 - idx
+        has_partner = partner > idx
+        per_chunk[:, idx[has_partner], 1] = ranked[partner[has_partner]].T
+        blocks.append(per_chunk)
+    return np.concatenate(blocks, axis=1)
+
+
+def _gb_s_pairing(order: np.ndarray, units: int) -> np.ndarray:
+    """GB-S's static pairing from the density sort ((n_pairs, 2), -1 pad)."""
+    blocks = []
+    for base in range(0, order.size, 2 * units):
+        group = order[base : base + 2 * units]
+        m = group.size
+        pairs = np.full((units, 2), -1, dtype=np.int64)
+        n_pairs = (m + 1) // 2
+        idx = np.arange(n_pairs)
+        pairs[idx, 0] = group[idx]
+        partner = m - 1 - idx
+        has_partner = partner > idx
+        pairs[idx[has_partner], 1] = group[partner[has_partner]]
+        blocks.append(pairs)
+    return np.concatenate(blocks, axis=0)
+
+
+def _gather_loads(fc: np.ndarray, pair: np.ndarray) -> np.ndarray:
+    """Row chunk loads for one side of a pairing; -1 contributes zero.
+
+    *pair* is (n_rows,) or (n_chunks, n_rows); returns (n_chunks, n_rows)
+    float64.
+    """
+    safe = np.maximum(pair, 0)
+    if pair.ndim == 1:
+        loads = fc[safe].T.astype(np.float64)
+        loads *= pair[None, :] >= 0
+        return loads
+    loads = np.take_along_axis(fc.T, safe, axis=1).astype(np.float64)
+    loads *= pair >= 0
+    return loads
+
+
+def two_sided_row_loads(
+    stats: DensityStats, cfg: HardwareConfig, variant: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Per-unit-row chunk weight loads for a SparTen variant.
+
+    Returns ``(loads_a, loads_b, floors)``: each load array is
+    ``(n_chunks, n_rows)`` -- the row's first / collocated-second filter
+    non-zero weight count in every chunk (``loads_b`` all-zero without
+    collocation), rows grouped in blocks of ``units`` sharing one
+    barrier -- and ``floors`` the exact per-(chunk, group) GB-H routing
+    floors (``None`` otherwise). The two components stay separate
+    because a collocated row's work is the *sum of two* window
+    intersections: each part is capped by the window count ``k``
+    individually, so the pair's mean and variance do not follow from
+    the combined load. This is the ``GroupReduction`` mapping evaluated
+    on density statistics instead of match counts.
+    """
+    units = cfg.units_per_cluster
+    fc = stats.filter_chunk_nnz
+    n_filters = stats.n_filters
+    if variant == "no_gb":
+        n_rows = -(-n_filters // units) * units
+        padded = np.full(n_rows, -1, dtype=np.int64)
+        padded[:n_filters] = np.arange(n_filters, dtype=np.int64)
+        loads_a = _gather_loads(fc, padded)
+        return loads_a, np.zeros_like(loads_a), None
+    if variant == "gb_s":
+        pairing = _gb_s_pairing(gb_order(stats), units)
+        return (
+            _gather_loads(fc, pairing[:, 0]),
+            _gather_loads(fc, pairing[:, 1]),
+            None,
+        )
+    if variant != "gb_h":
+        raise ValueError(f"unknown variant {variant!r}")
+    chunk_pairing = gb_h_chunk_pairing(stats, units)
+    loads_a = _gather_loads(fc, chunk_pairing[:, :, 0])
+    loads_b = _gather_loads(fc, chunk_pairing[:, :, 1])
+    floors = None
+    if units >= 2:
+        # Same validation + floor math as the cycle machine's reduction
+        # spec; the pairing is exact, so the floors are too.
+        from repro.arch.permute import PermutationNetwork
+
+        PermutationNetwork(units, bisection_width=cfg.bisection_width)
+        floors = reduce.gb_h_route_floors(
+            chunk_pairing, units, cfg.bisection_width
+        )
+    return loads_a, loads_b, floors
+
+
+#: Memoised barrier/permute terms. The per-position barrier model is
+#: independent of the cluster assignment (clusters only regroup the
+#: finished per-position array), so a sweep's cluster axis re-uses one
+#: evaluation per (units, variant, bisection) -- :func:`regroup_stats`
+#: shares the stat arrays, making identity a sound content key. Values
+#: keep references to the keyed arrays so ids are never recycled.
+_BARRIER_MEMO: dict = {}
+_BARRIER_MEMO_MAX = 64
+
+
+def _two_sided_barriers(
+    stats: DensityStats, cfg: HardwareConfig, variant: str
+) -> tuple[np.ndarray, np.ndarray, int]:
+    key = (
+        id(stats.input_pop),
+        id(stats.match_sums),
+        id(stats.filter_chunk_nnz),
+        stats.chunk_size,
+        cfg.units_per_cluster,
+        variant,
+        cfg.bisection_width if variant == "gb_h" else None,
+    )
+    hit = _BARRIER_MEMO.get(key)
+    if hit is not None:
+        telemetry.count("analytical.barrier_memo_hit")
+        return hit[3], hit[4], hit[5]
+    barrier, permute, n_groups = _two_sided_barriers_impl(stats, cfg, variant)
+    if len(_BARRIER_MEMO) >= _BARRIER_MEMO_MAX:
+        _BARRIER_MEMO.clear()
+    _BARRIER_MEMO[key] = (
+        stats.input_pop,
+        stats.match_sums,
+        stats.filter_chunk_nnz,
+        barrier,
+        permute,
+        n_groups,
+    )
+    return barrier, permute, n_groups
+
+
+def _two_sided_barriers_impl(
+    stats: DensityStats, cfg: HardwareConfig, variant: str
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Expected per-position barrier/permute cycles and the group count.
+
+    Order-statistics model over the per-unit filter assignment: per
+    (chunk, group), the barrier is ``E[max over rows]`` of hypergeometric
+    match counts whose row means are anchored on the exact per-position
+    match totals.
+    """
+    units = cfg.units_per_cluster
+    chunk = float(stats.chunk_size)
+    loads_a, loads_b, floors = two_sided_row_loads(stats, cfg, variant)
+    n_chunks, n_rows = loads_a.shape
+    n_groups = n_rows // units
+    ga = loads_a.reshape(n_chunks, n_groups, units)
+    gb = loads_b.reshape(n_chunks, n_groups, units)
+    combined = ga + gb
+
+    # Group-level load summaries (independent of position): the heaviest
+    # row by combined load (the barrier candidate -- row means share one
+    # positive per-position factor, so the load order is the mean order),
+    # split into its two collocated components, and the near-max
+    # contender count that selects the Blom coefficient.
+    heaviest = np.argmax(combined, axis=2)[:, :, None]  # (n_chunks, n_groups, 1)
+    wmax = np.take_along_axis(combined, heaviest, axis=2)[:, :, 0]
+    wa = np.take_along_axis(ga, heaviest, axis=2)[:, :, 0]
+    wb = np.take_along_axis(gb, heaviest, axis=2)[:, :, 0]
+    near = np.maximum(_NEARMAX_ABS, _NEARMAX_REL * wmax)
+    contenders = (combined >= (wmax - near)[:, :, None]).sum(axis=2)
+    alpha = _MAX_COEF_SCALE * expected_max_coefficient(contenders)
+
+    # Per-position correlation factor rho: independence predicts
+    # sum_c k_cp * (total chunk nnz / chunk) matches at position p; the
+    # measured total is match_sums. rho re-anchors every row mean so the
+    # busy term stays exact.
+    k = stats.input_pop.astype(np.float64)  # (n_chunks, n_sel)
+    totq = stats.total_filter_chunk_nnz.astype(np.float64) / chunk
+    predicted = k.T @ totq  # (n_sel,)
+    rho = np.divide(
+        stats.match_sums,
+        predicted,
+        out=np.ones_like(stats.match_sums),
+        where=predicted > 0,
+    )
+
+    n_sel = k.shape[1]
+    barrier = np.zeros(n_sel, dtype=np.float64)
+    permute = np.zeros(n_sel, dtype=np.float64)
+    fpc = np.clip((chunk - k) / max(chunk - 1.0, 1.0), 0.0, 1.0)
+    # Vectorised over group slabs: temporaries are (chunks, block, sel),
+    # bounded to ~8M doubles so small-unit machines (many groups) never
+    # blow memory while the group axis stays off the Python interpreter.
+    block = max(1, int(8e6 / max(n_chunks * n_sel, 1)))
+    k3 = k[:, None, :]
+    fpc3 = fpc[:, None, :]
+    for g0 in range(0, n_groups, block):
+        g1 = min(g0 + block, n_groups)
+        # The heaviest row's work is the sum of two window intersections
+        # (hypergeometric parts); mean, variance and cap are per part --
+        # the pair total can reach 2k, never min(k, w_a + w_b).
+        wa3 = wa[:, g0:g1, None]
+        wb3 = wb[:, g0:g1, None]
+        qa = np.clip(rho[None, None, :] * wa3 / chunk, 0.0, 1.0)
+        qb = np.clip(rho[None, None, :] * wb3 / chunk, 0.0, 1.0)
+        cap = np.minimum(k3, wa3) + np.minimum(k3, wb3)
+        est = k3 * (qa + qb)
+        sigma = np.sqrt((k3 * qa * (1.0 - qa) + k3 * qb * (1.0 - qb)) * fpc3)
+        est += alpha[:, g0:g1, None] * sigma
+        np.minimum(est, cap, out=est)
+        np.maximum(est, 1.0, out=est)
+        if floors is not None:
+            fl = floors[:, g0:g1, None]
+            permute += np.maximum(0.0, fl - est).sum(axis=(0, 1))
+            np.maximum(est, fl, out=est)
+        barrier += est.sum(axis=(0, 1))
+    return barrier, permute, n_groups
+
+
+def _positional_result(
+    stats: DensityStats,
+    cfg: HardwareConfig,
+    scheme: str,
+    per_pos_barrier: np.ndarray,
+    per_pos_slots: np.ndarray,
+    per_pos_useful: np.ndarray,
+    per_pos_permute: np.ndarray,
+    barriers: float,
+    variant: str | None,
+    traffic_scheme: str,
+    buffer_hwm: dict | None = None,
+) -> LayerResult:
+    """Assemble a cluster-machine LayerResult from per-position arrays.
+
+    Identical cluster reduction to the cycle simulators: weighted
+    bincount per cluster, layer cycles = slowest cluster, inter loss =
+    the other clusters' idle slots, zero MACs = occupied-but-useless
+    slots. Counters (and timelines) come from the same arrays, so the
+    conservation law holds by construction.
+    """
+    spec = stats.spec
+    units = cfg.units_per_cluster
+    n_clusters = cfg.n_clusters
+    weights = stats.assignment.weight_of
+    cluster_of = stats.assignment.cluster_of
+
+    cluster_cycles = np.bincount(
+        cluster_of, weights=per_pos_barrier * weights, minlength=n_clusters
+    )
+    nonzero = float(np.sum(per_pos_useful * weights))
+    occupied = float(np.sum(per_pos_slots * weights))
+    zero = occupied - nonzero
+    wall_slots = float(np.sum(per_pos_barrier * weights)) * units
+    intra = wall_slots - occupied
+    layer_cycles = float(cluster_cycles.max())
+    inter = float(np.sum((layer_cycles - cluster_cycles) * units))
+    breakdown = Breakdown(
+        nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
+    )
+
+    mode = profiling.profile_mode()
+    counters = None
+    if mode != profiling.MODE_OFF:
+        permute_slots = per_pos_permute * units
+        busy_c = np.bincount(
+            cluster_of, weights=per_pos_useful * weights, minlength=n_clusters
+        )
+        zero_c = np.bincount(
+            cluster_of,
+            weights=(per_pos_slots - per_pos_useful) * weights,
+            minlength=n_clusters,
+        )
+        permute_c = np.bincount(
+            cluster_of, weights=permute_slots * weights, minlength=n_clusters
+        )
+        wait_c = np.bincount(
+            cluster_of,
+            weights=(per_pos_barrier * units - per_pos_slots - permute_slots)
+            * weights,
+            minlength=n_clusters,
+        )
+        bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+        tl_cycles = tl_busy = None
+        if bins:
+            tl_cycles, tl_busy = profiling.positional_timeline(
+                cluster_of,
+                per_pos_barrier * weights,
+                per_pos_slots * weights,
+                n_clusters,
+                bins,
+            )
+        counters = profiling.CounterSet(
+            scheme=scheme,
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            total_cycles=layer_cycles,
+            busy=busy_c,
+            filter_zero=zero_c,
+            barrier_wait=wait_c,
+            permute_stall=permute_c,
+            imbalance_idle=(layer_cycles - cluster_cycles) * units,
+            memory_stall=np.zeros(n_clusters, dtype=np.float64),
+            barriers=barriers,
+            buffer_hwm=dict(buffer_hwm or {}),
+            timeline_cycles=tl_cycles,
+            timeline_busy=tl_busy,
+        )
+
+    extras = observability_extras(breakdown)
+    return LayerResult(
+        scheme=scheme,
+        layer_name=spec.name,
+        cycles=layer_cycles,
+        compute_cycles=layer_cycles,
+        total_macs=cfg.total_macs,
+        breakdown=breakdown,
+        traffic=layer_traffic(
+            spec, scheme=traffic_scheme, chunk_size=cfg.chunk_size
+        ),
+        extras={
+            **extras,
+            "fidelity": "analytical",
+            "permute_cycles": float(per_pos_permute.sum()),
+            "barriers": barriers,
+            "variant": variant,
+        },
+        counters=counters,
+    )
+
+
+def _predict_two_sided(
+    stats: DensityStats, cfg: HardwareConfig, variant: str
+) -> LayerResult:
+    scheme = {
+        "no_gb": "sparten_no_gb",
+        "gb_s": "sparten_gb_s",
+        "gb_h": "sparten",
+    }[variant]
+    barrier, permute, n_groups = _two_sided_barriers(stats, cfg, variant)
+    useful = stats.match_sums  # occupied slots == useful (two-sided)
+    collocated = variant in ("gb_s", "gb_h")
+    hwm = {
+        "input_chunk_values": float(stats.input_pop.max(initial=0)),
+        "filter_chunk_values": float(stats.filter_chunk_nnz.max(initial=0)),
+        "output_collector_entries": float(
+            2 * cfg.units_per_cluster if collocated else cfg.units_per_cluster
+        ),
+    }
+    return _positional_result(
+        stats,
+        cfg,
+        scheme,
+        per_pos_barrier=barrier,
+        per_pos_slots=useful,
+        per_pos_useful=useful,
+        per_pos_permute=permute,
+        barriers=float(n_groups * stats.n_chunks),
+        variant=variant,
+        traffic_scheme="two_sided",
+        buffer_hwm=hwm,
+    )
+
+
+def _predict_one_sided(stats: DensityStats, cfg: HardwareConfig) -> LayerResult:
+    """Exact: replicates the one-sided cycle model term for term."""
+    spec = stats.spec
+    n_filters = spec.n_filters
+    n_groups = int(np.ceil(n_filters / cfg.units_per_cluster))
+    red = reduce.one_sided(stats.input_pop, n_filters, cfg.units_per_cluster)
+    hwm = {
+        "input_chunk_values": float(stats.input_pop.max(initial=0)),
+        "filter_chunk_values": float(stats.filter_chunk_nnz.max(initial=0)),
+        "output_collector_entries": float(cfg.units_per_cluster),
+    }
+    return _positional_result(
+        stats,
+        cfg,
+        "one_sided",
+        per_pos_barrier=red.barrier,
+        per_pos_slots=red.busy * n_filters,
+        per_pos_useful=stats.match_sums,
+        per_pos_permute=np.zeros_like(red.barrier),
+        barriers=float(n_groups * stats.n_chunks),
+        variant=None,
+        traffic_scheme="one_sided",
+        buffer_hwm=hwm,
+    )
+
+
+def _predict_dense(
+    stats: DensityStats, cfg: HardwareConfig, naive_buffers: bool = False
+) -> LayerResult:
+    """Exact closed form: mirrors :func:`repro.sim.dense.simulate_dense`."""
+    spec = stats.spec
+    units = cfg.units_per_cluster
+    n_clusters = cfg.n_clusters
+    dot_length = spec.kernel * spec.kernel * spec.in_channels
+    n_groups = int(np.ceil(spec.n_filters / units))
+    assignment = stats.assignment
+    weights = assignment.weight_of
+    cluster_of = assignment.cluster_of
+
+    cluster_cycles = (
+        assignment.cluster_positions.astype(np.float64) * n_groups * dot_length
+    )
+    nonzero = float(np.sum(stats.match_sums * weights))
+    total_mult_slots = float(
+        assignment.cluster_positions.sum() * spec.n_filters * dot_length
+    )
+    layer_cycles = float(cluster_cycles.max())
+    zero = total_mult_slots - nonzero
+    busy_slots = float(cluster_cycles.sum()) * units
+    intra = busy_slots - total_mult_slots
+    inter = float(np.sum((layer_cycles - cluster_cycles) * units))
+    breakdown = Breakdown(
+        nonzero_macs=nonzero, zero_macs=zero, intra_loss=intra, inter_loss=inter
+    )
+    scheme = "dense_naive" if naive_buffers else "dense"
+
+    mode = profiling.profile_mode()
+    counters = None
+    if mode != profiling.MODE_OFF:
+        issued_c = (
+            assignment.cluster_positions.astype(np.float64)
+            * spec.n_filters
+            * dot_length
+        )
+        useful_c = np.bincount(
+            cluster_of, weights=stats.match_sums * weights, minlength=n_clusters
+        )
+        bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+        tl_cycles = tl_busy = None
+        if bins:
+            per_pos = np.full(cluster_of.size, float(n_groups * dot_length))
+            tl_cycles, tl_busy = profiling.positional_timeline(
+                cluster_of,
+                per_pos * weights,
+                np.full(cluster_of.size, float(spec.n_filters * dot_length))
+                * weights,
+                n_clusters,
+                bins,
+            )
+        counters = profiling.CounterSet(
+            scheme=scheme,
+            n_clusters=n_clusters,
+            units_per_cluster=units,
+            total_cycles=layer_cycles,
+            busy=useful_c,
+            filter_zero=issued_c - useful_c,
+            barrier_wait=cluster_cycles * units - issued_c,
+            permute_stall=np.zeros(n_clusters, dtype=np.float64),
+            imbalance_idle=(layer_cycles - cluster_cycles) * units,
+            memory_stall=np.zeros(n_clusters, dtype=np.float64),
+            timeline_cycles=tl_cycles,
+            timeline_busy=tl_busy,
+        )
+    extras = observability_extras(breakdown)
+    return LayerResult(
+        scheme=scheme,
+        layer_name=spec.name,
+        cycles=layer_cycles,
+        compute_cycles=layer_cycles,
+        total_macs=cfg.total_macs,
+        breakdown=breakdown,
+        traffic=layer_traffic(spec, scheme="dense", chunk_size=cfg.chunk_size),
+        extras={
+            **extras,
+            "fidelity": "analytical",
+            "filter_groups": n_groups,
+            "dot_length": dot_length,
+        },
+        counters=counters,
+    )
+
+
+# -- SCNN --------------------------------------------------------------------
+
+
+def _scnn_tile_nnz(
+    stats: DensityStats, cfg: HardwareConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact per-tile cell and non-zero histograms for the cfg's tiling.
+
+    Returns ``(cells, tile_nnz)`` of shapes ``(n_tiles,)`` and
+    ``(n_tiles, C)``. Four summed-area-table lookups per tile replace
+    the simulator's per-tile mask slicing; spatial clustering of the
+    activations (which per-channel densities cannot see) is captured
+    exactly.
+    """
+    spec = stats.spec
+    tile_h, tile_w, n_ty, n_tx = scnn_tile_plan(spec, cfg)
+    y0 = np.arange(n_ty) * tile_h
+    y1 = np.minimum(y0 + tile_h, spec.in_height)
+    x0 = np.arange(n_tx) * tile_w
+    x1 = np.minimum(x0 + tile_w, spec.in_width)
+    cells = np.outer(y1 - y0, x1 - x0).reshape(-1).astype(np.int64)
+    yy0 = np.repeat(y0, n_tx)
+    yy1 = np.repeat(y1, n_tx)
+    xx0 = np.tile(x0, n_ty)
+    xx1 = np.tile(x1, n_ty)
+    return cells, stats.rect_nnz(yy0, yy1, xx0, xx1)
+
+
+def _predict_scnn(
+    stats: DensityStats, cfg: HardwareConfig, variant: str
+) -> LayerResult:
+    """SCNN prediction from density statistics -- exact.
+
+    SCNN's cycle model is closed-form given per-(tile, channel) input
+    histograms and per-(group, channel) weight histograms; both are in
+    the density statistics (the tile histograms via the input integral
+    image), so the prediction reproduces the simulator bit for bit.
+    """
+    spec = stats.spec
+    scheme = {"two": "scnn", "one": "scnn_one_sided", "dense": "scnn_dense"}[
+        variant
+    ]
+    n_pes = cfg.scnn_n_pes
+    mult_in = cfg.scnn_mult_rows
+    mult_w = cfg.scnn_mult_cols
+    macs_per_pe = cfg.scnn_macs_per_pe
+    c = spec.in_channels
+    group = cfg.scnn_output_group
+    n_groups = int(np.ceil(spec.n_filters / group))
+
+    cells, tile_nnz = _scnn_tile_nnz(stats, cfg)
+    n_tiles = cells.size
+    tile_nnz = tile_nnz.astype(np.float64)
+    if variant == "dense":
+        tile_counts = np.broadcast_to(
+            cells[:, None].astype(np.float64), (n_tiles, c)
+        )
+    else:
+        tile_counts = tile_nnz
+
+    pe_of_tile = np.arange(n_tiles) % n_pes
+    ceil_in = np.ceil(tile_counts / mult_in)
+    pe_ceil = np.zeros((n_pes, c), dtype=np.float64)
+    np.add.at(pe_ceil, pe_of_tile, ceil_in)
+    max_pe = pe_ceil.max(axis=0)  # (C,)
+
+    # Weight-side ceilings: exact from the per-channel filter histograms.
+    w_dense_per_filter = spec.kernel * spec.kernel
+    pad = (-spec.n_filters) % group
+    padded = np.pad(stats.filter_channel_nnz, ((0, pad), (0, 0)))
+    group_w_nnz = padded.reshape(n_groups, group, c).sum(axis=1).astype(np.float64)
+    members = np.minimum(
+        group, spec.n_filters - np.arange(n_groups) * group
+    ).astype(np.float64)
+    group_w_all = members[:, None] * float(w_dense_per_filter) * np.ones((1, c))
+    group_weights = group_w_nnz if variant == "two" else group_w_all
+    ceil_w = np.ceil(group_weights / mult_w)
+    sum_ceil_w = ceil_w.sum(axis=0)  # (C,)
+
+    cycles = float(np.dot(max_pe, sum_ceil_w))
+    issued = float(np.dot(pe_ceil.sum(axis=0), sum_ceil_w)) * (mult_in * mult_w)
+    inter = (
+        float(np.dot(n_pes * max_pe - pe_ceil.sum(axis=0), sum_ceil_w))
+        * mult_in
+        * mult_w
+    )
+
+    # Product counts: exact (tiles partition the map, so per-channel
+    # totals are the channel histograms).
+    in_total = tile_counts.sum(axis=0)
+    in_nz_total = stats.channel_input_nnz.astype(np.float64)
+    w_total = group_weights.sum(axis=0)
+    w_nz_total = group_w_nnz.sum(axis=0)
+    products = float(np.dot(in_total, w_total))
+    both_nz = float(np.dot(in_nz_total, w_nz_total))
+    operand_zero = products - both_nz
+    stride_factor = 1.0 / (spec.stride * spec.stride)
+    useful = both_nz * stride_factor
+    stride_waste = both_nz - useful
+    intra = issued - useful - stride_waste - operand_zero
+
+    breakdown = Breakdown(
+        nonzero_macs=useful,
+        zero_macs=stride_waste + operand_zero,
+        intra_loss=intra,
+        inter_loss=inter,
+    )
+
+    mode = profiling.profile_mode()
+    counters = None
+    if mode != profiling.MODE_OFF:
+        in_pe = np.zeros((n_pes, c), dtype=np.float64)
+        np.add.at(in_pe, pe_of_tile, tile_counts)
+        in_nz_pe = np.zeros((n_pes, c), dtype=np.float64)
+        np.add.at(in_nz_pe, pe_of_tile, tile_nnz)
+        issued_slots = pe_ceil * sum_ceil_w[None, :]
+        issued_pe = issued_slots.sum(axis=1) * macs_per_pe
+        products_pe = in_pe @ w_total
+        both_nz_pe = in_nz_pe @ w_nz_total
+        useful_pe = both_nz_pe * stride_factor
+        bins = profiling.timeline_bins() if mode == profiling.MODE_TIMELINE else 0
+        timeline_cycles = timeline_busy = None
+        if bins:
+            bin_of = (np.arange(c) * bins) // max(c, 1)
+            onehot = (bin_of[:, None] == np.arange(bins)[None, :]).astype(
+                np.float64
+            )
+            wall_ch = max_pe * sum_ceil_w
+            timeline_cycles = np.tile(wall_ch @ onehot, (n_pes, 1))
+            timeline_busy = (issued_slots * macs_per_pe) @ onehot
+        counters = profiling.CounterSet(
+            scheme=scheme,
+            n_clusters=n_pes,
+            units_per_cluster=macs_per_pe,
+            total_cycles=cycles,
+            busy=useful_pe,
+            filter_zero=products_pe - useful_pe,
+            barrier_wait=issued_pe - products_pe,
+            permute_stall=np.zeros(n_pes, dtype=np.float64),
+            imbalance_idle=cycles * macs_per_pe - issued_pe,
+            memory_stall=np.zeros(n_pes, dtype=np.float64),
+            barriers=float(n_groups * c),
+            buffer_hwm={
+                "input_tile_values": float(tile_nnz.max(initial=0)),
+                "weight_group_values": float(group_weights.max(initial=0)),
+            },
+            timeline_cycles=timeline_cycles,
+            timeline_busy=timeline_busy,
+        )
+
+    traffic_scheme = {"two": "two_sided", "one": "one_sided", "dense": "dense"}[
+        variant
+    ]
+    extras = observability_extras(breakdown)
+    return LayerResult(
+        scheme=scheme,
+        layer_name=spec.name,
+        cycles=cycles,
+        compute_cycles=cycles,
+        total_macs=n_pes * macs_per_pe,
+        breakdown=breakdown,
+        traffic=layer_traffic(
+            spec, scheme=traffic_scheme, chunk_size=cfg.chunk_size
+        ),
+        extras={**extras, "fidelity": "analytical", "variant": variant},
+        counters=counters,
+    )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def _predict_image(
+    scheme: str, stats: DensityStats, cfg: HardwareConfig
+) -> LayerResult:
+    if scheme == "dense":
+        return _predict_dense(stats, cfg)
+    if scheme == "dense_naive":
+        return _predict_dense(stats, cfg, naive_buffers=True)
+    if scheme == "one_sided":
+        return _predict_one_sided(stats, cfg)
+    if scheme == "sparten_no_gb":
+        return _predict_two_sided(stats, cfg, "no_gb")
+    if scheme == "sparten_gb_s":
+        return _predict_two_sided(stats, cfg, "gb_s")
+    if scheme == "sparten":
+        return _predict_two_sided(stats, cfg, "gb_h")
+    if scheme == "scnn":
+        return _predict_scnn(stats, cfg, "two")
+    if scheme == "scnn_one_sided":
+        return _predict_scnn(stats, cfg, "one")
+    if scheme == "scnn_dense":
+        return _predict_scnn(stats, cfg, "dense")
+    raise ValueError(f"unknown scheme {scheme!r} (have {ANALYTICAL_SCHEMES})")
+
+
+def _accumulate(a: LayerResult, b: LayerResult) -> LayerResult:
+    """Fold a batch image into the running result (sims do the same)."""
+    counters = None
+    if a.counters is not None and b.counters is not None:
+        counters = a.counters + b.counters
+    breakdown = a.breakdown + b.breakdown
+    return replace(
+        a,
+        cycles=a.cycles + b.cycles,
+        compute_cycles=a.compute_cycles + b.compute_cycles,
+        breakdown=breakdown,
+        extras={**a.extras, **observability_extras(breakdown)},
+        counters=counters,
+    )
+
+
+def predict_layer(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    scheme: str = "sparten",
+    seed: int = 0,
+    stats: DensityStats | None = None,
+    data: LayerData | None = None,
+) -> LayerResult:
+    """Predict one layer's cycles/breakdown/traffic analytically.
+
+    Mirrors the cycle simulators' batching: ``cfg.batch`` images (seeds
+    ``seed .. seed+batch-1``) accumulate, exactly like the simulators
+    compose single-image results. *stats*/*data* short-circuit
+    extraction for pre-computed (or pipeline-measured) workloads --
+    single image only.
+    """
+    telemetry.count("analytical.predict")
+    telemetry.count(f"analytical.{scheme}.layers")
+    if stats is not None:
+        result = _predict_image(scheme, regroup_stats(stats, cfg), cfg)
+    elif data is not None:
+        result = _predict_image(
+            scheme, extract_density_stats(spec, cfg, seed, data=data), cfg
+        )
+    else:
+        result = None
+        for image in range(cfg.batch):
+            img_stats = extract_density_stats(spec, cfg, seed + image)
+            img_result = _predict_image(scheme, img_stats, cfg)
+            result = (
+                img_result if result is None else _accumulate(result, img_result)
+            )
+        assert result is not None
+    telemetry.count(f"analytical.{scheme}.cycles", result.cycles)
+    profiling.record_layer(result)
+    return result
+
+
+def predict_network(
+    network,
+    cfg: HardwareConfig,
+    scheme: str = "sparten",
+    seed: int = 0,
+) -> list[LayerResult]:
+    """Predict every layer of a network spec under one scheme."""
+    return [
+        predict_layer(layer, cfg, scheme=scheme, seed=seed)
+        for layer in network.layers
+    ]
+
+
+def predict_layer_energy(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    scheme: str = "sparten",
+    seed: int = 0,
+):
+    """Analytical energy: the shared energy model over a predicted result."""
+    result = predict_layer(spec, cfg, scheme=scheme, seed=seed)
+    return layer_energy(result, spec, batch=cfg.batch, chunk_size=cfg.chunk_size)

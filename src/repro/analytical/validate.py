@@ -1,0 +1,249 @@
+"""Continuous validation of the analytical tier against the simulators.
+
+The fast path is only useful if it cannot silently drift from ground
+truth, so this module defines a fixed validation grid (six layer shapes
+spanning the density/size corners of Table 3, two machine sizes, every
+scheme) and two CI-gated statistics over it:
+
+- **median |relative error|** of predicted vs simulated cycles, gated at
+  :data:`MEDIAN_ABS_ERR_BOUND` (the dense/one-sided/SCNN models are
+  exact; the bound budgets the SparTen order-statistics approximation),
+- **speedup-ranking correlation** (Spearman, per scheme over the grid
+  and pooled), gated at :data:`RANK_CORR_BOUND` -- the property the
+  two-phase sweep actually relies on: the analytical tier must *order*
+  configurations the way the simulator does.
+
+``benchmarks/check_analytical.py`` runs :func:`validate_analytical` and
+fails the build when either gate regresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.analytical.density import extract_density_stats
+from repro.analytical.model import predict_layer
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import HardwareConfig, LARGE_CONFIG, SMALL_CONFIG
+
+__all__ = [
+    "MEDIAN_ABS_ERR_BOUND",
+    "RANK_CORR_BOUND",
+    "VALIDATION_SCHEMES",
+    "ValidationPoint",
+    "ValidationReport",
+    "validation_grid",
+    "validate_analytical",
+    "spearman",
+    "render_validation",
+]
+
+#: CI gates: median |signed relative error| and Spearman rank correlation.
+MEDIAN_ABS_ERR_BOUND = 0.10
+RANK_CORR_BOUND = 0.95
+
+#: Every scheme with both an analytical model and a simulator.
+VALIDATION_SCHEMES = (
+    "dense",
+    "one_sided",
+    "sparten_no_gb",
+    "sparten_gb_s",
+    "sparten",
+    "scnn",
+    "scnn_one_sided",
+    "scnn_dense",
+)
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (layer, config, scheme) comparison."""
+
+    layer: str
+    config: str
+    scheme: str
+    predicted_cycles: float
+    simulated_cycles: float
+
+    @property
+    def error(self) -> float:
+        """Signed relative error (positive = analytical over-predicts)."""
+        if self.simulated_cycles == 0:
+            return 0.0
+        return (
+            self.predicted_cycles - self.simulated_cycles
+        ) / self.simulated_cycles
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The grid's error distribution and ranking agreement."""
+
+    points: tuple[ValidationPoint, ...]
+
+    @property
+    def errors(self) -> np.ndarray:
+        return np.array([p.error for p in self.points], dtype=np.float64)
+
+    @property
+    def median_abs_error(self) -> float:
+        return float(np.median(np.abs(self.errors)))
+
+    @property
+    def max_abs_error(self) -> float:
+        return float(np.abs(self.errors).max(initial=0.0))
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman correlation of predicted vs simulated cycles, pooled.
+
+        Pooling every (layer, config, scheme) point asks the question a
+        pre-screening sweep asks: across everything I might compare,
+        does the analytical ordering match the simulated ordering?
+        """
+        pred = [p.predicted_cycles for p in self.points]
+        sim = [p.simulated_cycles for p in self.points]
+        return spearman(pred, sim)
+
+    def per_scheme(self) -> dict[str, dict[str, float]]:
+        """Median/max |error| and rank correlation per scheme."""
+        out: dict[str, dict[str, float]] = {}
+        for scheme in dict.fromkeys(p.scheme for p in self.points):
+            pts = [p for p in self.points if p.scheme == scheme]
+            errs = np.abs([p.error for p in pts])
+            out[scheme] = {
+                "median_abs_error": float(np.median(errs)),
+                "max_abs_error": float(errs.max(initial=0.0)),
+                "rank_correlation": spearman(
+                    [p.predicted_cycles for p in pts],
+                    [p.simulated_cycles for p in pts],
+                ),
+            }
+        return out
+
+    def passed(self) -> bool:
+        return (
+            self.median_abs_error <= MEDIAN_ABS_ERR_BOUND
+            and self.rank_correlation >= RANK_CORR_BOUND
+        )
+
+
+def validation_grid() -> tuple[tuple[ConvLayerSpec, ...], tuple[HardwareConfig, ...]]:
+    """The fixed validation grid: six layer shapes, two machine sizes.
+
+    The shapes bracket the regimes the SparTen approximation must hold
+    in: a large early layer (c1), mid-network AlexNet/GoogLeNet-like
+    shapes (c2, c3), a strided layer (s1), and the sparse-input/dense
+    -filter and dense-input corners (d1, d2) where load imbalance peaks.
+    """
+    specs = (
+        ConvLayerSpec("val_c1", 27, 27, 96, 5, 128, 1, 2, 0.55, 0.35),
+        ConvLayerSpec("val_c2", 13, 13, 256, 3, 384, 1, 1, 0.40, 0.35),
+        ConvLayerSpec("val_c3", 14, 14, 112, 3, 224, 1, 1, 0.35, 0.30),
+        ConvLayerSpec("val_s1", 28, 28, 64, 3, 96, 2, 1, 0.5, 0.4),
+        ConvLayerSpec("val_d1", 13, 13, 192, 3, 192, 1, 1, 0.25, 0.45),
+        ConvLayerSpec("val_d2", 24, 24, 48, 3, 64, 1, 1, 0.65, 0.55),
+    )
+    cfgs = (
+        SMALL_CONFIG.with_sampling(48),
+        LARGE_CONFIG.with_sampling(48),
+    )
+    return specs, cfgs
+
+
+def validate_analytical(
+    seed: int = 3,
+    specs: tuple[ConvLayerSpec, ...] | None = None,
+    cfgs: tuple[HardwareConfig, ...] | None = None,
+    schemes: tuple[str, ...] = VALIDATION_SCHEMES,
+) -> ValidationReport:
+    """Predicted vs simulated cycles over the validation grid.
+
+    Simulations route through the content-hash result memo, so a warm
+    re-validation (CI re-runs, the bench after the gate) skips the
+    cycle-level work entirely; density statistics are extracted once per
+    (layer, config) and shared across schemes.
+    """
+    from repro.core.compare import run_scheme_cached
+
+    grid_specs, grid_cfgs = validation_grid()
+    specs = specs if specs is not None else grid_specs
+    cfgs = cfgs if cfgs is not None else grid_cfgs
+    points: list[ValidationPoint] = []
+    with telemetry.span("validate_analytical"):
+        for spec in specs:
+            for cfg in cfgs:
+                stats = extract_density_stats(spec, cfg, seed=seed)
+                for scheme in schemes:
+                    sim = run_scheme_cached(scheme, spec, cfg, seed)
+                    pred = predict_layer(
+                        spec, cfg, scheme=scheme, seed=seed, stats=stats
+                    )
+                    points.append(
+                        ValidationPoint(
+                            layer=spec.name,
+                            config=cfg.name,
+                            scheme=scheme,
+                            predicted_cycles=pred.cycles,
+                            simulated_cycles=sim.cycles,
+                        )
+                    )
+    report = ValidationReport(points=tuple(points))
+    telemetry.gauge("analytical.validation.median_abs_error", report.median_abs_error)
+    telemetry.gauge("analytical.validation.rank_correlation", report.rank_correlation)
+    return report
+
+
+def spearman(a, b) -> float:
+    """Spearman rank correlation with average ranks for ties.
+
+    Hand-rolled (no scipy in the image): rank both series with tied
+    values sharing their average rank, then Pearson over the ranks.
+    """
+    x = _average_ranks(np.asarray(a, dtype=np.float64))
+    y = _average_ranks(np.asarray(b, dtype=np.float64))
+    if x.size < 2:
+        return 1.0
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        return 1.0 if sx == sy else 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(values.size, dtype=np.float64)
+    # Ties share the average of their occupied rank positions.
+    for v in np.unique(values):
+        mask = values == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def render_validation(report: ValidationReport) -> str:
+    """Table view: per-scheme error summary plus the gate verdict."""
+    lines = [
+        "Analytical-tier validation (predicted vs simulated cycles)",
+        f"{'scheme':16s} {'med|err|':>9s} {'max|err|':>9s} {'rank corr':>10s}",
+    ]
+    for scheme, row in report.per_scheme().items():
+        lines.append(
+            f"{scheme:16s} {row['median_abs_error']:9.4f} "
+            f"{row['max_abs_error']:9.4f} {row['rank_correlation']:10.4f}"
+        )
+    lines.append(
+        f"{'pooled':16s} {report.median_abs_error:9.4f} "
+        f"{report.max_abs_error:9.4f} {report.rank_correlation:10.4f}"
+    )
+    lines.append(
+        f"gates: median |err| <= {MEDIAN_ABS_ERR_BOUND:.2f} and "
+        f"rank corr >= {RANK_CORR_BOUND:.2f} -> "
+        f"{'PASS' if report.passed() else 'FAIL'}"
+    )
+    return "\n".join(lines)

@@ -199,8 +199,23 @@ def _run_scaling(args):
     from repro.sim.sweeps import machine_scaling_sweep, render_scaling
 
     spec = _net(args).layer(args.layer)
-    sweep = machine_scaling_sweep(spec, seed=args.seed)
+    sweep = machine_scaling_sweep(
+        spec, seed=args.seed, fidelity=getattr(args, "fidelity", None)
+    )
     return render_scaling(sweep, spec.name)
+
+
+def _run_prescreen(args):
+    from repro.sim.sweeps import prescreened_sweep, render_prescreened
+
+    spec = _net(args).layer(args.layer)
+    geometries = tuple(
+        (n_clusters, units)
+        for n_clusters in (2, 4, 8, 16, 32, 64)
+        for units in (4, 8, 16, 32, 64)
+    )
+    result = prescreened_sweep(spec, geometries, seed=args.seed)
+    return render_prescreened(result, spec.name)
 
 
 #: experiment id -> (runner, description).
@@ -225,6 +240,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "rle-waste": (_run_rle, "EIE-style RLE redundant compute"),
     "profile": (_run_profile, "Workload sparsity profile + speedup bounds"),
     "scaling": (_run_scaling, "Machine-size scaling study"),
+    "prescreen": (_run_prescreen, "Two-phase sweep: analytical pre-screen + sim"),
     "model-storage": (_run_model_storage, "Whole-model 2-3x storage claim"),
     "proxy-oracle": (_run_proxy_oracle, "Density proxy vs measured-work oracle"),
     "density": (_run_density, "Speedup vs density sensitivity curve"),
@@ -270,6 +286,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", metavar="DIR", default=None,
                      help="journal finished results to DIR and skip work "
                           "already journaled there (checkpoint/resume)")
+    run.add_argument("--fidelity", default=None,
+                     choices=("analytical", "counters", "timeline", "trace"),
+                     help="fidelity-ladder rung for fidelity-aware "
+                          "experiments (default: $REPRO_FIDELITY)")
+
+    estimate = sub.add_parser(
+        "estimate",
+        help="analytical stall attribution (no cycle-level simulation)",
+        description="Predict per-layer cycles and the stall-attribution "
+                    "table from density statistics alone -- the "
+                    "analytical rung of the fidelity ladder. With "
+                    "--compare, also simulate one layer and print "
+                    "predicted-vs-simulated deltas.",
+    )
+    estimate.add_argument("--network", default="alexnet",
+                          help="network to estimate (default alexnet)")
+    estimate.add_argument("--layer", default=None,
+                          help="estimate a single layer instead of the "
+                               "whole network")
+    estimate.add_argument("--schemes", default=None,
+                          help="comma-separated scheme list (default: the "
+                               "profiler's dense/one-sided/SparTen set)")
+    estimate.add_argument("--compare", metavar="LAYER", default=None,
+                          help="also cycle-simulate LAYER and print "
+                               "predicted-vs-simulated deltas")
+    estimate.add_argument("--exact", action="store_true",
+                          help="full-resolution statistics (slow extraction)")
+    estimate.add_argument("--seed", type=int, default=0, help="workload seed")
 
     profile = sub.add_parser(
         "profile",
@@ -320,6 +364,39 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_fn, description) in sorted(EXPERIMENTS.items()):
             print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "estimate":
+        from repro import profiling
+        from repro.analytical import estimate as est
+
+        # Analytical counters ride the same profile switch; escalate off
+        # -> counters exactly like the profiler (never downgrade).
+        if profiling.profile_mode() == profiling.MODE_OFF:
+            os.environ["REPRO_PROFILE"] = profiling.MODE_COUNTERS
+        telemetry.reset()
+        schemes = (
+            tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+            if args.schemes
+            else est.DEFAULT_ESTIMATE_SCHEMES
+        )
+        payload = est.estimate_network(
+            network=args.network,
+            schemes=schemes,
+            fast=not args.exact,
+            seed=args.seed,
+            layer=args.layer,
+        )
+        print(est.render_estimate(payload))
+        if args.compare:
+            comparison = est.compare_estimate(
+                args.network,
+                args.compare,
+                schemes=schemes,
+                fast=not args.exact,
+                seed=args.seed,
+            )
+            print()
+            print(est.render_estimate_comparison(comparison))
         return 0
     if args.command == "profile":
         from repro import profiling
@@ -379,6 +456,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     args.fast = not args.exact
     runner, _ = EXPERIMENTS[args.experiment]
+    if getattr(args, "fidelity", None):
+        # Fidelity-aware paths (sweeps, the pipeline) read the ladder
+        # level from the environment; the flag is the per-run override.
+        os.environ["REPRO_FIDELITY"] = args.fidelity
     telemetry.reset()  # a clean measurement window for this run
     if args.resume:
         from repro.resilience import checkpoint

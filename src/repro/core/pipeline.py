@@ -85,6 +85,12 @@ class NetworkPipeline:
         config: hardware configuration for the per-layer simulations.
         variant: greedy-balancing variant (``gb_s`` exercises the offline
             unshuffling; ``gb_h``/``no_gb`` leave channel order alone).
+        fidelity: fidelity-ladder rung for the per-layer performance
+            numbers (default: the ``REPRO_FIDELITY`` environment
+            setting). ``"analytical"`` predicts each layer in closed
+            form from the *measured* activations -- the network function,
+            densities and GB-S unshuffling checks are always exact; only
+            the cycle estimate changes rungs.
     """
 
     def __init__(
@@ -92,6 +98,7 @@ class NetworkPipeline:
         layers: list[PipelineLayer],
         config: HardwareConfig = LARGE_CONFIG,
         variant: str = "gb_s",
+        fidelity: str | None = None,
     ):
         if not layers:
             raise ValueError("need at least one layer")
@@ -105,6 +112,11 @@ class NetworkPipeline:
         self.layers = list(layers)
         self.config = config
         self.variant = variant
+        if fidelity is not None:
+            from repro.analytical.fidelity import fidelity_level
+
+            fidelity = fidelity_level(fidelity)  # validate eagerly
+        self.fidelity = fidelity
 
     def prepare_gb_s_weights(self) -> list[np.ndarray]:
         """The offline pass: per-layer sorted weights with unshuffling.
@@ -177,9 +189,7 @@ class NetworkPipeline:
             if simulate:
                 spec = self._measured_spec(layer, x, weights, i)
                 data = LayerData(spec=spec, input_map=x, filters=weights)
-                results.append(
-                    simulate_sparten(spec, self.config, variant=self.variant, data=data)
-                )
+                results.append(self._layer_result(spec, data))
             x = out
 
         return PipelineRun(
@@ -187,6 +197,30 @@ class NetworkPipeline:
             layer_results=tuple(results),
             layer_densities=tuple(densities),
         )
+
+    def _layer_result(self, spec: ConvLayerSpec, data: LayerData) -> LayerResult:
+        """One stage's performance number at the pipeline's fidelity.
+
+        Measured workloads have no synthesis seed, so they bypass the
+        result memo; the ``trace`` rung degrades to ``timeline`` here
+        (the trace front end keys off the workload cache).
+        """
+        from repro.analytical.fidelity import _profile_env, _PROFILE_FOR, fidelity_level
+
+        level = fidelity_level(self.fidelity)
+        if level == "analytical":
+            from repro.analytical.model import predict_layer
+
+            scheme = {
+                "no_gb": "sparten_no_gb",
+                "gb_s": "sparten_gb_s",
+                "gb_h": "sparten",
+            }[self.variant]
+            return predict_layer(spec, self.config, scheme=scheme, data=data)
+        with _profile_env(_PROFILE_FOR[level]):
+            return simulate_sparten(
+                spec, self.config, variant=self.variant, data=data
+            )
 
     def sparse_footprint(self, feature_map: np.ndarray) -> int:
         """Stored bits of a feature map in the on-the-fly sparse format."""

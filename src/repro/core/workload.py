@@ -68,6 +68,8 @@ __all__ = [
     "CacheStats",
     "workload_key",
     "result_key",
+    "cache_get",
+    "cache_put",
     "get_layer_data",
     "get_workload",
     "lookup_result",
@@ -255,6 +257,20 @@ def get_workload(
     _WORKLOADS.put(key, pair, nbytes=_pair_nbytes(pair))
     _disk_store(key, pair)
     return pair
+
+
+def cache_get(key: tuple):
+    """Look up a derived per-workload product (e.g. density statistics).
+
+    Shares the workload LRU so derived products obey the same byte/entry
+    bounds and are dropped by :func:`clear_caches`.
+    """
+    return _WORKLOADS.get(key)
+
+
+def cache_put(key: tuple, value, nbytes: int = 0) -> None:
+    """Store a derived per-workload product in the workload LRU."""
+    _WORKLOADS.put(key, value, nbytes=nbytes)
 
 
 def lookup_result(key: tuple):

@@ -394,16 +394,19 @@ def _match_counts_gemm(
 def _match_totals_gemm(windows: np.ndarray, fmask: np.ndarray) -> np.ndarray:
     """Per-position match totals without the counts tensor (one matvec).
 
-    Summing filters first is exact: per-chunk column sums are <= F, the
-    dot against a binary row is <= chunk * F, both well inside float32's
-    exact-integer range.
+    Summing filters first is exact: per-chunk column sums are <= F, and
+    the accumulation runs in float64 (every partial sum is an integer,
+    far below 2**53). The chunk axis is flattened into the dot length so
+    each block is a single large GEMV -- a batched ``(n_chunks, blk,
+    chunk) @ (n_chunks, chunk, 1)`` degenerates into ``n_chunks`` tiny
+    matvecs and runs an order of magnitude slower.
     """
     n_sel, n_chunks, chunk = windows.shape
-    colsums = fmask.sum(axis=0, dtype=np.float32)[:, :, None]  # (n_chunks, chunk, 1)
-    match_sums = np.zeros(n_sel, dtype=np.float64)
+    colsums = fmask.sum(axis=0, dtype=np.float64).reshape(-1)  # (n_chunks * chunk,)
+    match_sums = np.empty(n_sel, dtype=np.float64)
     block = max(1, _GEMM_BLOCK_ELEMS // max(1, n_chunks * chunk))
+    flat = windows.reshape(n_sel, n_chunks * chunk)
     for lo in range(0, n_sel, block):
         hi = min(lo + block, n_sel)
-        a = windows[lo:hi].transpose(1, 0, 2).astype(np.float32)
-        match_sums[lo:hi] = np.matmul(a, colsums)[..., 0].sum(axis=0, dtype=np.float64)
+        match_sums[lo:hi] = flat[lo:hi].astype(np.float64) @ colsums
     return match_sums

@@ -1,8 +1,8 @@
-"""Machine-scaling study: where SparTen's parallelism stops paying.
+"""Design-space sweeps: machine scaling and analytical pre-screening.
 
-The paper fixes two machine sizes (Table 2); this study sweeps the
-machine and shows the scaling cliffs the breakdowns of Figures 10-12
-hint at:
+The paper fixes two machine sizes (Table 2); these sweeps explore the
+geometry space and show the scaling cliffs the breakdowns of Figures
+10-12 hint at:
 
 - more clusters than output positions leave whole clusters idle
   (inter-cluster loss; the GoogLeNet Inception 5a effect),
@@ -11,20 +11,66 @@ hint at:
 - and barrier granularity means the speedup of adding units saturates
   before the MAC count does.
 
-Each sweep point reports speedup over an equal-MAC dense machine and the
-loss split, so the scaling efficiency is attributable.
+Every sweep point routes through the content-hash result memo
+(:func:`repro.core.compare.run_scheme_cached` via the fidelity ladder),
+so repeated or overlapping sweeps -- and sweeps whose points differ only
+in knobs outside the workload key -- hit the PR 1 cache instead of
+re-simulating. :func:`prescreened_sweep` is the two-phase mode: the
+analytical tier scores the *full* grid in closed form, then only the
+top-k survivors pay for cycle-level simulation.
 """
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.nets.layers import ConvLayerSpec
-from repro.nets.synthesis import synthesize_layer
 from repro.sim.config import HardwareConfig
-from repro.sim.dense import simulate_dense
-from repro.sim.kernels import compute_chunk_work
-from repro.sim.sparten import simulate_sparten
 
-__all__ = ["machine_scaling_sweep"]
+__all__ = [
+    "machine_scaling_sweep",
+    "prescreened_sweep",
+    "render_scaling",
+    "render_prescreened",
+]
+
+#: Greedy-balancing variant -> result-memo scheme name.
+_SCHEME_OF = {"no_gb": "sparten_no_gb", "gb_s": "sparten_gb_s", "gb_h": "sparten"}
+
+
+def _sweep_config(
+    n_clusters: int, units: int, position_sample: int | None
+) -> HardwareConfig:
+    return HardwareConfig(
+        name=f"sweep_{n_clusters}x{units}",
+        n_clusters=n_clusters,
+        units_per_cluster=units,
+        position_sample=position_sample,
+    )
+
+
+def _sweep_point(
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    variant: str,
+    seed: int,
+    fidelity: str | None,
+) -> dict[str, float]:
+    """One geometry's speedup/utilisation row at the chosen fidelity."""
+    from repro.analytical.fidelity import simulate_at_fidelity
+
+    dense = simulate_at_fidelity("dense", spec, cfg, seed, fidelity=fidelity)
+    sparse = simulate_at_fidelity(
+        _SCHEME_OF[variant], spec, cfg, seed, fidelity=fidelity
+    )
+    total = sparse.breakdown.total
+    return {
+        "total_macs": float(cfg.total_macs),
+        "speedup_vs_dense": dense.cycles / sparse.cycles,
+        "cycles": sparse.cycles,
+        "utilization": sparse.breakdown.nonzero_macs / total if total else 0.0,
+        "intra_fraction": sparse.breakdown.intra_loss / total if total else 0.0,
+        "inter_fraction": sparse.breakdown.inter_loss / total if total else 0.0,
+    }
 
 
 def machine_scaling_sweep(
@@ -39,36 +85,150 @@ def machine_scaling_sweep(
     variant: str = "gb_h",
     position_sample: int | None = 200,
     seed: int = 0,
+    fidelity: str | None = None,
 ) -> dict:
     """Sweep (clusters, units) geometries over one layer.
 
     Returns, per geometry: total MACs, SparTen speedup over the same-size
     dense machine, machine utilisation (useful MACs / MAC-cycles), and
     the loss fractions. Scaling efficiency = utilisation relative to the
-    smallest machine's.
+    smallest machine's. *fidelity* picks the ladder rung (default: the
+    ``REPRO_FIDELITY`` environment setting); ``"analytical"`` scores the
+    whole sweep without running the cycle-level machine.
     """
+    if variant not in _SCHEME_OF:
+        raise ValueError(f"variant must be one of {sorted(_SCHEME_OF)}, got {variant!r}")
     out: dict[tuple[int, int], dict[str, float]] = {}
-    data = synthesize_layer(spec, seed=seed)
-    for n_clusters, units in geometries:
-        cfg = HardwareConfig(
-            name=f"sweep_{n_clusters}x{units}",
-            n_clusters=n_clusters,
-            units_per_cluster=units,
-            position_sample=position_sample,
-        )
-        work = compute_chunk_work(data, cfg, need_counts=True)
-        dense = simulate_dense(spec, cfg, data=data, work=work)
-        sparse = simulate_sparten(spec, cfg, variant=variant, data=data, work=work)
-        total = sparse.breakdown.total
-        out[(n_clusters, units)] = {
-            "total_macs": float(cfg.total_macs),
-            "speedup_vs_dense": dense.cycles / sparse.cycles,
-            "cycles": sparse.cycles,
-            "utilization": sparse.breakdown.nonzero_macs / total if total else 0.0,
-            "intra_fraction": sparse.breakdown.intra_loss / total if total else 0.0,
-            "inter_fraction": sparse.breakdown.inter_loss / total if total else 0.0,
-        }
+    with telemetry.span("scaling_sweep", layer=spec.name):
+        for n_clusters, units in geometries:
+            cfg = _sweep_config(n_clusters, units, position_sample)
+            out[(n_clusters, units)] = _sweep_point(
+                spec, cfg, variant, seed, fidelity
+            )
     return out
+
+
+def _row_from_results(dense, sparse, cfg: HardwareConfig) -> dict[str, float]:
+    total = sparse.breakdown.total
+    return {
+        "total_macs": float(cfg.total_macs),
+        "speedup_vs_dense": dense.cycles / sparse.cycles,
+        "cycles": sparse.cycles,
+        "utilization": sparse.breakdown.nonzero_macs / total if total else 0.0,
+        "intra_fraction": sparse.breakdown.intra_loss / total if total else 0.0,
+        "inter_fraction": sparse.breakdown.inter_loss / total if total else 0.0,
+    }
+
+
+def prescreened_sweep(
+    spec: ConvLayerSpec,
+    geometries: tuple[tuple[int, int], ...],
+    variants: tuple[str, ...] | str = "gb_h",
+    position_sample: int | None = 200,
+    seed: int = 0,
+    top_k: int = 3,
+    final_fidelity: str = "counters",
+    stats_sample: int | None = 512,
+) -> dict:
+    """Two-phase design-space sweep: analytical pre-screen, then simulate.
+
+    Phase 1 scores *every* (clusters, units, variant) point with the
+    analytical tier from **one** density-statistics extraction:
+    statistics are extracted once at a canonical single-cluster geometry
+    (``stats_sample`` positions, evenly spaced over the output map) and
+    re-sliced onto each cluster count with
+    :func:`repro.analytical.density.regroup_stats` -- the group-level
+    barrier terms are memoised per (units, variant), so the cluster axis
+    of the grid costs only a weighted regrouping. Phase 2 re-runs only
+    the *top_k* survivors, ranked by predicted speedup over dense, at
+    *final_fidelity* on the cycle-level machine (matched
+    ``position_sample``). Returns::
+
+        {
+            "analytical": {(clusters, units, variant): row, ...},  # full grid
+            "survivors": [(clusters, units, variant), ...],        # top-k
+            "simulated": {(clusters, units, variant): row, ...},   # survivors
+        }
+
+    The validation gate (:mod:`repro.analytical.validate`) is what makes
+    the pre-screen trustworthy: ranking correlation >= 0.95 means the
+    simulated optimum is in the analytical top-k for any reasonable k.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if isinstance(variants, str):
+        variants = (variants,)
+    for variant in variants:
+        if variant not in _SCHEME_OF:
+            raise ValueError(
+                f"variants must be among {sorted(_SCHEME_OF)}, got {variant!r}"
+            )
+    from repro.analytical.density import extract_density_stats, regroup_stats
+    from repro.analytical.model import predict_layer
+
+    with telemetry.span("prescreened_sweep", layer=spec.name):
+        with telemetry.span("prescreen_analytical", layer=spec.name):
+            canonical = HardwareConfig(
+                name="prescreen_canonical",
+                n_clusters=1,
+                units_per_cluster=1,
+                position_sample=stats_sample,
+            )
+            stats = extract_density_stats(spec, canonical, seed)
+            analytical: dict[tuple[int, int, str], dict[str, float]] = {}
+            for n_clusters, units in geometries:
+                cfg = _sweep_config(n_clusters, units, position_sample)
+                regrouped = regroup_stats(stats, cfg)
+                dense = predict_layer(spec, cfg, scheme="dense", stats=regrouped)
+                for variant in variants:
+                    sparse = predict_layer(
+                        spec, cfg, scheme=_SCHEME_OF[variant], stats=regrouped
+                    )
+                    analytical[(n_clusters, units, variant)] = _row_from_results(
+                        dense, sparse, cfg
+                    )
+        survivors = sorted(
+            analytical, key=lambda g: -analytical[g]["speedup_vs_dense"]
+        )[:top_k]
+        telemetry.count("sweep.prescreen.points", len(analytical))
+        telemetry.count("sweep.prescreen.survivors", len(survivors))
+        simulated: dict[tuple[int, int, str], dict[str, float]] = {}
+        with telemetry.span("prescreen_survivors", layer=spec.name):
+            for n_clusters, units, variant in survivors:
+                cfg = _sweep_config(n_clusters, units, position_sample)
+                simulated[(n_clusters, units, variant)] = _sweep_point(
+                    spec, cfg, variant, seed, final_fidelity
+                )
+    return {
+        "analytical": analytical,
+        "survivors": survivors,
+        "simulated": simulated,
+    }
+
+
+def render_prescreened(result: dict, layer_name: str) -> str:
+    """Table view of a two-phase sweep: full analytical grid + survivors."""
+    lines = [
+        f"Pre-screened sweep on {layer_name}: "
+        f"{len(result['analytical'])} points scored analytically, "
+        f"{len(result['survivors'])} simulated",
+        f"{'clusters':>9s} {'units':>6s} {'variant':>8s} {'pred speedup':>13s} "
+        f"{'sim speedup':>12s} {'survivor':>9s}",
+    ]
+    ranked = sorted(
+        result["analytical"],
+        key=lambda g: -result["analytical"][g]["speedup_vs_dense"],
+    )
+    for geom in ranked:
+        clusters, units, variant = geom
+        pred = result["analytical"][geom]["speedup_vs_dense"]
+        sim = result["simulated"].get(geom)
+        sim_text = f"{sim['speedup_vs_dense']:.2f}x" if sim else "-"
+        lines.append(
+            f"{clusters:9d} {units:6d} {variant:>8s} {pred:12.2f}x "
+            f"{sim_text:>12s} {'yes' if geom in result['survivors'] else '':>9s}"
+        )
+    return "\n".join(lines)
 
 
 def render_scaling(sweep: dict, layer_name: str) -> str:

@@ -76,6 +76,7 @@ def build_manifest(
     extra: dict | None = None,
 ) -> dict:
     """Assemble the manifest dict from the current telemetry window."""
+    from repro.analytical.fidelity import fidelity_level
     from repro.resilience import resilience_summary
 
     rec = recorder if recorder is not None else get_recorder()
@@ -91,6 +92,7 @@ def build_manifest(
             k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")
         },
         "seed": seed,
+        "fidelity": fidelity_level(),
         "config": config,
         "config_hash": config_hash(config),
         "spans": snap["spans"],
@@ -134,6 +136,8 @@ def render_manifest(manifest: dict) -> str:
         )
     if manifest.get("seed") is not None:
         lines.append(f"seed {manifest['seed']}")
+    if manifest.get("fidelity"):
+        lines.append(f"fidelity {manifest['fidelity']}")
     if manifest.get("config_hash"):
         lines.append(f"config hash {manifest['config_hash']}")
     config = manifest.get("config") or {}

@@ -1,0 +1,331 @@
+"""Tests for the analytical fast path (repro.analytical).
+
+Covers the contracts the pre-screened sweep leans on:
+
+- density statistics are pinned against the materialised counts tensor,
+- :func:`regroup_stats` re-slices one canonical extraction onto any
+  cluster count (sharing arrays, preserving the sampling estimator),
+- the barrier memo returns the identical result across the cluster axis,
+- the exact schemes (dense / one-sided / SCNN) match the simulators bit
+  for bit and the calibrated SparTen models stay inside the validation
+  bounds,
+- every fidelity-ladder rung returns the shared LayerResult schema,
+- predicted cycles are monotone in workload density,
+- the two-phase sweep's result schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytical import model
+from repro.analytical.density import (
+    extract_density_stats,
+    regroup_stats,
+    stats_from_work,
+)
+from repro.analytical.fidelity import (
+    FIDELITY_LEVELS,
+    fidelity_level,
+    simulate_at_fidelity,
+)
+from repro.analytical.model import ANALYTICAL_SCHEMES, predict_layer
+from repro.core.compare import run_scheme_cached
+from repro.nets.layers import ConvLayerSpec
+from repro.sim.config import HardwareConfig
+from repro.sim.kernels import compute_chunk_work
+from repro.sim.results import LayerResult
+
+
+class TestDensityStats:
+    def test_match_sums_pin_materialized_counts(self, tiny_data, mini_cfg):
+        """The cheap-path match totals equal the full counts tensor's."""
+        full = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        cheap = compute_chunk_work(tiny_data, mini_cfg, need_counts=False)
+        counts = full.materialized_counts()
+        np.testing.assert_array_equal(
+            np.asarray(cheap.match_sums, dtype=np.float64),
+            counts.sum(axis=(0, 2), dtype=np.float64),
+        )
+
+    def test_counts_bounded_by_window_popcounts(self, tiny_data, mini_cfg):
+        full = compute_chunk_work(tiny_data, mini_cfg, need_counts=True)
+        counts = full.materialized_counts()
+        # A chunk's match count cannot exceed the window's non-zeros.
+        assert np.all(counts <= full.input_pop[:, :, None])
+
+    def test_filter_totals_pin_filter_masks(self, tiny_data, mini_cfg):
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=False)
+        stats = stats_from_work(tiny_data, work, mini_cfg.chunk_size)
+        np.testing.assert_array_equal(
+            stats.filter_total_nnz,
+            tiny_data.filter_masks.sum(axis=(1, 2, 3)),
+        )
+
+    def test_integral_image_rectangles(self, tiny_data, mini_cfg):
+        work = compute_chunk_work(tiny_data, mini_cfg, need_counts=False)
+        stats = stats_from_work(tiny_data, work, mini_cfg.chunk_size)
+        mask = tiny_data.input_mask
+        h, w, _ = mask.shape
+        whole = stats.rect_nnz(
+            np.array(0), np.array(h), np.array(0), np.array(w)
+        )
+        np.testing.assert_array_equal(whole, mask.sum(axis=(0, 1)))
+
+
+class TestRegroupStats:
+    def _full_stats(self, spec, seed=0):
+        """Canonical single-cluster extraction covering every position."""
+        canonical = HardwareConfig(
+            name="canon", n_clusters=1, units_per_cluster=1,
+            chunk_size=16, position_sample=None,
+        )
+        return extract_density_stats(spec, canonical, seed)
+
+    def test_same_cluster_count_is_identity(self, tiny_spec):
+        stats = self._full_stats(tiny_spec)
+        cfg = HardwareConfig(
+            name="same", n_clusters=1, units_per_cluster=4, chunk_size=16
+        )
+        assert regroup_stats(stats, cfg) is stats
+
+    def test_shares_per_position_arrays(self, tiny_spec, mini_cfg):
+        stats = self._full_stats(tiny_spec)
+        regrouped = regroup_stats(stats, mini_cfg)
+        assert regrouped.input_pop is stats.input_pop
+        assert regrouped.match_sums is stats.match_sums
+        assert regrouped.filter_chunk_nnz is stats.filter_chunk_nnz
+
+    def test_weights_recover_cluster_positions(self, tiny_spec):
+        stats = self._full_stats(tiny_spec)
+        cfg = HardwareConfig(
+            name="five", n_clusters=5, units_per_cluster=2, chunk_size=16
+        )
+        a = regroup_stats(stats, cfg).assignment
+        assert a.n_clusters == 5
+        np.testing.assert_allclose(
+            np.bincount(a.cluster_of, weights=a.weight_of, minlength=5),
+            a.cluster_positions,
+        )
+        assert int(a.cluster_positions.sum()) == tiny_spec.out_positions
+
+    def test_matches_direct_extraction_when_unsampled(self, tiny_spec):
+        """Full-coverage stats regrouped == stats extracted at the target."""
+        stats = self._full_stats(tiny_spec)
+        cfg = HardwareConfig(
+            name="direct", n_clusters=3, units_per_cluster=4,
+            chunk_size=16, bisection_width=2, position_sample=None,
+        )
+        regrouped = regroup_stats(stats, cfg)
+        direct = extract_density_stats(tiny_spec, cfg, 0)
+        np.testing.assert_array_equal(
+            regrouped.assignment.cluster_of, direct.assignment.cluster_of
+        )
+        np.testing.assert_allclose(
+            regrouped.assignment.weight_of, direct.assignment.weight_of
+        )
+        for scheme in ("dense", "one_sided", "sparten"):
+            via_regroup = predict_layer(
+                tiny_spec, cfg, scheme=scheme, stats=regrouped
+            )
+            via_direct = predict_layer(
+                tiny_spec, cfg, scheme=scheme, stats=direct
+            )
+            assert via_regroup.cycles == pytest.approx(via_direct.cycles)
+
+    def test_too_sparse_sample_raises(self, tiny_spec):
+        sampled = HardwareConfig(
+            name="sparse", n_clusters=1, units_per_cluster=1,
+            chunk_size=16, position_sample=3,
+        )
+        stats = extract_density_stats(tiny_spec, sampled, 0)
+        many = HardwareConfig(
+            name="many",
+            n_clusters=tiny_spec.out_positions,
+            units_per_cluster=2,
+            chunk_size=16,
+        )
+        with pytest.raises(ValueError, match="regroup"):
+            regroup_stats(stats, many)
+
+
+class TestBarrierMemo:
+    def test_hit_returns_identical_arrays(self, tiny_spec, mini_cfg):
+        stats = extract_density_stats(tiny_spec, mini_cfg, 0)
+        model._BARRIER_MEMO.clear()
+        first = model._two_sided_barriers(stats, mini_cfg, "gb_h")
+        assert len(model._BARRIER_MEMO) == 1
+        second = model._two_sided_barriers(stats, mini_cfg, "gb_h")
+        assert second[0] is first[0]
+        assert second[1] is first[1]
+        assert second[2] == first[2]
+
+    def test_cluster_count_does_not_key_the_memo(self, tiny_spec, mini_cfg):
+        """The whole cluster axis of a sweep shares one barrier entry."""
+        stats = extract_density_stats(tiny_spec, mini_cfg, 0)
+        model._BARRIER_MEMO.clear()
+        model._two_sided_barriers(stats, mini_cfg, "gb_h")
+        other = HardwareConfig(
+            name="more_clusters",
+            n_clusters=6,
+            units_per_cluster=mini_cfg.units_per_cluster,
+            chunk_size=mini_cfg.chunk_size,
+            bisection_width=mini_cfg.bisection_width,
+        )
+        regrouped = regroup_stats(stats, other)
+        model._two_sided_barriers(regrouped, other, "gb_h")
+        assert len(model._BARRIER_MEMO) == 1
+
+    def test_units_key_the_memo(self, tiny_spec, mini_cfg):
+        stats = extract_density_stats(tiny_spec, mini_cfg, 0)
+        model._BARRIER_MEMO.clear()
+        model._two_sided_barriers(stats, mini_cfg, "gb_h")
+        wider = HardwareConfig(
+            name="wider",
+            n_clusters=mini_cfg.n_clusters,
+            units_per_cluster=2,
+            chunk_size=mini_cfg.chunk_size,
+            bisection_width=2,
+        )
+        model._two_sided_barriers(stats, wider, "gb_h")
+        assert len(model._BARRIER_MEMO) == 2
+
+
+class TestAccuracy:
+    EXACT_SCHEMES = ("dense", "one_sided", "scnn", "scnn_one_sided", "scnn_dense")
+
+    def test_exact_schemes_match_simulators(self, tiny_spec, mini_cfg):
+        for scheme in self.EXACT_SCHEMES:
+            sim = run_scheme_cached(scheme, tiny_spec, mini_cfg, seed=0)
+            pred = predict_layer(tiny_spec, mini_cfg, scheme=scheme, seed=0)
+            assert pred.cycles == pytest.approx(sim.cycles, rel=1e-9), scheme
+
+    def test_sparten_within_validation_bounds(self, tiny_spec, mini_cfg):
+        for scheme in ("sparten_no_gb", "sparten_gb_s", "sparten"):
+            sim = run_scheme_cached(scheme, tiny_spec, mini_cfg, seed=0)
+            pred = predict_layer(tiny_spec, mini_cfg, scheme=scheme, seed=0)
+            err = abs(pred.cycles - sim.cycles) / sim.cycles
+            assert err <= 0.10, f"{scheme}: |err| {err:.4f}"
+
+    def test_breakdown_conserves_totals(self, tiny_spec, mini_cfg):
+        pred = predict_layer(tiny_spec, mini_cfg, scheme="sparten", seed=0)
+        b = pred.breakdown
+        assert b.total == pytest.approx(
+            b.nonzero_macs + b.intra_loss + b.inter_loss, rel=1e-9
+        )
+
+
+class TestFidelityLadder:
+    def test_every_level_returns_layer_result(self, tiny_spec, mini_cfg):
+        cycles = {}
+        for level in FIDELITY_LEVELS:
+            result = simulate_at_fidelity(
+                "sparten", tiny_spec, mini_cfg, seed=0, fidelity=level
+            )
+            assert isinstance(result, LayerResult)
+            assert result.cycles > 0
+            assert result.breakdown.total > 0
+            cycles[level] = result.cycles
+        # The cycle-level rungs answer identically; analytical approximates.
+        assert cycles["counters"] == cycles["timeline"] == cycles["trace"]
+
+    def test_trace_rung_attaches_trace_extras(self, tiny_spec, mini_cfg):
+        result = simulate_at_fidelity(
+            "sparten", tiny_spec, mini_cfg, seed=0, fidelity="trace"
+        )
+        assert "trace_total_cycles" in result.extras
+        assert "trace_hiding_efficiency" in result.extras
+
+    def test_analytical_rung_rejects_unknown_scheme(self, tiny_spec, mini_cfg):
+        with pytest.raises(ValueError, match="analytical"):
+            simulate_at_fidelity(
+                "not_a_scheme", tiny_spec, mini_cfg, fidelity="analytical"
+            )
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            fidelity_level("cycle_accurate")
+
+    def test_env_variable_selects_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "analytical")
+        assert fidelity_level() == "analytical"
+        monkeypatch.delenv("REPRO_FIDELITY")
+        assert fidelity_level() == "counters"
+
+    def test_analytical_results_memoise(self, tiny_spec, mini_cfg):
+        first = simulate_at_fidelity(
+            "dense", tiny_spec, mini_cfg, seed=0, fidelity="analytical"
+        )
+        second = simulate_at_fidelity(
+            "dense", tiny_spec, mini_cfg, seed=0, fidelity="analytical"
+        )
+        assert second is first
+
+
+class TestMonotonicity:
+    def test_cycles_monotone_in_input_density(self, mini_cfg):
+        """Denser inputs mean more useful MACs, never fewer cycles."""
+        for scheme in ("one_sided", "sparten"):
+            previous = 0.0
+            for density in (0.15, 0.40, 0.65, 0.90):
+                spec = ConvLayerSpec(
+                    name=f"mono_{scheme}_{density}",
+                    in_height=8, in_width=8, in_channels=24,
+                    kernel=3, n_filters=16, padding=1,
+                    input_density=density, filter_density=0.5,
+                )
+                pred = predict_layer(spec, mini_cfg, scheme=scheme, seed=0)
+                assert pred.cycles >= previous, (scheme, density)
+                previous = pred.cycles
+
+
+class TestPrescreenedSweep:
+    def _grid(self):
+        return tuple((c, u) for c in (1, 2) for u in (2, 4))
+
+    def test_result_schema(self, tiny_spec):
+        from repro.sim.sweeps import prescreened_sweep
+
+        result = prescreened_sweep(
+            tiny_spec,
+            self._grid(),
+            variants=("no_gb", "gb_h"),
+            position_sample=None,
+            top_k=2,
+            stats_sample=None,
+        )
+        assert set(result) == {"analytical", "survivors", "simulated"}
+        assert len(result["analytical"]) == 8
+        assert len(result["survivors"]) == 2
+        assert set(result["simulated"]) == set(result["survivors"])
+        for key, row in result["analytical"].items():
+            clusters, units, variant = key
+            assert variant in ("no_gb", "gb_h")
+            assert row["speedup_vs_dense"] > 0
+            assert row["cycles"] > 0
+        # Survivors are the top of the analytical ranking.
+        ranked = sorted(
+            result["analytical"],
+            key=lambda g: -result["analytical"][g]["speedup_vs_dense"],
+        )
+        assert result["survivors"] == ranked[:2]
+
+    def test_rejects_unknown_variant(self, tiny_spec):
+        from repro.sim.sweeps import prescreened_sweep
+
+        with pytest.raises(ValueError, match="variants"):
+            prescreened_sweep(tiny_spec, self._grid(), variants=("gb_x",))
+
+    def test_rejects_bad_top_k(self, tiny_spec):
+        from repro.sim.sweeps import prescreened_sweep
+
+        with pytest.raises(ValueError, match="top_k"):
+            prescreened_sweep(tiny_spec, self._grid(), top_k=0)
+
+
+def test_analytical_schemes_cover_comparison_set():
+    """Every scheme the comparison dispatcher knows has an analytical model."""
+    for scheme in ("dense", "one_sided", "sparten_no_gb", "sparten_gb_s",
+                   "sparten", "scnn"):
+        assert scheme in ANALYTICAL_SCHEMES
