@@ -1,0 +1,44 @@
+"""Append the current bench metrics to the committed history file.
+
+Usage::
+
+    python benchmarks/bench_history.py [--output-dir benchmarks/output]
+                                       [--history benchmarks/bench_history.csv]
+
+Flattens every ``BENCH_*.json`` in the output directory into the
+``bench.metric`` namespace (see :mod:`repro.eval.benchtrack`) and
+appends one CSV row per metric, stamped with the git HEAD SHA. CI runs
+this after the benchmark step so ``bench_history.csv`` accumulates a
+longitudinal perf record; ``repro bench diff`` gates against the
+committed baseline separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval import benchtrack  # noqa: E402
+from repro.telemetry.manifest import _git_sha  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output-dir", default="benchmarks/output")
+    parser.add_argument("--history", default="benchmarks/bench_history.csv")
+    args = parser.parse_args(argv)
+
+    metrics = benchtrack.collect_bench_metrics(args.output_dir)
+    if not metrics:
+        print(f"FAIL: no BENCH_*.json metrics under {args.output_dir}")
+        return 1
+    rows = benchtrack.append_history(args.history, metrics, git_sha=_git_sha())
+    print(f"OK: appended {rows} metric rows to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -7,8 +7,10 @@ Usage::
     python -m repro run headline --manifest manifest.json --trace trace.json
     python -m repro run headline --resume runs/headline  # checkpoint + resume
     python -m repro run chunk-sweep --network vggnet --layer Layer7
-    python -m repro stats manifest.json
+    python -m repro stats manifest.json [--prometheus]
     python -m repro doctor [DIR] [--prune]
+    python -m repro bench diff --baseline benchmarks/bench_baseline.json
+    python -m repro bench record
 
 Every experiment of DESIGN.md's index is addressable by a short id; the
 rendered rows print to stdout (the same text the benchmark harness writes
@@ -25,6 +27,14 @@ preloads them so only unfinished work re-executes. ``repro doctor``
 scans the on-disk workload cache (or any run directory), verifies every
 entry, quarantines corruption and -- with ``--prune`` -- deletes
 quarantined and orphaned files.
+
+Observability: ``--events PATH`` (or ``REPRO_EVENTS``) streams every
+lifecycle transition, cache decision, retry and counter increment to a
+schema-versioned JSONL log merged across workers; ``--metrics PATH``
+(or ``REPRO_METRICS``) writes Prometheus text-exposition snapshots;
+``--progress`` controls the live stderr progress line; ``repro stats
+--prometheus`` renders a manifest for a scraper; and ``repro bench
+diff`` gates CI on the committed perf baseline.
 """
 
 from __future__ import annotations
@@ -247,6 +257,28 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
 }
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="stream JSONL events to PATH (sets REPRO_EVENTS)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write Prometheus metrics snapshots to PATH "
+                             "(sets REPRO_METRICS)")
+    parser.add_argument("--progress", default=None,
+                        choices=("auto", "on", "off"),
+                        help="live progress rendering (sets REPRO_PROGRESS; "
+                             "default auto: only on a TTY)")
+
+
+def _apply_observability_flags(args: argparse.Namespace) -> None:
+    """Fold the CLI flags into the environment so workers inherit them."""
+    if getattr(args, "events", None):
+        os.environ["REPRO_EVENTS"] = args.events
+    if getattr(args, "metrics", None):
+        os.environ["REPRO_METRICS"] = args.metrics
+    if getattr(args, "progress", None):
+        os.environ["REPRO_PROGRESS"] = args.progress
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--resume", metavar="DIR", default=None,
                         help="checkpoint finished results to DIR and skip "
                              "work already journaled there")
+    _add_observability_flags(report)
 
     run = sub.add_parser("run", help="run one experiment and print its rows")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -290,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("analytical", "counters", "timeline", "trace"),
                      help="fidelity-ladder rung for fidelity-aware "
                           "experiments (default: $REPRO_FIDELITY)")
+    _add_observability_flags(run)
 
     estimate = sub.add_parser(
         "estimate",
@@ -343,6 +377,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="pretty-print a run manifest")
     stats.add_argument("manifest", help="path to a manifest.json")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="render the manifest's counters/gauges/spans "
+                            "in Prometheus text-exposition format")
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression tracking over benchmark outputs"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff", help="compare BENCH_*.json metrics against the baseline"
+    )
+    bench_diff.add_argument("--baseline",
+                            default="benchmarks/bench_baseline.json",
+                            help="baseline JSON with per-metric tolerances")
+    bench_diff.add_argument("--output-dir", default="benchmarks/output",
+                            help="directory holding the BENCH_*.json payloads")
+    bench_diff.add_argument("--allow-missing", action="store_true",
+                            help="don't fail on baseline metrics absent "
+                                 "from the run (partial bench sweeps)")
+    bench_record = bench_sub.add_parser(
+        "record", help="append current bench metrics to the history file"
+    )
+    bench_record.add_argument("--output-dir", default="benchmarks/output",
+                              help="directory holding the BENCH_*.json payloads")
+    bench_record.add_argument("--history",
+                              default="benchmarks/bench_history.csv",
+                              help="CSV history file to append to")
 
     doctor = sub.add_parser(
         "doctor", help="scan/verify/prune the on-disk workload cache"
@@ -432,8 +493,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"trace written to {args.trace}")
         return 0
     if args.command == "stats":
-        print(telemetry.render_manifest(telemetry.read_manifest(args.manifest)))
+        manifest = telemetry.read_manifest(args.manifest)
+        if args.prometheus:
+            print(telemetry.prometheus_from_manifest(manifest), end="")
+        else:
+            print(telemetry.render_manifest(manifest))
         return 0
+    if args.command == "bench":
+        from repro.eval import benchtrack
+
+        current = benchtrack.collect_bench_metrics(args.output_dir)
+        if args.bench_command == "record":
+            from repro.telemetry.manifest import _git_sha
+
+            rows = benchtrack.append_history(
+                args.history, current, git_sha=_git_sha()
+            )
+            print(f"bench record: appended {rows} metric rows to {args.history}")
+            return 0
+        baseline = benchtrack.load_baseline(args.baseline)
+        rows = benchtrack.diff_against_baseline(current, baseline)
+        print(benchtrack.render_diff(rows))
+        failing = benchtrack.regressions(rows, allow_missing=args.allow_missing)
+        return 1 if failing else 0
     if args.command == "doctor":
         from repro.resilience.doctor import render_report, scan_store
 
@@ -446,13 +528,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if report.ok else 1
     if args.command == "report":
         from repro.eval.report import generate_report
+        from repro.telemetry import events
+        from repro.telemetry.metrics import MetricsSnapshotter, metrics_path
 
+        _apply_observability_flags(args)
         telemetry.reset()
+        events.start_run(command="report", seed=args.seed)
+        snapshotter = (
+            MetricsSnapshotter(metrics_path()).start() if metrics_path() else None
+        )
         generate_report(
             path=args.output, seed=args.seed, echo=print, resume=args.resume
         )
         if args.trace:
             telemetry.write_chrome_trace(args.trace)
+        events.emit("run.end", command="report")
+        if snapshotter is not None:
+            snapshotter.stop()
         return 0
     args.fast = not args.exact
     runner, _ = EXPERIMENTS[args.experiment]
@@ -460,7 +552,17 @@ def main(argv: list[str] | None = None) -> int:
         # Fidelity-aware paths (sweeps, the pipeline) read the ladder
         # level from the environment; the flag is the per-run override.
         os.environ["REPRO_FIDELITY"] = args.fidelity
+    from repro.telemetry import events
+    from repro.telemetry.metrics import MetricsSnapshotter, metrics_path
+
+    _apply_observability_flags(args)
     telemetry.reset()  # a clean measurement window for this run
+    events.start_run(
+        command="run", experiment=args.experiment, seed=args.seed
+    )
+    snapshotter = (
+        MetricsSnapshotter(metrics_path()).start() if metrics_path() else None
+    )
     if args.resume:
         from repro.resilience import checkpoint
 
@@ -476,6 +578,10 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout closed early (e.g. piped to `head`): not an error.
         return 0
+    # run.end lands before the manifest is assembled, so the event
+    # stream's counter totals and the manifest's counters describe the
+    # same window and reconcile exactly (benchmarks/check_events.py).
+    events.emit("run.end", command="run", experiment=args.experiment)
     if args.manifest:
         telemetry.write_manifest(
             args.manifest,
@@ -490,4 +596,6 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.trace:
         telemetry.write_chrome_trace(args.trace)
+    if snapshotter is not None:
+        snapshotter.stop()
     return 0

@@ -39,6 +39,22 @@ item is retried or a pool dies. ``REPRO_FAULT`` (see
 :mod:`repro.resilience.faults`) injects deterministic worker crashes,
 kills and stalls at the per-item boundary so every one of these paths is
 exercised in tests and CI.
+
+Observability rides the same boundary three ways:
+
+- **Trace context**: the parent's open ``parallel_map`` span id is
+  passed to every worker attempt, which adopts it as its trace parent
+  -- so the merged Chrome trace nests worker spans under the pool span
+  (flow arrows across process lanes) instead of flattening them.
+- **Event stream** (``REPRO_EVENTS``): each worker attempt writes its
+  JSONL events to a private ``.part`` file whose path rides home inside
+  the telemetry snapshot; at pool join the parent merges exactly the
+  kept attempts' parts into the main stream in timestamp order and
+  deletes the rest -- events and counters are kept or discarded
+  together, which is what makes the stream reconcile with the manifest.
+- **Live progress** (``REPRO_PROGRESS``): completed items update an
+  in-place TTY line (or heartbeat lines) with items/sec, ETA, cache hit
+  rate, retries and worker utilization.
 """
 
 from __future__ import annotations
@@ -55,6 +71,8 @@ from repro import telemetry
 from repro.core.env import env_int
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.telemetry import events
+from repro.telemetry.progress import ProgressRenderer
 
 __all__ = ["default_jobs", "parallel_map"]
 
@@ -81,9 +99,18 @@ def _worker_init() -> None:
     global _IN_WORKER
     _IN_WORKER = True
     os.environ["REPRO_JOBS"] = "1"
+    # A worker never appends to the main event stream; its events go to
+    # per-attempt part files the parent merges for kept results only.
+    events.set_worker_mode()
 
 
-def _instrumented_call(fn: Callable[[T], R], item: T, token: str, attempt: int) -> tuple[R, dict]:
+def _instrumented_call(
+    fn: Callable[[T], R],
+    item: T,
+    token: str,
+    attempt: int,
+    trace_parent: str | None = None,
+) -> tuple[R, dict]:
     """Worker-side wrapper: run *fn* in a fresh telemetry window.
 
     Returns ``(result, snapshot)``; snapshots are plain dicts so they
@@ -91,11 +118,26 @@ def _instrumented_call(fn: Callable[[T], R], item: T, token: str, attempt: int) 
     correct because merged aggregates add. *token*/*attempt* feed the
     deterministic fault-injection hook, which fires (crash/kill/stall)
     before the real work so an injected fault costs one item-attempt.
+
+    *trace_parent* is the parent process's open span id; adopting it
+    re-parents every span this attempt records, so the merged Chrome
+    trace nests worker work under the pool span. The attempt's event
+    stream goes to a private part file whose path travels back inside
+    the snapshot (``events_part``) -- flushed and closed before the
+    result returns, so a kept result always names a complete file.
     """
     telemetry.reset()
-    faults.fault_point(token, attempt)
-    result = fn(item)
-    return result, telemetry.snapshot()
+    telemetry.set_trace_parent(trace_parent)
+    events.begin_attempt(token, attempt)
+    try:
+        faults.fault_point(token, attempt)
+        result = fn(item)
+    except BaseException:
+        events.end_attempt()  # the orphaned part file dies at pool join
+        raise
+    snap = telemetry.snapshot()
+    snap["events_part"] = events.end_attempt()
+    return result, snap
 
 
 def parallel_map(
@@ -121,15 +163,36 @@ def parallel_map(
     attempts = [0] * len(items)
     broken = False
     abandoned = False  # a timed-out item left a possibly-hung worker behind
-    with telemetry.span("parallel_map", jobs=min(n, len(items)), items=len(items)):
+    pool_size = min(n, len(items))
+    kept_parts: list[str] = []  # event part files of kept worker attempts
+    progress = ProgressRenderer(total=len(items), label="pool")
+
+    def _progress_tick() -> None:
+        counters = telemetry.get_recorder().counters()
+        hits = counters.get("cache.workload.hit", 0.0)
+        misses = counters.get("cache.workload.miss", 0.0)
+        progress.update(
+            done=sum(1 for r in results if r is not _PENDING),
+            cache_hit_rate=hits / (hits + misses) if hits + misses else None,
+            retries=counters.get("resilience.retry", 0.0),
+            workers=pool_size,
+            workers_busy=min(pool_size, sum(1 for r in results if r is _PENDING)),
+        )
+
+    with telemetry.span("parallel_map", jobs=pool_size, items=len(items)):
+        # The open parallel_map span is the trace context every worker
+        # attempt adopts, re-parenting its spans in the merged trace.
+        trace_ctx = telemetry.current_span_id()
         pool = ProcessPoolExecutor(
-            max_workers=min(n, len(items)),
+            max_workers=pool_size,
             mp_context=ctx,
             initializer=_worker_init,
         )
         try:
             pending = {
-                i: pool.submit(_instrumented_call, fn, items[i], f"item{i}", 0)
+                i: pool.submit(
+                    _instrumented_call, fn, items[i], f"item{i}", 0, trace_ctx
+                )
                 for i in range(len(items))
             }
             while pending:
@@ -150,6 +213,11 @@ def parallel_map(
                         abandoned = True
                         future.cancel()
                         telemetry.count("resilience.timeout")
+                        events.emit(
+                            "resilience.timeout",
+                            item=idx,
+                            timeout=policy.item_timeout,
+                        )
                         telemetry.get_logger("parallel").warning(
                             "item watchdog expired; recomputing locally %s",
                             telemetry.kv(item=idx, timeout=policy.item_timeout),
@@ -158,12 +226,20 @@ def parallel_map(
                             fn, items[idx], policy,
                             token=f"item{idx}", first_attempt=policy.retries,
                         )
+                        _progress_tick()
                     except Exception as exc:
                         attempts[idx] += 1
                         if broken:
                             continue  # serial fallback picks it up
                         if attempts[idx] <= policy.retries:
                             telemetry.count("resilience.retry")
+                            events.emit(
+                                "resilience.retry",
+                                item=idx,
+                                attempt=attempts[idx],
+                                of=policy.retries,
+                                error=str(exc),
+                            )
                             telemetry.get_logger("parallel").warning(
                                 "retrying failed item %s",
                                 telemetry.kv(
@@ -175,7 +251,7 @@ def parallel_map(
                             try:
                                 pending[idx] = pool.submit(
                                     _instrumented_call, fn, items[idx],
-                                    f"item{idx}", attempts[idx],
+                                    f"item{idx}", attempts[idx], trace_ctx,
                                 )
                             except (BrokenProcessPool, RuntimeError):
                                 broken = True
@@ -186,16 +262,25 @@ def parallel_map(
                                 fn, items[idx], policy,
                                 token=f"item{idx}", first_attempt=policy.retries,
                             )
+                            _progress_tick()
                     else:
+                        part = snap.pop("events_part", None)
+                        if part:
+                            kept_parts.append(part)
                         telemetry.merge(snap)
                         results[idx] = result
+                        _progress_tick()
                 if broken:
                     break
         finally:
             pool.shutdown(wait=not abandoned, cancel_futures=True)
+        # Pool join: fold the kept attempts' event files into the main
+        # stream (timestamp order) and discard the rest.
+        events.merge_parts(kept_parts)
     if broken:
         missing = [i for i, r in enumerate(results) if r is _PENDING]
         telemetry.count("pool_fallback")
+        events.emit("pool_fallback", unfinished=len(missing), total=len(items))
         telemetry.get_logger("parallel").warning(
             "worker pool died; serial fallback for unfinished items %s",
             telemetry.kv(unfinished=len(missing), total=len(items), jobs=n),
@@ -212,4 +297,6 @@ def parallel_map(
                 fn, items[idx], policy,
                 token=f"item{idx}", first_attempt=attempts[idx],
             )
+            _progress_tick()
+    progress.close()
     return results

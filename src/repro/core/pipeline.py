@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.balance.greedy import gb_s_plan
 from repro.balance.unshuffle import shuffle_outputs, unshuffle_next_layer_weights
+from repro.telemetry import events
 from repro.nets.layers import ConvLayerSpec
 from repro.nets.pooling import max_pool2d
 from repro.nets.reference import conv2d_reference, relu
@@ -152,6 +153,12 @@ class NetworkPipeline:
         use_gb_s = self.variant == "gb_s"
         shuffled_banks = self.prepare_gb_s_weights() if use_gb_s else None
         x_shuffled = x
+        events.emit(
+            "pipeline.start",
+            layers=len(self.layers),
+            variant=self.variant,
+            simulate=simulate,
+        )
 
         for i, layer in enumerate(self.layers):
             weights = np.asarray(layer.weights, dtype=np.float64)
@@ -189,9 +196,26 @@ class NetworkPipeline:
             if simulate:
                 spec = self._measured_spec(layer, x, weights, i)
                 data = LayerData(spec=spec, input_map=x, filters=weights)
-                results.append(self._layer_result(spec, data))
+                result = self._layer_result(spec, data)
+                results.append(result)
+                events.emit(
+                    "pipeline.layer",
+                    name=spec.name,
+                    index=i,
+                    density=density,
+                    cycles=result.cycles,
+                )
+            else:
+                events.emit(
+                    "pipeline.layer", name=layer.name, index=i, density=density
+                )
             x = out
 
+        events.emit(
+            "pipeline.end",
+            layers=len(self.layers),
+            output_density=float(np.count_nonzero(x)) / x.size,
+        )
         return PipelineRun(
             output=x,
             layer_results=tuple(results),

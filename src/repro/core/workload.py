@@ -52,6 +52,7 @@ import numpy as np
 
 from repro import profiling, telemetry
 from repro.core import timing
+from repro.telemetry import events
 from repro.core.env import env_int
 from repro.resilience import checkpoint, faults
 from repro.nets.layers import ConvLayerSpec
@@ -477,6 +478,7 @@ def _disk_load(
 def _quarantine_entry(path: pathlib.Path, error: Exception) -> None:
     """Move a corrupt cache entry aside so it is never trusted again."""
     telemetry.count("cache.disk.quarantine")
+    events.emit("cache.quarantine", path=str(path), error=str(error))
     _log.warning(
         "quarantining corrupt cache entry %s",
         telemetry.kv(path=path, error=error),

@@ -1,0 +1,215 @@
+"""Perf-regression tracking over the committed benchmark outputs.
+
+The benchmark harness writes machine-readable ``BENCH_*.json`` payloads
+to ``benchmarks/output/``. This module turns those payloads into a flat
+metric namespace and compares it against a committed baseline with
+per-metric tolerance bands, so CI can fail on a real regression instead
+of eyeballing numbers:
+
+- :func:`collect_bench_metrics` flattens every numeric leaf of every
+  ``BENCH_*.json`` into ``"<bench>.<dotted.path>"`` keys (e.g.
+  ``reduction.variants.gb_h.speedup``).
+- :func:`diff_against_baseline` scores each baseline metric as ``ok`` /
+  ``regression`` / ``improved`` / ``missing`` given its direction
+  (``higher`` -- bigger is better, ``lower`` -- smaller is better,
+  ``band`` -- must stay inside the band) and *relative* tolerance.
+- :func:`append_history` appends one CSV row per metric (timestamp, git
+  SHA, value) to the committed history file, the longitudinal record
+  ``repro bench diff`` baselines are refreshed from.
+
+Baseline schema (``benchmarks/bench_baseline.json``)::
+
+    {"schema": "repro-bench-baseline/1",
+     "metrics": {"reduction.variants.gb_h.speedup":
+                 {"value": 14.1, "tolerance": 0.75, "direction": "higher"}}}
+
+Timing-derived metrics get generous tolerances (CI machines are noisy);
+deterministic metrics (byte counts, ratios) get tight bands.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import time
+from typing import Mapping
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "collect_bench_metrics",
+    "load_baseline",
+    "diff_against_baseline",
+    "regressions",
+    "render_diff",
+    "append_history",
+]
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+_DIRECTIONS = ("higher", "lower", "band")
+
+
+def _flatten(prefix: str, node, out: dict[str, float]) -> None:
+    if isinstance(node, bool):
+        return  # bool is an int subclass; flags are not metrics
+    if isinstance(node, (int, float)):
+        out[prefix] = float(node)
+        return
+    if isinstance(node, Mapping):
+        for key in sorted(node):
+            if key == "schema":
+                continue
+            child = f"{prefix}.{key}" if prefix else str(key)
+            _flatten(child, node[key], out)
+    elif isinstance(node, (list, tuple)):
+        for i, item in enumerate(node):
+            _flatten(f"{prefix}.{i}" if prefix else str(i), item, out)
+
+
+def collect_bench_metrics(output_dir: str | pathlib.Path) -> dict[str, float]:
+    """Flatten every ``BENCH_*.json`` under *output_dir* into one dict.
+
+    Keys are ``"<bench>.<dotted.path>"`` where ``<bench>`` is the file
+    stem minus the ``BENCH_`` prefix; only numeric leaves survive.
+    Unreadable files are skipped (a missing bench shows up as a
+    ``missing`` diff row, not a crash).
+    """
+    metrics: dict[str, float] = {}
+    base = pathlib.Path(output_dir)
+    for path in sorted(base.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        bench = path.stem[len("BENCH_"):]
+        _flatten(bench, payload, metrics)
+    return metrics
+
+
+def load_baseline(path: str | pathlib.Path) -> dict:
+    """Load and validate a committed bench baseline."""
+    baseline = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(baseline, dict) or baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} baseline")
+    entries = baseline.get("metrics")
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: baseline has no metrics table")
+    for name, spec in entries.items():
+        if "value" not in spec:
+            raise ValueError(f"{path}: metric {name!r} has no value")
+        if spec.get("direction", "band") not in _DIRECTIONS:
+            raise ValueError(
+                f"{path}: metric {name!r} direction must be one of {_DIRECTIONS}"
+            )
+    return baseline
+
+
+def _judge(value: float, expected: float, tolerance: float, direction: str) -> str:
+    """ok / regression / improved for one metric under a relative band."""
+    slack = abs(expected) * tolerance
+    if direction == "higher":
+        if value < expected - slack:
+            return "regression"
+        return "improved" if value > expected + slack else "ok"
+    if direction == "lower":
+        if value > expected + slack:
+            return "regression"
+        return "improved" if value < expected - slack else "ok"
+    return "ok" if abs(value - expected) <= slack else "regression"
+
+
+def diff_against_baseline(
+    current: Mapping[str, float], baseline: Mapping
+) -> list[dict]:
+    """Score *current* metrics against *baseline*; one row per metric.
+
+    Rows carry ``{"metric", "status", "value", "expected", "tolerance",
+    "direction"}`` with status ``ok`` / ``regression`` / ``improved`` /
+    ``missing`` (in the baseline, absent from the run). Metrics present
+    in the run but not the baseline are ignored -- new benchmarks do not
+    fail the gate until a baseline entry blesses them.
+    """
+    rows: list[dict] = []
+    for name in sorted(baseline.get("metrics", {})):
+        spec = baseline["metrics"][name]
+        expected = float(spec["value"])
+        tolerance = float(spec.get("tolerance", 0.0))
+        direction = spec.get("direction", "band")
+        value = current.get(name)
+        if value is None:
+            status = "missing"
+        else:
+            status = _judge(float(value), expected, tolerance, direction)
+        rows.append(
+            {
+                "metric": name,
+                "status": status,
+                "value": value,
+                "expected": expected,
+                "tolerance": tolerance,
+                "direction": direction,
+            }
+        )
+    return rows
+
+
+def regressions(rows: list[dict], allow_missing: bool = False) -> list[dict]:
+    """The rows that should fail the gate."""
+    failing = ("regression",) if allow_missing else ("regression", "missing")
+    return [row for row in rows if row["status"] in failing]
+
+
+def render_diff(rows: list[dict]) -> str:
+    """Human-readable diff table for ``repro bench diff``."""
+    if not rows:
+        return "bench diff: baseline has no metrics"
+    width = max(len(row["metric"]) for row in rows)
+    lines = [
+        f"{'metric'.ljust(width)}  {'status':>10s} {'current':>12s} "
+        f"{'baseline':>12s} {'tol':>6s} {'dir':>6s}"
+    ]
+    for row in rows:
+        value = "-" if row["value"] is None else f"{row['value']:.4g}"
+        lines.append(
+            f"{row['metric'].ljust(width)}  {row['status']:>10s} {value:>12s} "
+            f"{row['expected']:12.4g} {row['tolerance']:6.0%} "
+            f"{row['direction']:>6s}"
+        )
+    bad = regressions(rows)
+    verdict = (
+        "bench diff: PASS (all metrics within tolerance)"
+        if not bad
+        else f"bench diff: FAIL ({len(bad)} metric(s) regressed or missing)"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+def append_history(
+    history_path: str | pathlib.Path,
+    metrics: Mapping[str, float],
+    git_sha: str | None = None,
+    timestamp: float | None = None,
+) -> int:
+    """Append one CSV row per metric to the longitudinal history file.
+
+    Columns: ``timestamp,git_sha,bench,metric,value`` (``bench`` is the
+    first dotted component). Creates the file with a header when absent.
+    Returns the number of rows appended.
+    """
+    path = pathlib.Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ts = time.time() if timestamp is None else float(timestamp)
+    new_file = not path.exists() or path.stat().st_size == 0
+    with open(path, "a", newline="") as fh:
+        writer = csv.writer(fh)
+        if new_file:
+            writer.writerow(["timestamp", "git_sha", "bench", "metric", "value"])
+        for name in sorted(metrics):
+            bench, _, rest = name.partition(".")
+            writer.writerow(
+                [f"{ts:.0f}", git_sha or "unknown", bench, rest or name,
+                 repr(float(metrics[name]))]
+            )
+    return len(metrics)

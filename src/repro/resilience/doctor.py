@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import events
 
 __all__ = ["DoctorReport", "scan_store", "render_report"]
 
@@ -67,6 +68,7 @@ def _verify_ckpt(path: pathlib.Path) -> None:
 
 def _quarantine(path: pathlib.Path, report: DoctorReport, error: Exception) -> None:
     telemetry.count("cache.disk.quarantine")
+    events.emit("doctor.quarantine", path=str(path), error=str(error))
     _log.warning(
         "quarantining corrupt entry %s", telemetry.kv(path=path, error=error)
     )
@@ -116,8 +118,18 @@ def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorRepor
                     os.unlink(name)
                     report.pruned.append(name)
                     telemetry.count("cache.disk.prune")
+                    events.emit("doctor.prune", path=str(name))
                 except OSError:
                     pass
+        events.emit(
+            "doctor.report",
+            dir=str(base),
+            healthy=report.healthy,
+            quarantined=len(report.quarantined),
+            pruned=len(report.pruned),
+            orphans=len(report.orphans),
+            ok=report.ok,
+        )
     return report
 
 

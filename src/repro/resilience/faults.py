@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.core.env import env_float
+from repro.telemetry import events
 
 __all__ = [
     "InjectedFault",
@@ -182,6 +183,7 @@ def fire(kind: str, token: str = "", attempt: int = 0) -> bool:
     if not plan.should_fire(kind, token=token, attempt=attempt):
         return False
     telemetry.count(f"fault.{kind}")
+    events.emit("resilience.fault", name=kind, token=token, attempt=attempt)
     _log.warning(
         "injected fault %s", telemetry.kv(kind=kind, token=token, attempt=attempt)
     )

@@ -30,6 +30,7 @@ from typing import Callable, TypeVar
 from repro import telemetry
 from repro.core.env import env_float, env_int
 from repro.resilience import faults
+from repro.telemetry import events
 
 __all__ = ["RetryPolicy", "call_with_retry"]
 
@@ -95,6 +96,9 @@ def call_with_retry(
                 raise
             attempt += 1
             telemetry.count("resilience.retry")
+            events.emit(
+                "resilience.retry", token=token, attempt=attempt, error=str(exc)
+            )
             _log.warning(
                 "retrying failed item %s",
                 telemetry.kv(

@@ -25,6 +25,8 @@ from __future__ import annotations
 from repro import telemetry
 from repro.nets.layers import ConvLayerSpec
 from repro.sim.config import HardwareConfig
+from repro.telemetry import events
+from repro.telemetry.progress import ProgressRenderer
 
 __all__ = [
     "machine_scaling_sweep",
@@ -100,11 +102,21 @@ def machine_scaling_sweep(
         raise ValueError(f"variant must be one of {sorted(_SCHEME_OF)}, got {variant!r}")
     out: dict[tuple[int, int], dict[str, float]] = {}
     with telemetry.span("scaling_sweep", layer=spec.name):
-        for n_clusters, units in geometries:
-            cfg = _sweep_config(n_clusters, units, position_sample)
-            out[(n_clusters, units)] = _sweep_point(
-                spec, cfg, variant, seed, fidelity
-            )
+        with ProgressRenderer(total=len(geometries), label="sweep") as progress:
+            for n_clusters, units in geometries:
+                cfg = _sweep_config(n_clusters, units, position_sample)
+                row = _sweep_point(spec, cfg, variant, seed, fidelity)
+                out[(n_clusters, units)] = row
+                events.emit(
+                    "sweep.point",
+                    name=f"{n_clusters}x{units}",
+                    clusters=n_clusters,
+                    units=units,
+                    variant=variant,
+                    speedup=row["speedup_vs_dense"],
+                    cycles=row["cycles"],
+                )
+                progress.update(done=len(out))
     return out
 
 
@@ -194,11 +206,22 @@ def prescreened_sweep(
         telemetry.count("sweep.prescreen.survivors", len(survivors))
         simulated: dict[tuple[int, int, str], dict[str, float]] = {}
         with telemetry.span("prescreen_survivors", layer=spec.name):
-            for n_clusters, units, variant in survivors:
-                cfg = _sweep_config(n_clusters, units, position_sample)
-                simulated[(n_clusters, units, variant)] = _sweep_point(
-                    spec, cfg, variant, seed, final_fidelity
-                )
+            with ProgressRenderer(total=len(survivors), label="sweep") as progress:
+                for n_clusters, units, variant in survivors:
+                    cfg = _sweep_config(n_clusters, units, position_sample)
+                    row = _sweep_point(spec, cfg, variant, seed, final_fidelity)
+                    simulated[(n_clusters, units, variant)] = row
+                    events.emit(
+                        "sweep.point",
+                        name=f"{n_clusters}x{units}:{variant}",
+                        clusters=n_clusters,
+                        units=units,
+                        variant=variant,
+                        speedup=row["speedup_vs_dense"],
+                        cycles=row["cycles"],
+                        phase="survivor",
+                    )
+                    progress.update(done=len(simulated))
     return {
         "analytical": analytical,
         "survivors": survivors,

@@ -13,12 +13,30 @@ One dependency-free layer every expensive path reports into:
   counter dump) written next to run outputs; ``repro stats`` renders
   them.
 - :mod:`repro.telemetry.log` -- the ``REPRO_LOG_LEVEL``-controlled
-  structured logger library code uses instead of ``print()``.
+  structured logger library code uses instead of ``print()``
+  (``REPRO_LOG_FORMAT=json`` for machine-readable stderr).
+- :mod:`repro.telemetry.events` -- the schema-versioned JSONL event
+  stream (``REPRO_EVENTS=path``): every counter increment, cache
+  decision, retry, fault and lifecycle transition as one appended line,
+  merged across workers at pool join.
+- :mod:`repro.telemetry.metrics` -- Prometheus text-exposition rendering
+  of the counters/gauges/spans (``repro stats --prometheus``) and the
+  ``REPRO_METRICS`` periodic snapshotter.
+- :mod:`repro.telemetry.progress` -- the ``REPRO_PROGRESS`` live
+  progress renderer (in-place on a TTY, heartbeat lines otherwise).
 
 Recording never influences simulation results: a telemetry-disabled run
 produces byte-identical figures.
 """
 
+from repro.telemetry import events
+from repro.telemetry.events import (
+    EVENTS_SCHEMA,
+    counter_totals,
+    emit,
+    read_events,
+    validate_events,
+)
 from repro.telemetry.log import get_logger, kv
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
@@ -28,14 +46,24 @@ from repro.telemetry.manifest import (
     render_manifest,
     write_manifest,
 )
+from repro.telemetry.metrics import (
+    MetricsSnapshotter,
+    parse_prometheus,
+    prometheus_from_manifest,
+    prometheus_text,
+    write_metrics_snapshot,
+)
+from repro.telemetry.progress import ProgressRenderer
 from repro.telemetry.recorder import (
     SNAPSHOT_SCHEMA,
     Recorder,
     count,
+    current_span_id,
     gauge,
     get_recorder,
     merge,
     reset,
+    set_trace_parent,
     snapshot,
     span,
 )
@@ -51,6 +79,8 @@ __all__ = [
     "merge",
     "reset",
     "get_recorder",
+    "current_span_id",
+    "set_trace_parent",
     "chrome_trace",
     "write_chrome_trace",
     "MANIFEST_SCHEMA",
@@ -61,4 +91,16 @@ __all__ = [
     "render_manifest",
     "get_logger",
     "kv",
+    "events",
+    "EVENTS_SCHEMA",
+    "emit",
+    "read_events",
+    "validate_events",
+    "counter_totals",
+    "MetricsSnapshotter",
+    "prometheus_text",
+    "prometheus_from_manifest",
+    "parse_prometheus",
+    "write_metrics_snapshot",
+    "ProgressRenderer",
 ]

@@ -5,6 +5,10 @@ CLI output (experiment rows on stdout) stays separable from diagnostics:
 log records go to **stderr** with a timestamped, ``key=value`` friendly
 format, and the threshold comes from ``REPRO_LOG_LEVEL`` (``DEBUG``,
 ``INFO``, ``WARNING`` -- the default -- ``ERROR``, ``CRITICAL``).
+``REPRO_LOG_FORMAT=json`` switches stderr to one JSON object per line
+(``{"ts", "level", "logger", "message"}``) for log shippers; the human
+format stays the default and the switch is re-read per record, so tests
+can flip it without reconfiguring handlers.
 
 Use :func:`get_logger` for a namespaced child of the ``repro`` logger and
 :func:`kv` to format structured fields consistently::
@@ -15,6 +19,7 @@ Use :func:`get_logger` for a namespaced child of the ``repro`` logger and
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import sys
@@ -23,6 +28,41 @@ __all__ = ["get_logger", "kv"]
 
 _FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
 _configured = False
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record, machine-first field set."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _SwitchableFormatter(logging.Formatter):
+    """Delegates to the human or JSON formatter per ``REPRO_LOG_FORMAT``.
+
+    Choosing at format time (not configure time) keeps the single
+    installed handler valid when tests or long-lived sessions flip the
+    environment mid-process.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(_FORMAT)
+        self._human = logging.Formatter(_FORMAT)
+        self._json = _JsonFormatter()
+
+    def format(self, record: logging.LogRecord) -> str:
+        fmt = os.environ.get("REPRO_LOG_FORMAT", "").strip().lower()
+        if fmt == "json":
+            return self._json.format(record)
+        return self._human.format(record)
 
 
 class _StderrHandler(logging.StreamHandler):
@@ -55,7 +95,7 @@ def _configure_root() -> logging.Logger:
         _configured = True
         if not root.handlers:
             handler = _StderrHandler()
-            handler.setFormatter(logging.Formatter(_FORMAT))
+            handler.setFormatter(_SwitchableFormatter())
             root.addHandler(handler)
         root.propagate = False
     # Re-read the env each call so tests (and long-lived sessions) can

@@ -19,6 +19,7 @@ import platform
 import subprocess
 import time
 
+from repro.telemetry import events as _events
 from repro.telemetry.recorder import Recorder, get_recorder
 
 __all__ = [
@@ -29,7 +30,7 @@ __all__ = [
     "render_manifest",
 ]
 
-MANIFEST_SCHEMA = "repro-manifest/1"
+MANIFEST_SCHEMA = "repro-manifest/2"
 
 
 def _git_sha() -> str | None:
@@ -100,6 +101,8 @@ def build_manifest(
         "gauges": snap["gauges"],
         "resilience": resilience_summary(snap["counters"]),
         "dropped_events": snap["dropped_events"],
+        "events": _events.describe(),
+        "metrics_snapshot": os.environ.get("REPRO_METRICS") or None,
     }
     if extra:
         manifest["extra"] = extra
@@ -180,4 +183,12 @@ def render_manifest(manifest: dict) -> str:
             lines.append(f"  {name.ljust(width)}  {gauges[name]}")
     if manifest.get("dropped_events"):
         lines.append(f"dropped events: {manifest['dropped_events']}")
+    ev = manifest.get("events") or {}
+    if ev.get("path"):
+        lines.append(
+            f"event log {ev['path']}  ({ev.get('schema', '?')},"
+            f" {int(ev.get('emitted', 0))} events this process)"
+        )
+    if manifest.get("metrics_snapshot"):
+        lines.append(f"metrics snapshot {manifest['metrics_snapshot']}")
     return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Prometheus text-exposition rendering of the telemetry registry.
+
+The recorder already *is* a metrics registry -- accumulating counters,
+last-write gauges, span seconds/call totals. This module renders that
+state (live, or from a written manifest) in the Prometheus text
+exposition format so any scraper-side tooling ingests a run without a
+bespoke parser::
+
+    repro stats manifest.json --prometheus     # from a manifest
+    python -c "from repro.telemetry import metrics; print(metrics.prometheus_text())"
+
+Name mapping is mechanical and stable: counter ``cache.workload.hit``
+becomes ``repro_cache_workload_hit_total``, gauge ``mac_utilization``
+becomes ``repro_mac_utilization``, and spans fold into two labelled
+families, ``repro_span_seconds_total{span="simulate"}`` and
+``repro_span_calls_total{span="simulate"}``.
+
+:func:`parse_prometheus` is the scraper stand-in the tests use to prove
+the output round-trips, and :class:`MetricsSnapshotter` writes periodic
+snapshot files (``REPRO_METRICS=path`` + ``REPRO_METRICS_INTERVAL``)
+for file-based scraping of a long run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import tempfile
+import threading
+from typing import Mapping
+
+from repro.telemetry.recorder import Recorder, get_recorder
+
+__all__ = [
+    "metric_name",
+    "render_prometheus",
+    "prometheus_text",
+    "prometheus_from_manifest",
+    "parse_prometheus",
+    "write_metrics_snapshot",
+    "metrics_path",
+    "MetricsSnapshotter",
+]
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metrics_path() -> str | None:
+    """The snapshot path from ``REPRO_METRICS`` (None = disabled)."""
+    path = os.environ.get("REPRO_METRICS")
+    return path if path else None
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """Map a dotted telemetry name onto a Prometheus metric name."""
+    base = _SANITIZE.sub("_", name.strip())
+    if not base or base[0].isdigit():
+        base = "_" + base
+    return f"repro_{base}{suffix}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float] | None = None,
+    spans: Mapping[str, Mapping[str, float]] | None = None,
+) -> str:
+    """The text-exposition body for one set of telemetry aggregates."""
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = metric_name(name, "_total")
+        lines.append(f"# HELP {metric} accumulated repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges or {}):
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} last-observed repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    if spans:
+        lines.append("# HELP repro_span_seconds_total wall seconds per span name")
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_seconds_total{{span="{_escape_label(name)}"}} '
+                f"{_format_value(spans[name].get('seconds', 0.0))}"
+            )
+        lines.append("# HELP repro_span_calls_total completed spans per name")
+        lines.append("# TYPE repro_span_calls_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_calls_total{{span="{_escape_label(name)}"}} '
+                f"{_format_value(spans[name].get('calls', 0))}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def prometheus_text(recorder: Recorder | None = None) -> str:
+    """Render the live registry (default recorder) as exposition text."""
+    rec = recorder if recorder is not None else get_recorder()
+    return render_prometheus(rec.counters(), rec.gauges(), rec.span_totals())
+
+
+def prometheus_from_manifest(manifest: Mapping) -> str:
+    """Render a written manifest's aggregates as exposition text."""
+    return render_prometheus(
+        manifest.get("counters") or {},
+        manifest.get("gauges") or {},
+        manifest.get("spans") or {},
+    )
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """A minimal scraper: exposition text -> ``{(name, labels): value}``.
+
+    Raises ``ValueError`` on any non-comment line that is not a valid
+    sample -- the tests use this as the proof that what we emit is what
+    a Prometheus scraper would accept.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a prometheus sample: {line!r}")
+        labels: list[tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for lm in _LABEL.finditer(raw):
+                labels.append(
+                    (lm.group(1), lm.group(2).replace('\\"', '"').replace("\\\\", "\\"))
+                )
+                consumed = lm.end()
+            leftover = raw[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(f"line {lineno}: bad label set: {raw!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad sample value: {line!r}") from exc
+        key = (match.group("name"), tuple(sorted(labels)))
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key}")
+        samples[key] = value
+    return samples
+
+
+def write_metrics_snapshot(
+    path: str | os.PathLike, recorder: Recorder | None = None
+) -> pathlib.Path:
+    """Atomically write the current exposition text to *path*."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(recorder))
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+class MetricsSnapshotter:
+    """Background thread writing periodic snapshot files for scraping.
+
+    ``start()`` spawns a daemon thread that rewrites *path* every
+    *interval* seconds (``REPRO_METRICS_INTERVAL`` when omitted;
+    ``<= 0`` disables the thread, leaving only the final snapshot that
+    ``stop()`` always writes). Writes are atomic, so a scraper never
+    reads a half-written exposition.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        interval: float | None = None,
+        recorder: Recorder | None = None,
+    ) -> None:
+        from repro.core.env import env_float
+
+        self.path = pathlib.Path(path)
+        self.interval = (
+            env_float("REPRO_METRICS_INTERVAL", 0.0, minimum=0.0)
+            if interval is None
+            else max(0.0, float(interval))
+        )
+        self._recorder = recorder
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "MetricsSnapshotter":
+        if self.interval > 0.0 and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-metrics", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                write_metrics_snapshot(self.path, self._recorder)
+            except OSError:
+                pass  # scraping is best-effort; never costs the run
+
+    def stop(self) -> pathlib.Path:
+        """Stop the thread (if any) and write one final snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return write_metrics_snapshot(self.path, self._recorder)

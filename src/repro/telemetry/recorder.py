@@ -39,6 +39,8 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.telemetry import events as _events
+
 __all__ = [
     "Recorder",
     "get_recorder",
@@ -48,6 +50,8 @@ __all__ = [
     "snapshot",
     "merge",
     "reset",
+    "current_span_id",
+    "set_trace_parent",
 ]
 
 #: Snapshot schema version (bumped on incompatible shape changes).
@@ -70,6 +74,11 @@ class Recorder:
         self._max_events = max_events
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Cross-process trace context: the parent span id a worker's
+        # top-level spans re-parent under. Process-level, so it survives
+        # reset() -- a worker sets it once per attempt.
+        self._trace_parent: str | None = None
+        self._span_seq = 0
         self._reset_locked()
 
     def _reset_locked(self) -> None:
@@ -92,13 +101,46 @@ class Recorder:
             stack = self._local.stack = []
         return stack
 
+    def _id_stack(self) -> list[str]:
+        ids = getattr(self._local, "ids", None)
+        if ids is None:
+            ids = self._local.ids = []
+        return ids
+
+    def _next_span_id(self) -> str:
+        """A run-unique span id: ``<pid hex>-<per-process counter hex>``.
+
+        The pid component keeps ids collision-free when worker snapshots
+        merge into the parent's event list.
+        """
+        with self._lock:
+            self._span_seq += 1
+            return f"{os.getpid():x}-{self._span_seq:x}"
+
+    def current_span_id(self) -> str | None:
+        """The innermost open span's id on this thread (or the trace parent).
+
+        This is the trace context a caller propagates into a child
+        process so the child's spans nest under it in the merged trace.
+        """
+        ids = self._id_stack()
+        return ids[-1] if ids else self._trace_parent
+
+    def set_trace_parent(self, span_id: str | None) -> None:
+        """Adopt *span_id* as the parent for this process's root spans."""
+        self._trace_parent = span_id
+
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[None]:
         """Time the enclosed block under *name*, inheriting parent attrs."""
         stack = self._stack()
+        ids = self._id_stack()
         parent_attrs = stack[-1] if stack else {}
         effective = {**parent_attrs, **attrs} if (parent_attrs or attrs) else {}
+        span_id = self._next_span_id()
+        parent_id = ids[-1] if ids else self._trace_parent
         stack.append(effective)
+        ids.append(span_id)
         depth = len(stack)
         t0 = time.perf_counter()
         try:
@@ -106,6 +148,7 @@ class Recorder:
         finally:
             dur = time.perf_counter() - t0
             stack.pop()
+            ids.pop()
             with self._lock:
                 self._wall[name] += dur
                 self._calls[name] += 1
@@ -121,7 +164,10 @@ class Recorder:
                         "pid": os.getpid(),
                         "tid": threading.get_ident(),
                         "depth": depth,
+                        "id": span_id,
                     }
+                    if parent_id is not None:
+                        event["parent"] = parent_id
                     if effective:
                         event["args"] = dict(effective)
                     self._events.append(event)
@@ -272,13 +318,31 @@ def span(name: str, **attrs: Any):
 
 
 def count(name: str, value: float = 1.0) -> None:
-    """Add *value* to a counter on the default recorder."""
+    """Add *value* to a counter on the default recorder.
+
+    Increments through this function (all library instrumentation) are
+    also mirrored into the JSONL event stream when ``REPRO_EVENTS`` is
+    active -- that one-to-one mirroring is what lets a merged stream
+    reconcile exactly with the manifest's counter dump.
+    """
     _RECORDER.count(name, value)
+    _events.mirror_counter(name, value)
 
 
 def gauge(name: str, value: float) -> None:
-    """Record a gauge observation on the default recorder."""
+    """Record a gauge observation on the default recorder (mirrored)."""
     _RECORDER.gauge(name, value)
+    _events.mirror_gauge(name, value)
+
+
+def current_span_id() -> str | None:
+    """The default recorder's innermost open span id (trace context)."""
+    return _RECORDER.current_span_id()
+
+
+def set_trace_parent(span_id: str | None) -> None:
+    """Set the default recorder's cross-process trace parent."""
+    _RECORDER.set_trace_parent(span_id)
 
 
 def snapshot(events: bool = True) -> dict:

@@ -21,12 +21,25 @@ __all__ = ["chrome_trace", "write_chrome_trace"]
 
 
 def chrome_trace(recorder: Recorder | None = None) -> dict:
-    """Build the Trace-Event-Format JSON object for *recorder*'s events."""
+    """Build the Trace-Event-Format JSON object for *recorder*'s events.
+
+    Spans recorded in worker processes carry the parent span id that
+    was propagated into them (see ``repro.core.parallel``); for every
+    cross-process parent/child pair this emits a flow-event arrow
+    (``ph: "s"`` at the parent, ``ph: "f"`` at the child) so the
+    worker lanes visually nest under the pool-parent span instead of
+    floating unanchored. Span ids and parents are also exposed under
+    ``args.span_id`` / ``args.parent_span`` for machine consumers.
+    """
     rec = recorder if recorder is not None else get_recorder()
     events = rec.events()
     trace_events: list[dict] = []
     seen_pids: set[int] = set()
     seen_tids: set[tuple[int, int]] = set()
+    by_id: dict[str, dict] = {
+        str(e["id"]): e for e in events if e.get("id") is not None
+    }
+    flow_seq = 0
     for event in events:
         pid = int(event.get("pid", os.getpid()))
         if pid not in seen_pids:
@@ -67,7 +80,39 @@ def chrome_trace(recorder: Recorder | None = None) -> dict:
         }
         if event.get("args"):
             record["args"] = {k: _jsonable(v) for k, v in event["args"].items()}
+        if event.get("id") is not None:
+            record.setdefault("args", {})["span_id"] = str(event["id"])
+        if event.get("parent") is not None:
+            record.setdefault("args", {})["parent_span"] = str(event["parent"])
         trace_events.append(record)
+        # Cross-process nesting: draw a flow arrow from the parent span
+        # (in the pool-parent's lane) to this child span (worker lane).
+        parent = by_id.get(str(event.get("parent")))
+        if parent is not None and int(parent.get("pid", -1)) != pid:
+            flow_seq += 1
+            trace_events.append(
+                {
+                    "name": "span_parent",
+                    "cat": "repro.flow",
+                    "ph": "s",
+                    "id": flow_seq,
+                    "ts": float(parent["ts"]),
+                    "pid": int(parent.get("pid", os.getpid())),
+                    "tid": int(parent.get("tid", 0)),
+                }
+            )
+            trace_events.append(
+                {
+                    "name": "span_parent",
+                    "cat": "repro.flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_seq,
+                    "ts": float(event["ts"]),
+                    "pid": pid,
+                    "tid": int(event.get("tid", 0)),
+                }
+            )
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",

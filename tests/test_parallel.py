@@ -90,3 +90,40 @@ class TestParallelDeterminism:
 def _probe_worker_env(_):
     assert parallel._IN_WORKER
     return os.environ.get("REPRO_JOBS", "unset")
+
+
+def _emit_marker(x):
+    from repro.telemetry import events
+
+    events.emit("test.marker", item=x)
+    return x
+
+
+class TestPoolEventStream:
+    def test_worker_events_reach_the_merged_stream(self, tmp_path, monkeypatch):
+        from repro import telemetry
+        from repro.telemetry import events
+
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv("REPRO_EVENTS", str(path))
+        telemetry.reset()
+        events.start_run()
+        try:
+            assert parallel.parallel_map(_emit_marker, [0, 1, 2, 3], jobs=2) == [
+                0, 1, 2, 3,
+            ]
+            records = events.read_events(path)
+            events.validate_events(records)
+            markers = [r for r in records if r["kind"] == "test.marker"]
+            assert sorted(m["item"] for m in markers) == [0, 1, 2, 3]
+            assert {m["pid"] for m in markers} - {os.getpid()}
+            ts = [r["ts"] for r in records]
+            assert ts == sorted(ts)
+            assert not list(tmp_path.glob("*.part"))
+        finally:
+            telemetry.reset()
+
+    def test_stream_off_leaves_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENTS", raising=False)
+        assert parallel.parallel_map(_emit_marker, [0, 1], jobs=2) == [0, 1]
+        assert not list(tmp_path.iterdir())

@@ -184,7 +184,7 @@ class TestManifest:
         assert read_back["spans"]["simulate"]["calls"] == 1
         assert cli.main(["stats", str(path)]) == 0
         out = capsys.readouterr().out
-        assert "repro-manifest/1" in out
+        assert telemetry.MANIFEST_SCHEMA in out
         assert "kernel.native_dispatch" in out
         assert "simulate" in out
 
