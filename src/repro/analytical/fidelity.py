@@ -38,6 +38,7 @@ __all__ = [
     "FIDELITY_LEVELS",
     "DEFAULT_FIDELITY",
     "fidelity_level",
+    "fidelity_result_key",
     "simulate_at_fidelity",
 ]
 
@@ -94,6 +95,32 @@ def _profile_env(wanted: str):
             os.environ.pop("REPRO_PROFILE", None)
         else:
             os.environ["REPRO_PROFILE"] = previous
+
+
+def fidelity_result_key(
+    scheme: str,
+    spec: ConvLayerSpec,
+    cfg: HardwareConfig,
+    seed: int = 0,
+    fidelity: str | None = None,
+) -> tuple:
+    """The memo key :func:`simulate_at_fidelity` publishes under.
+
+    The key depends on the profile mode the ladder will *escalate to*,
+    not the ambient one, so it is computed under the same
+    :func:`_profile_env` as the simulation. Distributed workers use this
+    to locate a unit's checkpoint-journal entry without running anything
+    -- it must stay in lockstep with :func:`simulate_at_fidelity`.
+    """
+    from repro.core import workload
+
+    level = fidelity_level(fidelity)
+    if level == "analytical":
+        return workload.result_key(f"analytical:{scheme}", spec, cfg, seed)
+    with _profile_env(_PROFILE_FOR[level]):
+        if level == "trace" and scheme in _TRACEABLE:
+            return workload.result_key(f"trace:{scheme}", spec, cfg, seed)
+        return workload.result_key(scheme, spec, cfg, seed)
 
 
 def _attach_trace(

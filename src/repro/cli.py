@@ -11,6 +11,8 @@ Usage::
     python -m repro doctor [DIR] [--prune]
     python -m repro bench diff --baseline benchmarks/bench_baseline.json
     python -m repro bench record
+    python -m repro sweep --store runs/sweep --shard 0/2 --network alexnet
+    python -m repro worker --store runs/sweep
 
 Every experiment of DESIGN.md's index is addressable by a short id; the
 rendered rows print to stdout (the same text the benchmark harness writes
@@ -20,6 +22,14 @@ self-describing record (git SHA, seed, config hash, env knobs, stage
 totals, counters) and ``--trace`` emits a Chrome ``trace_event`` JSON
 loadable in ``chrome://tracing`` / Perfetto; ``repro stats`` pretty-prints
 a manifest back.
+
+Distributed sweeps: ``repro sweep --store DIR --shard I/N`` runs one
+shard of a (network x layer x scheme x seed) grid against a shared
+store directory -- any number of shard processes (or hosts mounting the
+same directory) cooperate through single-flight claim leases and the
+checkpoint journal, so every unit is computed exactly once and a
+SIGKILL'd shard's work is resumed or stolen, never redone. ``repro
+worker --store DIR`` is the standing long-poll form of the same loop.
 
 ``--resume DIR`` journals every finished per-layer result to *DIR* and,
 when entries already exist there (a crashed or killed earlier run),
@@ -405,6 +415,71 @@ def build_parser() -> argparse.ArgumentParser:
                               default="benchmarks/bench_history.csv",
                               help="CSV history file to append to")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one shard of a distributed sweep over a shared store",
+        description="Plan a (network x layer x scheme x seed) grid, "
+                    "publish it to the shared store directory, and "
+                    "execute this process's shard of it. Concurrent "
+                    "shards (other processes/hosts on the same store) "
+                    "coordinate through claim leases and the checkpoint "
+                    "journal: every unit is computed exactly once, and "
+                    "a killed shard's units are stolen or resumed.",
+    )
+    sweep.add_argument("--store", metavar="DIR", required=True,
+                       help="shared store directory (plan, journal, "
+                            "manifests; cache defaults to DIR/cache)")
+    sweep.add_argument("--shard", metavar="I/N", default=None,
+                       help="this process's shard (e.g. 0/2); default: "
+                            "$REPRO_SHARD, else the whole grid")
+    sweep.add_argument("--network", default="alexnet",
+                       help="network whose layers form the grid")
+    sweep.add_argument("--layers", default=None,
+                       help="comma-separated layer subset (default: all)")
+    sweep.add_argument("--schemes", default="sparten",
+                       help="comma-separated schemes (default: sparten)")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma-separated workload seeds (default: 0)")
+    sweep.add_argument("--sample", type=int, default=200,
+                       help="output positions sampled per cluster "
+                            "(0 = exact full resolution; default 200)")
+    sweep.add_argument("--fidelity", default=None,
+                       choices=("analytical", "counters", "timeline", "trace"),
+                       help="fidelity-ladder rung for every unit")
+    sweep.add_argument("--no-steal", action="store_true",
+                       help="do not execute other shards' units after "
+                            "finishing this shard's")
+    sweep.add_argument("--reconcile", action="store_true",
+                       help="after the shard finishes, check per-shard "
+                            "manifests against the journal and exit "
+                            "non-zero unless the sweep is complete and "
+                            "exactly-once")
+    sweep.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write this shard's run manifest JSON to PATH")
+    _add_observability_flags(sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="long-poll worker: serve a shared store until its sweep is done",
+        description="Wait for a sweep plan to appear in the store "
+                    "directory, then execute (and steal) units until "
+                    "every one is published or the worker idles out.",
+    )
+    worker.add_argument("--store", metavar="DIR", required=True,
+                        help="shared store directory to serve")
+    worker.add_argument("--shard", metavar="I/N", default=None,
+                        help="optional shard identity (affinity for "
+                             "that slice; still steals the rest)")
+    worker.add_argument("--poll", type=float, default=None,
+                        help="seconds between idle polls (default: "
+                             "20x REPRO_CLAIM_POLL)")
+    worker.add_argument("--max-idle", type=float, default=60.0,
+                        help="exit after this many consecutive idle "
+                             "seconds (default 60)")
+    worker.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write the worker's run manifest JSON to PATH")
+    _add_observability_flags(worker)
+
     doctor = sub.add_parser(
         "doctor", help="scan/verify/prune the on-disk workload cache"
     )
@@ -417,6 +492,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete quarantined entries and orphaned .tmp files",
     )
     return parser
+
+
+def _render_dist_summary(summary: dict) -> str:
+    shard = summary.get("shard")
+    shard_text = (
+        f"{shard['index']}/{shard['count']}" if shard else "unsharded"
+    )
+    lines = [
+        f"sweep shard {shard_text}  worker {summary.get('worker', '?')}",
+        f"  units (own/total)  {summary.get('units_own', 0)}"
+        f"/{summary.get('units_total', 0)}",
+        f"  computed           {summary.get('computed', 0)}"
+        + (f"  (stolen {summary['stolen']})" if summary.get("stolen") else ""),
+        f"  skipped            {summary.get('skipped', 0)}  (already published)",
+    ]
+    if "passes" in summary:
+        lines.append(f"  passes             {summary['passes']}")
+    return "\n".join(lines)
+
+
+def _render_reconcile(report: dict) -> str:
+    lines = [
+        f"reconcile: {report['published']}/{report['units']} units published"
+        f"  ({report['manifests']} worker manifests)",
+        f"  computed {report['computed']}  skipped {report['skipped']}"
+        f"  stolen {report['stolen']}",
+        f"  exactly-once       {'yes' if report['exactly_once'] else 'NO'}",
+        f"  complete           {'yes' if report['complete'] else 'NO'}",
+    ]
+    for token in report["duplicates"][:5]:
+        lines.append(f"    duplicated compute: {token}")
+    for token in report["missing"][:5]:
+        lines.append(f"    missing: {token}")
+    return "\n".join(lines)
+
+
+def _main_dist(args: argparse.Namespace) -> int:
+    """The ``sweep`` and ``worker`` subcommands."""
+    from repro.dist import shard as dist_shard
+    from repro.dist import worker as dist_worker
+    from repro.telemetry import events
+    from repro.telemetry.metrics import MetricsSnapshotter, metrics_path
+
+    _apply_observability_flags(args)
+    if args.shard:
+        dist_shard.parse_shard(args.shard)  # fail fast on garbage
+        os.environ["REPRO_SHARD"] = args.shard
+    if getattr(args, "fidelity", None):
+        os.environ["REPRO_FIDELITY"] = args.fidelity
+    # The store directory is the one thing workers share; keep the
+    # workload disk cache inside it unless the operator says otherwise,
+    # so co-operating shards also share the expensive mask work.
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", os.path.join(args.store, "cache")
+    )
+    telemetry.reset()
+    events.start_run(command=args.command, store=args.store,
+                     shard=os.environ.get("REPRO_SHARD"))
+    snapshotter = (
+        MetricsSnapshotter(metrics_path()).start() if metrics_path() else None
+    )
+    shard = (
+        dist_shard.parse_shard(os.environ["REPRO_SHARD"])
+        if os.environ.get("REPRO_SHARD")
+        else None
+    )
+    exit_code = 0
+    if args.command == "worker":
+        summary = dist_worker.run_worker(
+            args.store, poll=args.poll, max_idle=args.max_idle, shard=shard
+        )
+        print(_render_dist_summary(summary))
+    else:
+        network = exp.network_by_name(args.network)
+        layer_names = (
+            tuple(s.strip() for s in args.layers.split(",") if s.strip())
+            if args.layers
+            else network.layer_names
+        )
+        for name in layer_names:
+            network.layer(name)  # fail fast on a bad --layers entry
+        schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        from repro.core.compare import ALL_SCHEMES
+
+        unknown = set(schemes) - set(ALL_SCHEMES)
+        if unknown:
+            raise SystemExit(f"unknown schemes: {sorted(unknown)}")
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        units = tuple(
+            dist_shard.WorkUnit(args.network, layer, scheme, seed)
+            for layer in layer_names
+            for scheme in schemes
+            for seed in seeds
+        )
+        plan = dist_shard.SweepPlan(
+            units=units,
+            fidelity=args.fidelity,
+            position_sample=args.sample if args.sample > 0 else None,
+        )
+        plan = dist_shard.publish_plan(args.store, plan)
+        summary = dist_worker.run_shard(
+            args.store, plan, shard=shard, steal=not args.no_steal
+        )
+        print(_render_dist_summary(summary))
+        if args.reconcile:
+            report = dist_worker.reconcile(args.store, plan)
+            print(_render_reconcile(report))
+            exit_code = 0 if report["complete"] and report["exactly_once"] else 1
+    events.emit("run.end", command=args.command)
+    if args.manifest:
+        telemetry.write_manifest(
+            args.manifest,
+            config={"command": args.command, "store": args.store,
+                    "shard": os.environ.get("REPRO_SHARD")},
+        )
+    if snapshotter is not None:
+        snapshotter.stop()
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -516,6 +709,8 @@ def main(argv: list[str] | None = None) -> int:
         print(benchtrack.render_diff(rows))
         failing = benchtrack.regressions(rows, allow_missing=args.allow_missing)
         return 1 if failing else 0
+    if args.command in ("sweep", "worker"):
+        return _main_dist(args)
     if args.command == "doctor":
         from repro.resilience.doctor import render_report, scan_store
 

@@ -165,7 +165,10 @@ def parallel_map(
     abandoned = False  # a timed-out item left a possibly-hung worker behind
     pool_size = min(n, len(items))
     kept_parts: list[str] = []  # event part files of kept worker attempts
-    progress = ProgressRenderer(total=len(items), label="pool")
+    shard = os.environ.get("REPRO_SHARD")
+    progress = ProgressRenderer(
+        total=len(items), label=f"pool[{shard}]" if shard else "pool"
+    )
 
     def _progress_tick() -> None:
         counters = telemetry.get_recorder().counters()

@@ -242,6 +242,14 @@ def get_workload(
 
     Checks the in-memory LRU, then the on-disk store (when
     ``$REPRO_CACHE_DIR`` is set), then computes -- writing back to both.
+
+    When several processes share one cache directory, the compute is
+    cross-process single-flight: a claim lease on the entry path
+    (:mod:`repro.dist.store`) elects one computer per missing key and
+    the losers wait for its publication instead of duplicating the
+    mask work. Claims are advisory -- a stale or unobtainable lease
+    degrades to the old compute-and-race behaviour, which atomic
+    publish keeps correct.
     """
     key = workload_key(spec, cfg, seed)
     entry = _WORKLOADS.get(key)
@@ -251,13 +259,46 @@ def get_workload(
     if disk is not None:
         _WORKLOADS.put(key, disk, nbytes=_pair_nbytes(disk))
         return disk
-    data = entry[0] if entry is not None else get_layer_data(spec, seed)
-    with telemetry.span("chunk_work", layer=spec.name):
-        work = compute_chunk_work(data, cfg, need_counts=need_counts)
-    pair = (data, work)
-    _WORKLOADS.put(key, pair, nbytes=_pair_nbytes(pair))
-    _disk_store(key, pair)
+    claim, published = _claim_compute(key)
+    if published:
+        disk = _disk_load(key, spec, need_counts)
+        if disk is not None:
+            _WORKLOADS.put(key, disk, nbytes=_pair_nbytes(disk))
+            return disk
+        # The peer's entry is unusable for us (shallower need_counts,
+        # quarantined): compute after all, and republish richer.
+    try:
+        data = entry[0] if entry is not None else get_layer_data(spec, seed)
+        with telemetry.span("chunk_work", layer=spec.name):
+            work = compute_chunk_work(data, cfg, need_counts=need_counts)
+        pair = (data, work)
+        _WORKLOADS.put(key, pair, nbytes=_pair_nbytes(pair))
+        _disk_store(key, pair)
+    finally:
+        if claim is not None:
+            claim.release()
     return pair
+
+
+def _claim_compute(key: tuple):
+    """Single-flight election for one missing disk entry.
+
+    Returns ``(claim, published)``: a held :class:`repro.dist.store.Claim`
+    when this process should compute (release it after publishing),
+    ``published=True`` when a peer published while we waited. Both are
+    falsy when no disk cache is configured or single-flight is off.
+    """
+    path = _disk_path(key)
+    if path is None:
+        return None, False
+    from repro.dist import store as dist_store
+
+    if not dist_store.single_flight_enabled():
+        return None, False
+    claim = dist_store.try_claim(path)
+    if claim is not None:
+        return claim, False
+    return dist_store.wait_for_publication(path)
 
 
 def cache_get(key: tuple):
@@ -428,7 +469,16 @@ def _disk_load(
     try:
         with timing.stage("cache_disk"), np.load(path, allow_pickle=False) as z:
             if str(z["key"][()]) != repr(key):
-                return None  # digest collision: recompute rather than trust
+                # Digest collision: the 96-bit file name matched but the
+                # full key does not. Recompute rather than trust -- and
+                # count it, because a collision storm reads as a plain
+                # miss otherwise.
+                telemetry.count("cache.disk.collision")
+                _log.warning(
+                    "disk cache digest collision %s",
+                    telemetry.kv(path=path),
+                )
+                return None
             if need_counts and "counts" not in z.files and "win_words" not in z.files:
                 return None
             data = LayerData(

@@ -3,8 +3,10 @@
 The workload cache (``$REPRO_CACHE_DIR``) and checkpoint journals
 survive crashes by design -- which means they also accumulate the debris
 of crashes: truncated ``.npz`` archives, orphaned ``.tmp`` files from
-interrupted atomic writes, and ``.corrupt`` quarantine markers left by
-earlier runs. The doctor walks a directory, verifies every entry the
+interrupted atomic writes, ``.part`` event side files and ``.claim``
+single-flight leases whose writers were killed, and ``.corrupt``
+quarantine markers left by earlier runs. The doctor walks a directory,
+verifies every entry the
 same way the runtime loaders do (every array member is actually
 decompressed, not just the zip directory), quarantines entries that fail
 verification, and -- with ``--prune`` -- deletes quarantined and orphaned
@@ -20,6 +22,7 @@ from __future__ import annotations
 import os
 import pathlib
 import pickle
+import time
 import zipfile
 from dataclasses import dataclass, field
 
@@ -85,12 +88,20 @@ def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorRepor
 
     Corrupt entries are renamed to ``.corrupt`` (counted as
     ``cache.disk.quarantine``); with *prune*, quarantined entries and
-    orphaned ``.tmp`` files from interrupted writes are deleted.
+    orphaned files are deleted. ``.tmp`` and ``.corrupt`` files are
+    orphans at any age (nothing re-opens them once the atomic rename
+    they fed has happened or failed); ``.part`` event files and
+    ``.claim`` leases are orphans only once older than
+    ``REPRO_CLAIM_TTL``, because a *fresh* one belongs to a live worker
+    that the doctor must not sabotage.
     """
+    from repro.dist import store as dist_store
+
     base = pathlib.Path(directory)
     report = DoctorReport(directory=str(base))
     if not base.is_dir():
         return report
+    stale_age = dist_store.claim_ttl()
     with telemetry.span("doctor", dir=str(base)):
         for path in sorted(base.iterdir()):
             if path.suffix == ".tmp":
@@ -98,6 +109,14 @@ def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorRepor
                 continue
             if path.suffix == ".corrupt":
                 report.orphans.append(str(path))
+                continue
+            if path.suffix in (".part", dist_store.CLAIM_SUFFIX):
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= stale_age:
+                    report.orphans.append(str(path))
                 continue
             try:
                 if path.match("workload-*.npz"):

@@ -88,6 +88,7 @@ def machine_scaling_sweep(
     position_sample: int | None = 200,
     seed: int = 0,
     fidelity: str | None = None,
+    shard: tuple[int, int] | str | None = None,
 ) -> dict:
     """Sweep (clusters, units) geometries over one layer.
 
@@ -97,12 +98,31 @@ def machine_scaling_sweep(
     smallest machine's. *fidelity* picks the ladder rung (default: the
     ``REPRO_FIDELITY`` environment setting); ``"analytical"`` scores the
     whole sweep without running the cycle-level machine.
+
+    *shard* (``(index, count)`` or ``"I/N"``) restricts the sweep to
+    this process's deterministic content-hash slice of the geometry
+    grid -- the same partition every other shard of the sweep computes
+    (:func:`repro.dist.shard.shard_of`), so N shards cover the grid
+    exactly once with no coordination. Points route through the result
+    memo/disk store, so co-operating shards sharing ``REPRO_CACHE_DIR``
+    also share work.
     """
     if variant not in _SCHEME_OF:
         raise ValueError(f"variant must be one of {sorted(_SCHEME_OF)}, got {variant!r}")
+    label = "sweep"
+    if shard is not None:
+        from repro.dist.shard import parse_shard, shard_of
+
+        index, count = parse_shard(shard) if isinstance(shard, str) else shard
+        geometries = tuple(
+            (c, u)
+            for c, u in geometries
+            if shard_of(f"{spec.name}:{c}x{u}:{variant}:{seed}", count) == index
+        )
+        label = f"sweep {index}/{count}"
     out: dict[tuple[int, int], dict[str, float]] = {}
     with telemetry.span("scaling_sweep", layer=spec.name):
-        with ProgressRenderer(total=len(geometries), label="sweep") as progress:
+        with ProgressRenderer(total=len(geometries), label=label) as progress:
             for n_clusters, units in geometries:
                 cfg = _sweep_config(n_clusters, units, position_sample)
                 row = _sweep_point(spec, cfg, variant, seed, fidelity)

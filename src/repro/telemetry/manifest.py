@@ -78,6 +78,7 @@ def build_manifest(
 ) -> dict:
     """Assemble the manifest dict from the current telemetry window."""
     from repro.analytical.fidelity import fidelity_level
+    from repro.dist.shard import shard_identity
     from repro.resilience import resilience_summary
 
     rec = recorder if recorder is not None else get_recorder()
@@ -94,6 +95,7 @@ def build_manifest(
         },
         "seed": seed,
         "fidelity": fidelity_level(),
+        "shard": shard_identity(),
         "config": config,
         "config_hash": config_hash(config),
         "spans": snap["spans"],

@@ -19,8 +19,10 @@ whether a multi-hour sweep is healthy. ``REPRO_PROGRESS`` gates it:
 Every painted update is also emitted to the event stream as a
 ``progress`` record, so a run's liveness is visible to anything tailing
 ``REPRO_EVENTS`` even with stderr discarded. Rendering never influences
-results and is rate-limited, so a fast loop pays one ``time.time()``
-per update.
+results and is rate-limited, so a fast loop pays one clock read per
+update. Elapsed/rate/ETA arithmetic uses ``time.monotonic()`` -- an NTP
+step mid-run must never produce a negative ETA or a wrong rate; wall
+time appears only in the event records' ``ts`` display timestamps.
 """
 
 from __future__ import annotations
@@ -84,8 +86,8 @@ class ProgressRenderer:
         self.stream = stream if stream is not None else sys.stderr
         self.mode = mode if mode is not None else progress_mode()
         self.done = 0
-        self._t0 = time.time()
-        self._last_paint = 0.0
+        self._t0 = time.monotonic()
+        self._last_paint = -float("inf")
         self._last_line_len = 0
         self._interval = _heartbeat_interval()
         self._closed = False
@@ -93,13 +95,13 @@ class ProgressRenderer:
     # -- data ---------------------------------------------------------------
 
     def _snapshot_stats(self, extra: dict) -> dict:
+        elapsed = time.monotonic() - self._t0
         stats = {
             "label": self.label,
             "done": self.done,
             "total": self.total,
-            "elapsed": round(time.time() - self._t0, 3),
+            "elapsed": round(elapsed, 3),
         }
-        elapsed = time.time() - self._t0
         rate = self.done / elapsed if elapsed > 0 else 0.0
         stats["rate"] = round(rate, 3)
         remaining = self.total - self.done
@@ -132,7 +134,7 @@ class ProgressRenderer:
         ``progress`` event.
         """
         self.done = self.done + 1 if done is None else int(done)
-        now = time.time()
+        now = time.monotonic()
         final = self.done >= self.total
         if self.mode == "off":
             # Still heartbeat into the event stream, at the same rate.

@@ -148,6 +148,24 @@ class TestValidation:
                 [dict(self._record(0), schema="repro-events/999")]
             )
 
+    def test_cross_pid_clock_skew_is_not_a_regression(self):
+        # Workers on skewed clocks legitimately interleave equal or
+        # backward timestamps in the merged stream; only each pid's own
+        # (ts, seq) order is an invariant.
+        records = [
+            self._record(0, ts=5.0, pid=1),
+            self._record(0, ts=3.0, pid=2),  # pid 2's clock runs behind
+            self._record(1, ts=5.0, pid=1),  # equal ts within pid 1 is fine
+            self._record(1, ts=4.0, pid=2),
+        ]
+        summary = events.validate_events(records)
+        assert summary["pids"] == [1, 2]
+        # ...but a single pid's own stream going backward still fails.
+        with pytest.raises(ValueError, match="regressed"):
+            events.validate_events(
+                [self._record(0, ts=5.0, pid=2), self._record(1, ts=3.0, pid=2)]
+            )
+
     def test_allow_gaps_relaxes_contiguity_only(self):
         records = [self._record(0, ts=1.0), self._record(2, ts=2.0)]
         summary = events.validate_events(records, allow_gaps=True)
