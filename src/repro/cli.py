@@ -13,6 +13,8 @@ Usage::
     python -m repro bench record
     python -m repro sweep --store runs/sweep --shard 0/2 --network alexnet
     python -m repro worker --store runs/sweep
+    python -m repro top --store runs/sweep [--once]
+    python -m repro inspect --store runs/sweep --trace fleet.json --report post.md
 
 Every experiment of DESIGN.md's index is addressable by a short id; the
 rendered rows print to stdout (the same text the benchmark harness writes
@@ -30,6 +32,11 @@ same directory) cooperate through single-flight claim leases and the
 checkpoint journal, so every unit is computed exactly once and a
 SIGKILL'd shard's work is resumed or stolen, never redone. ``repro
 worker --store DIR`` is the standing long-poll form of the same loop.
+``repro top --store DIR`` watches a running fleet live (workers x
+shards, throughput, ETA, suspect/dead workers from the store's health
+heartbeats); ``repro inspect --store DIR`` reconstructs a finished or
+crashed sweep post-mortem -- merged timeline, cross-worker Chrome
+trace, exactly-once audit, anomaly report.
 
 ``--resume DIR`` journals every finished per-layer result to *DIR* and,
 when entries already exist there (a crashed or killed earlier run),
@@ -480,6 +487,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the worker's run manifest JSON to PATH")
     _add_observability_flags(worker)
 
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a distributed sweep's shared store",
+        description="Render a refreshing fleet dashboard from the "
+                    "store's health heartbeats, manifests, journal and "
+                    "event streams: per-shard progress, throughput and "
+                    "ETA, cache hit rate, and a workers table with "
+                    "suspect/dead workers highlighted. Off a TTY (or "
+                    "with --once) it prints a single snapshot frame.",
+    )
+    top.add_argument("--store", metavar="DIR", required=True,
+                     help="shared store directory to watch")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (implied off-TTY)")
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="post-mortem reconstruction of a distributed sweep",
+        description="Merge every worker's event stream, manifest, "
+                    "heartbeat and the checkpoint journal into one "
+                    "fleet view: a timestamp-ordered timeline, an "
+                    "exactly-once audit (journal vs manifests vs "
+                    "event counter totals), and an anomaly report "
+                    "(dead workers, stragglers, steals, faults). "
+                    "Exits non-zero unless the sweep is complete, "
+                    "exactly-once and fully attributed.",
+    )
+    inspect.add_argument("--store", metavar="DIR", required=True,
+                         help="shared store directory to reconstruct")
+    inspect.add_argument("--trace", metavar="PATH", default=None,
+                         help="write the merged cross-worker Chrome "
+                              "trace JSON to PATH")
+    inspect.add_argument("--report", metavar="PATH", default=None,
+                         help="write the full markdown report to PATH "
+                              "(stdout shows a truncated timeline)")
+    inspect.add_argument("--json", metavar="PATH", default=None,
+                         dest="json_out",
+                         help="write the machine-readable FleetView "
+                              "payload to PATH")
+    inspect.add_argument("--timeline", type=int, default=40,
+                         help="max timeline rows printed to stdout "
+                              "(default 40; --report gets everything)")
+
     doctor = sub.add_parser(
         "doctor", help="scan/verify/prune the on-disk workload cache"
     )
@@ -547,6 +599,21 @@ def _main_dist(args: argparse.Namespace) -> int:
     os.environ.setdefault(
         "REPRO_CACHE_DIR", os.path.join(args.store, "cache")
     )
+    # Fleet observability artifacts default into the store too, one
+    # file per worker identity, which is what `repro top` / `repro
+    # inspect` aggregate. Explicit flags/env (including empty-string
+    # opt-outs) win over the defaults.
+    from repro.dist import store as dist_store_mod
+
+    worker_id = dist_store_mod.worker_identity()
+    os.environ.setdefault(
+        "REPRO_EVENTS",
+        os.path.join(args.store, "events", f"{worker_id}.jsonl"),
+    )
+    os.environ.setdefault(
+        "REPRO_METRICS",
+        os.path.join(args.store, "metrics", f"{worker_id}.prom"),
+    )
     telemetry.reset()
     events.start_run(command=args.command, store=args.store,
                      shard=os.environ.get("REPRO_SHARD"))
@@ -610,6 +677,77 @@ def _main_dist(args: argparse.Namespace) -> int:
     if snapshotter is not None:
         snapshotter.stop()
     return exit_code
+
+
+def _main_top(args: argparse.Namespace) -> int:
+    """The ``top`` subcommand: live (TTY) or one-frame dashboard."""
+    import sys
+    import time as _time
+
+    from repro.dist import fleet
+
+    once = args.once or not sys.stdout.isatty()
+    try:
+        while True:
+            try:
+                view = fleet.build_fleet_view(args.store)
+                frame = fleet.render_top(view, color=not once)
+            except FileNotFoundError as exc:
+                if once:
+                    print(f"repro top: {exc}")
+                    return 1
+                frame = f"repro top: waiting for a plan ({exc})"
+            if once:
+                print(frame)
+                return 0
+            # Clear + home, then the frame: an in-place refresh without
+            # a curses dependency.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            _time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _main_inspect(args: argparse.Namespace) -> int:
+    """The ``inspect`` subcommand: post-mortem fleet reconstruction."""
+    import json as _json
+    import pathlib
+
+    from repro.dist import fleet
+
+    try:
+        view = fleet.build_fleet_view(args.store)
+    except FileNotFoundError as exc:
+        print(f"repro inspect: {exc}")
+        return 2
+    print(fleet.render_inspect(view, max_timeline=args.timeline))
+    if args.report:
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            fleet.render_inspect(view, max_timeline=None) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {args.report}")
+    if args.trace:
+        path = pathlib.Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(view.chrome_trace(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"trace written to {args.trace}")
+    if args.json_out:
+        path = pathlib.Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(view.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"fleet view written to {args.json_out}")
+    return 0 if view.healthy else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -704,13 +842,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"bench record: appended {rows} metric rows to {args.history}")
             return 0
+        from repro.telemetry.manifest import _git_sha
+
         baseline = benchtrack.load_baseline(args.baseline)
         rows = benchtrack.diff_against_baseline(current, baseline)
-        print(benchtrack.render_diff(rows))
+        print(benchtrack.render_diff(
+            rows, baseline_path=args.baseline, git_sha=_git_sha()
+        ))
         failing = benchtrack.regressions(rows, allow_missing=args.allow_missing)
         return 1 if failing else 0
     if args.command in ("sweep", "worker"):
         return _main_dist(args)
+    if args.command == "top":
+        return _main_top(args)
+    if args.command == "inspect":
+        return _main_inspect(args)
     if args.command == "doctor":
         from repro.resilience.doctor import render_report, scan_store
 

@@ -12,6 +12,13 @@ or hosts that share nothing but a result-store directory:
 - :mod:`repro.dist.worker` -- the execution loop: run a shard, steal
   foreign units when done, long-poll as a standing worker, reconcile
   per-shard manifests to sweep totals.
+- :mod:`repro.dist.health` -- store-resident heartbeats: every worker
+  keeps an atomic ``health/<worker>.json`` snapshot fresh; staleness
+  against the claim TTL classifies workers live/suspect/dead/exited.
+- :mod:`repro.dist.fleet` -- the merged fleet view behind ``repro top``
+  and ``repro inspect``: per-shard progress, worker liveness, the
+  exactly-once audit, stragglers and anomalies from every worker's
+  artifacts in one store.
 
 Coordination log is the PR 3 checkpoint journal (one file per published
 result, never rewritten), so resume-after-SIGKILL costs zero
@@ -32,4 +39,9 @@ from repro.dist.store import (  # noqa: F401
     reap_orphans,
     try_claim,
     wait_for_publication,
+)
+from repro.dist.health import (  # noqa: F401
+    HealthBeacon,
+    classify,
+    read_health,
 )

@@ -37,6 +37,7 @@ import time
 from contextlib import contextmanager
 
 from repro import telemetry
+from repro.dist import health
 from repro.dist import shard as dist_shard
 from repro.dist import store as dist_store
 from repro.dist.shard import SweepPlan, WorkUnit
@@ -146,6 +147,7 @@ def execute_unit(
     claim is waited out, so the return is never deferred.
     """
     entry = unit_entry(store_dir, unit, plan)
+    started = time.monotonic()
     status = None
     claim = None
     if entry.exists():
@@ -191,7 +193,12 @@ def execute_unit(
         if claim is not None:
             claim.release()
     telemetry.count(f"dist.unit.{status}")
-    events.emit("dist.unit", unit=unit.token, status=status, stolen=stolen)
+    # The wall duration rides on the event so fleet aggregation can
+    # reconstruct per-worker trace lanes and flag stragglers.
+    events.emit(
+        "dist.unit", unit=unit.token, status=status, stolen=stolen,
+        seconds=round(time.monotonic() - started, 6),
+    )
     return status
 
 
@@ -252,6 +259,20 @@ def run_shard(
     own = plan.shard_units(shard)
     summary = _summary_skeleton(store_dir, plan, shard)
     label = f"shard {shard[0]}/{shard[1]}" if shard else "sweep"
+    shard_tag = f"{shard[0]}/{shard[1]}" if shard else None
+
+    def _checkpoint(hb, unit: WorkUnit, status: str, stolen: bool) -> None:
+        # Incremental accounting: rewrite the manifest after every
+        # tally so a SIGKILL'd worker leaves its computed tokens on
+        # disk for reconciliation, and keep the heartbeat warm.
+        _tally(summary, unit, status, stolen=stolen)
+        hb.update(
+            current_unit=None,
+            units_done=summary["computed"] + summary["skipped"],
+        )
+        if manifest:
+            write_shard_manifest(store_dir, summary)
+
     with _shard_env(shard):
         events.emit(
             "dist.shard.start",
@@ -259,29 +280,33 @@ def run_shard(
             worker=summary["worker"],
             units=len(own),
         )
-        with telemetry.span("dist.shard", shard=label, units=len(own)):
-            deferred: list[WorkUnit] = []
-            with ProgressRenderer(total=len(own), label=label) as progress:
-                for unit in own:
-                    status = execute_unit(store_dir, unit, plan, wait=False)
-                    if status == DEFERRED:
-                        deferred.append(unit)
-                    else:
-                        _tally(summary, unit, status, stolen=False)
-                    progress.update()
-                for unit in deferred:
-                    status = execute_unit(store_dir, unit, plan, wait=True)
-                    _tally(summary, unit, status, stolen=False)
-            if steal:
-                for unit in plan.foreign_units(shard):
-                    entry = unit_entry(store_dir, unit, plan)
-                    if entry.exists():
-                        continue  # published by its owner: not our business
-                    status = execute_unit(
-                        store_dir, unit, plan, wait=False, stolen=True
-                    )
-                    if status == COMPUTED:
-                        _tally(summary, unit, status, stolen=True)
+        with health.beacon(store_dir, shard=shard_tag) as hb:
+            with telemetry.span("dist.shard", shard=label, units=len(own)):
+                deferred: list[WorkUnit] = []
+                with ProgressRenderer(total=len(own), label=label) as progress:
+                    for unit in own:
+                        hb.update(current_unit=unit.token)
+                        status = execute_unit(store_dir, unit, plan, wait=False)
+                        if status == DEFERRED:
+                            deferred.append(unit)
+                        else:
+                            _checkpoint(hb, unit, status, stolen=False)
+                        progress.update()
+                    for unit in deferred:
+                        hb.update(current_unit=unit.token)
+                        status = execute_unit(store_dir, unit, plan, wait=True)
+                        _checkpoint(hb, unit, status, stolen=False)
+                if steal:
+                    for unit in plan.foreign_units(shard):
+                        entry = unit_entry(store_dir, unit, plan)
+                        if entry.exists():
+                            continue  # published by its owner: not our business
+                        hb.update(current_unit=unit.token)
+                        status = execute_unit(
+                            store_dir, unit, plan, wait=False, stolen=True
+                        )
+                        if status == COMPUTED:
+                            _checkpoint(hb, unit, status, stolen=True)
     events.emit(
         "dist.shard.finish",
         shard=summary["shard"],
@@ -314,39 +339,45 @@ def run_worker(
     idle_since = time.monotonic()
     passes = 0
     last: dict | None = None
-    while True:
-        plan = dist_shard.load_plan(store_dir, missing_ok=True)
-        if plan is None:
-            if time.monotonic() - idle_since > max_idle:
+    shard_tag = f"{shard[0]}/{shard[1]}" if shard else None
+    with health.beacon(store_dir, shard=shard_tag):
+        while True:
+            plan = dist_shard.load_plan(store_dir, missing_ok=True)
+            if plan is None:
+                if time.monotonic() - idle_since > max_idle:
+                    break
+                time.sleep(poll)
+                continue
+            summary = run_shard(
+                store_dir, plan, shard=shard, steal=True,
+                manifest=False,
+            )
+            passes += 1
+            if last is None:
+                last = summary
+            else:
+                for field in ("computed", "skipped", "stolen", "deferred"):
+                    last[field] += summary[field]
+                last["computed_tokens"].extend(summary["computed_tokens"])
+            # Publish the accumulated accounting every pass, so even a
+            # worker that dies between passes leaves its tally behind.
+            last["passes"] = passes
+            write_shard_manifest(store_dir, last)
+            missing = [
+                u for u in plan.units
+                if not unit_entry(store_dir, u, plan).exists()
+            ]
+            if not missing:
+                break
+            if summary["computed"]:
+                idle_since = time.monotonic()
+            elif time.monotonic() - idle_since > max_idle:
+                _log.warning(
+                    "worker idling out %s",
+                    telemetry.kv(store=store_dir, missing=len(missing)),
+                )
                 break
             time.sleep(poll)
-            continue
-        summary = run_shard(
-            store_dir, plan, shard=shard, steal=True,
-            manifest=False,
-        )
-        passes += 1
-        if last is None:
-            last = summary
-        else:
-            for field in ("computed", "skipped", "stolen", "deferred"):
-                last[field] += summary[field]
-            last["computed_tokens"].extend(summary["computed_tokens"])
-        missing = [
-            u for u in plan.units
-            if not unit_entry(store_dir, u, plan).exists()
-        ]
-        if not missing:
-            break
-        if summary["computed"]:
-            idle_since = time.monotonic()
-        elif time.monotonic() - idle_since > max_idle:
-            _log.warning(
-                "worker idling out %s",
-                telemetry.kv(store=store_dir, missing=len(missing)),
-            )
-            break
-        time.sleep(poll)
     if last is None:
         last = {"schema": SHARD_MANIFEST_SCHEMA, "store": str(store_dir),
                 "worker": dist_store.worker_identity(), "pid": os.getpid(),
@@ -404,22 +435,30 @@ def reconcile(
     plan: ``complete`` means every unit has a journal entry;
     ``duplicates`` lists unit tokens more than one manifest claims to
     have computed (the exactly-once violation the claim protocol
-    exists to prevent -- always empty in a healthy sweep).
+    exists to prevent -- always empty in a healthy sweep); ``foreign``
+    lists computed tokens that are not in the plan at all (a manifest
+    from a different sweep dropped into this store -- never counted as
+    a duplicate, but surfaced so the accounting stays explainable).
     """
     store_dir = pathlib.Path(store_dir)
     if plan is None:
         plan = dist_shard.load_plan(store_dir)
     manifests = load_shard_manifests(store_dir)
+    plan_tokens = {u.token for u in plan.units}
     published = [
         u.token for u in plan.units
         if unit_entry(store_dir, u, plan).exists()
     ]
-    missing = [u.token for u in plan.units if u.token not in set(published)]
+    published_set = set(published)
+    missing = [u.token for u in plan.units if u.token not in published_set]
     computed_counts: dict[str, int] = {}
     for m in manifests:
         for token in m.get("computed_tokens", ()):
             computed_counts[token] = computed_counts.get(token, 0) + 1
-    duplicates = sorted(t for t, n in computed_counts.items() if n > 1)
+    duplicates = sorted(
+        t for t, n in computed_counts.items() if n > 1 and t in plan_tokens
+    )
+    foreign = sorted(t for t in computed_counts if t not in plan_tokens)
     report = {
         "units": len(plan.units),
         "published": len(published),
@@ -430,9 +469,11 @@ def reconcile(
         "skipped": sum(m.get("skipped", 0) for m in manifests),
         "stolen": sum(m.get("stolen", 0) for m in manifests),
         "duplicates": duplicates,
+        "foreign": foreign,
         "exactly_once": not duplicates,
     }
     events.emit("dist.reconcile", **{
-        k: v for k, v in report.items() if k not in ("missing", "duplicates")
+        k: v for k, v in report.items()
+        if k not in ("missing", "duplicates", "foreign")
     })
     return report

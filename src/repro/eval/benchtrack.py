@@ -160,12 +160,28 @@ def regressions(rows: list[dict], allow_missing: bool = False) -> list[dict]:
     return [row for row in rows if row["status"] in failing]
 
 
-def render_diff(rows: list[dict]) -> str:
-    """Human-readable diff table for ``repro bench diff``."""
+def render_diff(
+    rows: list[dict],
+    baseline_path: str | None = None,
+    git_sha: str | None = None,
+) -> str:
+    """Human-readable diff table for ``repro bench diff``.
+
+    *baseline_path* and *git_sha* head the output so a failure in a
+    multi-baseline repo (bench_baseline.json, bench_baseline_shard.json,
+    ...) is attributable to the exact comparison that produced it.
+    """
+    lines = []
+    if baseline_path or git_sha:
+        lines.append(
+            f"bench diff: baseline {baseline_path or '?'}"
+            f"  @ HEAD {git_sha or 'unknown'}"
+        )
     if not rows:
-        return "bench diff: baseline has no metrics"
+        lines.append("bench diff: baseline has no metrics")
+        return "\n".join(lines)
     width = max(len(row["metric"]) for row in rows)
-    lines = [
+    lines += [
         f"{'metric'.ljust(width)}  {'status':>10s} {'current':>12s} "
         f"{'baseline':>12s} {'tol':>6s} {'dir':>6s}"
     ]

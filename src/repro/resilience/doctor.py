@@ -46,6 +46,10 @@ class DoctorReport:
     quarantined: list[str] = field(default_factory=list)
     pruned: list[str] = field(default_factory=list)
     orphans: list[str] = field(default_factory=list)
+    workers_live: int = 0
+    workers_suspect: int = 0
+    workers_dead: int = 0
+    workers_exited: int = 0
 
     @property
     def ok(self) -> bool:
@@ -81,6 +85,37 @@ def _quarantine(path: pathlib.Path, report: DoctorReport, error: Exception) -> N
         report.quarantined.append(str(target))
     except OSError:
         report.quarantined.append(str(path))
+
+
+def _scan_health(
+    base: pathlib.Path, report: DoctorReport, stale_age: float
+) -> None:
+    """Tally worker heartbeats under ``health/`` and flag reapable ones.
+
+    Live and suspect heartbeats belong to workers that may still be
+    running -- never touched. A dead worker's heartbeat (stale past
+    twice the claim TTL) and a clean exit's final snapshot older than
+    one TTL are debris: they become orphans so ``--prune`` clears the
+    store for the next sweep, age-gated exactly like claim leases.
+    """
+    from repro.dist import health as dist_health
+
+    if not (base / dist_health.HEALTH_DIR).is_dir():
+        return
+    for snapshot in dist_health.read_health(base):
+        state = dist_health.classify(snapshot, ttl=stale_age)
+        if state == dist_health.LIVE:
+            report.workers_live += 1
+        elif state == dist_health.SUSPECT:
+            report.workers_suspect += 1
+        elif state == dist_health.DEAD:
+            report.workers_dead += 1
+            if snapshot["age_seconds"] >= stale_age:
+                report.orphans.append(snapshot["path"])
+        else:  # exited cleanly; keep briefly for post-mortems, then reap
+            report.workers_exited += 1
+            if snapshot["age_seconds"] >= stale_age:
+                report.orphans.append(snapshot["path"])
 
 
 def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorReport:
@@ -131,6 +166,7 @@ def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorRepor
                 continue
             report.healthy += 1
             report.healthy_bytes += path.stat().st_size
+        _scan_health(base, report, stale_age)
         if prune:
             for name in report.orphans + report.quarantined:
                 try:
@@ -147,6 +183,8 @@ def scan_store(directory: str | os.PathLike, prune: bool = False) -> DoctorRepor
             quarantined=len(report.quarantined),
             pruned=len(report.pruned),
             orphans=len(report.orphans),
+            workers_live=report.workers_live,
+            workers_dead=report.workers_dead,
             ok=report.ok,
         )
     return report
@@ -161,6 +199,14 @@ def render_report(report: DoctorReport, prune: bool = False) -> str:
         f"  quarantined        {len(report.quarantined)}",
         f"  orphaned/.corrupt  {len(report.orphans)}",
     ]
+    if (report.workers_live or report.workers_suspect
+            or report.workers_dead or report.workers_exited):
+        lines.append(
+            f"  workers            live {report.workers_live}"
+            f"  suspect {report.workers_suspect}"
+            f"  dead {report.workers_dead}"
+            f"  exited {report.workers_exited}"
+        )
     for name in report.quarantined:
         lines.append(f"    quarantined {name}")
     if prune:

@@ -50,6 +50,7 @@ __all__ = [
     "emit",
     "enabled",
     "events_path",
+    "current_seq",
     "start_run",
     "describe",
     "read_events",
@@ -181,6 +182,17 @@ def emit(kind: str, name: str | None = None, value: float | None = None, **field
         if _part_override is None:
             _emitted_main += 1
         return True
+
+
+def current_seq() -> int:
+    """This process's next event sequence number.
+
+    Monotone across sink switches, so a health heartbeat recording it
+    tells a post-mortem reader how far the worker's stream had advanced
+    when the heartbeat was written.
+    """
+    with _lock:
+        return _seq
 
 
 def mirror_counter(name: str, value: float) -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import pathlib
 import re
+import socket
 import tempfile
 import threading
 from typing import Mapping
@@ -34,6 +35,7 @@ from repro.telemetry.recorder import Recorder, get_recorder
 
 __all__ = [
     "metric_name",
+    "default_labels",
     "render_prometheus",
     "prometheus_text",
     "prometheus_from_manifest",
@@ -71,36 +73,71 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _label_block(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(labels[key]))}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def default_labels() -> dict[str, str]:
+    """Constant per-worker labels stamped on every fleet sample.
+
+    Sharded workers of one sweep all write snapshot files into the same
+    store; without identity labels their series collide the moment a
+    scraper aggregates them. Keyed off ``REPRO_SHARD`` so an ordinary
+    single-process run keeps its label-free exposition (and its tests).
+    """
+    shard = os.environ.get("REPRO_SHARD")
+    if not shard:
+        return {}
+    try:
+        host = socket.gethostname()
+    except OSError:
+        host = "unknown"
+    return {"shard": shard, "pid": str(os.getpid()), "host": host}
+
+
 def render_prometheus(
     counters: Mapping[str, float],
     gauges: Mapping[str, float] | None = None,
     spans: Mapping[str, Mapping[str, float]] | None = None,
+    labels: Mapping[str, str] | None = None,
 ) -> str:
-    """The text-exposition body for one set of telemetry aggregates."""
+    """The text-exposition body for one set of telemetry aggregates.
+
+    *labels* (e.g. :func:`default_labels`) are stamped on every sample
+    so merged multi-worker scrapes stay distinguishable.
+    """
+    base = _label_block(labels)
     lines: list[str] = []
     for name in sorted(counters):
         metric = metric_name(name, "_total")
         lines.append(f"# HELP {metric} accumulated repro counter {name}")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(counters[name])}")
+        lines.append(f"{metric}{base} {_format_value(counters[name])}")
     for name in sorted(gauges or {}):
         metric = metric_name(name)
         lines.append(f"# HELP {metric} last-observed repro gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(gauges[name])}")
+        lines.append(f"{metric}{base} {_format_value(gauges[name])}")
     if spans:
         lines.append("# HELP repro_span_seconds_total wall seconds per span name")
         lines.append("# TYPE repro_span_seconds_total counter")
         for name in sorted(spans):
+            block = _label_block({**(labels or {}), "span": name})
             lines.append(
-                f'repro_span_seconds_total{{span="{_escape_label(name)}"}} '
+                f"repro_span_seconds_total{block} "
                 f"{_format_value(spans[name].get('seconds', 0.0))}"
             )
         lines.append("# HELP repro_span_calls_total completed spans per name")
         lines.append("# TYPE repro_span_calls_total counter")
         for name in sorted(spans):
+            block = _label_block({**(labels or {}), "span": name})
             lines.append(
-                f'repro_span_calls_total{{span="{_escape_label(name)}"}} '
+                f"repro_span_calls_total{block} "
                 f"{_format_value(spans[name].get('calls', 0))}"
             )
     return "\n".join(lines) + "\n"
@@ -109,15 +146,38 @@ def render_prometheus(
 def prometheus_text(recorder: Recorder | None = None) -> str:
     """Render the live registry (default recorder) as exposition text."""
     rec = recorder if recorder is not None else get_recorder()
-    return render_prometheus(rec.counters(), rec.gauges(), rec.span_totals())
+    return render_prometheus(
+        rec.counters(), rec.gauges(), rec.span_totals(),
+        labels=default_labels(),
+    )
 
 
 def prometheus_from_manifest(manifest: Mapping) -> str:
-    """Render a written manifest's aggregates as exposition text."""
+    """Render a written manifest's aggregates as exposition text.
+
+    A sharded run's manifest carries its shard section; forwarding it
+    as labels keeps offline rendering identical to what the worker's
+    live exposition said (the worker identity ``host-pid`` splits back
+    into the same ``host``/``pid`` labels).
+    """
+    labels: dict[str, str] = {}
+    section = manifest.get("shard") or {}
+    if isinstance(section, dict):
+        if section.get("shard"):
+            labels["shard"] = str(section["shard"])
+        worker = section.get("worker")
+        if worker:
+            host, sep, pid = str(worker).rpartition("-")
+            if sep and pid.isdigit():
+                labels.setdefault("host", host)
+                labels.setdefault("pid", pid)
+            else:
+                labels["worker"] = str(worker)
     return render_prometheus(
         manifest.get("counters") or {},
         manifest.get("gauges") or {},
         manifest.get("spans") or {},
+        labels=labels,
     )
 
 
